@@ -1,0 +1,399 @@
+// Package-level benchmarks: one benchmark family per table and figure of
+// the paper's evaluation (DESIGN.md §4 maps each to its experiment id).
+// `go test -bench=. -benchmem` regenerates every measurement; the custom
+// metrics reported via b.ReportMetric carry the figure's quantity (block
+// counts, queue sizes, refinement counts, modeled I/O) alongside wall time.
+//
+// cmd/experiments renders the same data as the paper's tables; these
+// benchmarks make the measurements reproducible under the standard Go
+// tooling.
+package silc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"silc/internal/bench"
+	"silc/internal/core"
+	"silc/internal/graph"
+	"silc/internal/knn"
+	"silc/internal/oracle"
+	"silc/internal/sssp"
+)
+
+// benchEnv is the shared evaluation environment (built once). Benchmarks use
+// a mid-size lattice so `go test -bench=.` stays in CI budgets; cmd/
+// experiments runs the full-size evaluation.
+var (
+	envOnce sync.Once
+	env     *bench.Env
+	envErr  error
+)
+
+func sharedEnv(b *testing.B) *bench.Env {
+	envOnce.Do(func() {
+		env, envErr = bench.NewEnv(64, 64, bench.DefaultSeed, true)
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return env
+}
+
+// BenchmarkT1StorageModels measures the space/query-time trade-off table
+// (paper p.11): distance queries against each storage model.
+func BenchmarkT1StorageModels(b *testing.B) {
+	g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{Rows: 24, Cols: 24, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]graph.VertexID, 256)
+	for i := range pairs {
+		pairs[i] = [2]graph.VertexID{
+			graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)),
+		}
+	}
+
+	ix, err := core.Build(g, core.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nh, err := oracle.BuildNextHop(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp, err := oracle.BuildExplicitPaths(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	or, err := oracle.BuildDistanceOracle(ix, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("Dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			sssp.ShortestPath(g, p[0], p[1])
+		}
+	})
+	b.Run("ExplicitPaths", func(b *testing.B) {
+		b.ReportMetric(float64(exp.SizeBytes()), "storage-bytes")
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			exp.Distance(p[0], p[1])
+		}
+	})
+	b.Run("NextHop", func(b *testing.B) {
+		b.ReportMetric(float64(nh.SizeBytes()), "storage-bytes")
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			nh.Distance(p[0], p[1])
+		}
+	})
+	b.Run("SILC", func(b *testing.B) {
+		b.ReportMetric(float64(ix.Stats().TotalBytes), "storage-bytes")
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			ix.Distance(p[0], p[1])
+		}
+	})
+	b.Run("DistanceOracle", func(b *testing.B) {
+		b.ReportMetric(float64(or.SizeBytes()), "storage-bytes")
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			or.Distance(p[0], p[1])
+		}
+	})
+}
+
+// BenchmarkF1StorageGrowth measures SILC build cost and block counts as the
+// network grows (paper p.16; block counts follow n^1.5).
+func BenchmarkF1StorageGrowth(b *testing.B) {
+	for _, rc := range []int{16, 24, 32, 48} {
+		b.Run(fmt.Sprintf("lattice=%dx%d", rc, rc), func(b *testing.B) {
+			var blocks int64
+			var vertices int
+			for i := 0; i < b.N; i++ {
+				g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{Rows: rc, Cols: rc, Seed: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ix, err := core.Build(g, core.BuildOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocks = ix.Stats().TotalBlocks
+				vertices = g.NumVertices()
+			}
+			b.ReportMetric(float64(blocks), "morton-blocks")
+			b.ReportMetric(float64(blocks)/float64(vertices), "blocks/vertex")
+		})
+	}
+}
+
+// BenchmarkF2DijkstraVsSILCPath compares point-to-point path retrieval:
+// Dijkstra and A* settle large fractions of the network, SILC touches only
+// path vertices (paper pp.3/7).
+func BenchmarkF2DijkstraVsSILCPath(b *testing.B) {
+	e := sharedEnv(b)
+	rng := rand.New(rand.NewSource(9))
+	n := e.G.NumVertices()
+	pairs := make([][2]graph.VertexID, 128)
+	for i := range pairs {
+		pairs[i] = [2]graph.VertexID{
+			graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)),
+		}
+	}
+	b.Run("Dijkstra", func(b *testing.B) {
+		settled := 0
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			settled = sssp.ShortestPath(e.G, p[0], p[1]).Settled
+		}
+		b.ReportMetric(float64(settled), "vertices-settled")
+	})
+	b.Run("AStar", func(b *testing.B) {
+		settled := 0
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			settled = sssp.AStar(e.G, p[0], p[1]).Settled
+		}
+		b.ReportMetric(float64(settled), "vertices-settled")
+	})
+	b.Run("SILC", func(b *testing.B) {
+		hops := 0
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			hops = len(e.Ix.Path(p[0], p[1])) - 1
+		}
+		b.ReportMetric(float64(hops), "vertices-settled")
+	})
+}
+
+// sweepBench runs one (fraction, k) evaluation point for one algorithm,
+// reporting the figure metrics. Workloads are regenerated per iteration
+// exactly as in the paper's methodology.
+func sweepBench(b *testing.B, algo bench.Algorithm, fraction float64, k int) {
+	e := sharedEnv(b)
+	rng := rand.New(rand.NewSource(77))
+	type workload struct {
+		objs *knn.Objects
+		q    graph.VertexID
+	}
+	queries := make([]workload, 32)
+	for i := range queries {
+		queries[i] = workload{objs: e.ObjectSet(fraction, rng), q: e.Query(rng)}
+	}
+	e.Ix.Tracker().SetScope(algo.Baseline)
+	var agg struct {
+		refinements, maxQueue, ioMisses float64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := queries[i%len(queries)]
+		res := algo.Run(e.Ix, w.objs, w.q, k)
+		agg.refinements += float64(res.Stats.Refinements)
+		agg.maxQueue += float64(res.Stats.MaxQueue)
+		agg.ioMisses += float64(res.Stats.IO.Misses)
+	}
+	n := float64(b.N)
+	b.ReportMetric(agg.refinements/n, "refinements/query")
+	b.ReportMetric(agg.maxQueue/n, "max-queue")
+	b.ReportMetric(agg.ioMisses/n, "page-misses/query")
+}
+
+// BenchmarkF3ExecTimeVaryS is the paper's p.33 left panel: k=10, |S|/N in
+// {0.001, 0.01, 0.05, 0.2}, all six algorithms. The same runs provide the
+// queue-size (F4), refinement (F5), and I/O (F8) series via the reported
+// metrics.
+func BenchmarkF3ExecTimeVaryS(b *testing.B) {
+	for _, f := range []float64{0.001, 0.01, 0.05, 0.2} {
+		for _, algo := range bench.Algorithms() {
+			algo := algo
+			b.Run(fmt.Sprintf("S=%gN/%s", f, algo.Name), func(b *testing.B) {
+				sweepBench(b, algo, f, 10)
+			})
+		}
+	}
+}
+
+// BenchmarkF3ExecTimeVaryK is the paper's p.33 right panel: |S| = 0.07N,
+// k in {5, 10, 50, 100, 300}.
+func BenchmarkF3ExecTimeVaryK(b *testing.B) {
+	for _, k := range []int{5, 10, 50, 100, 300} {
+		for _, algo := range bench.Algorithms() {
+			algo := algo
+			b.Run(fmt.Sprintf("k=%d/%s", k, algo.Name), func(b *testing.B) {
+				sweepBench(b, algo, 0.07, k)
+			})
+		}
+	}
+}
+
+// BenchmarkF4QueueSize isolates the queue-size comparison of fig. p.34 at
+// the paper's headline point (k=10, |S|=0.07N): the kNN family's Dk pruning
+// versus INN.
+func BenchmarkF4QueueSize(b *testing.B) {
+	for _, algo := range bench.SILCVariants() {
+		algo := algo
+		b.Run(algo.Name, func(b *testing.B) { sweepBench(b, algo, 0.07, 10) })
+	}
+}
+
+// BenchmarkF5Refinements isolates the refinement comparison of fig. p.35:
+// kNN-M's KMINDIST shortcut saves the ordering refinements.
+func BenchmarkF5Refinements(b *testing.B) {
+	for _, algo := range bench.SILCVariants() {
+		algo := algo
+		b.Run(algo.Name, func(b *testing.B) { sweepBench(b, algo, 0.05, 10) })
+	}
+}
+
+// BenchmarkF6KMinDistPruning measures the share of kNN-M results accepted
+// directly against KMINDIST (fig. p.36).
+func BenchmarkF6KMinDistPruning(b *testing.B) {
+	e := sharedEnv(b)
+	rng := rand.New(rand.NewSource(3))
+	e.Ix.Tracker().SetScope(false)
+	accepts, total := 0.0, 0.0
+	k := 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		objs := e.ObjectSet(0.07, rng)
+		res := knn.Search(e.Ix, objs, e.Query(rng), k, knn.VariantKNNM)
+		accepts += float64(res.Stats.KMinDistAccepts)
+		total += float64(len(res.Neighbors))
+	}
+	if total > 0 {
+		b.ReportMetric(100*accepts/total, "kmindist-accept-%")
+	}
+}
+
+// BenchmarkF7EstimateQuality measures D0k and KMINDIST relative to the true
+// Dk (fig. p.37).
+func BenchmarkF7EstimateQuality(b *testing.B) {
+	e := sharedEnv(b)
+	rng := rand.New(rand.NewSource(4))
+	e.Ix.Tracker().SetScope(false)
+	var d0kRatio, kminRatio, count float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		objs := e.ObjectSet(0.07, rng)
+		res := knn.Search(e.Ix, objs, e.Query(rng), 10, knn.VariantKNN)
+		s := res.Stats
+		if s.D0k > 0 && s.DkFinal > 0 {
+			d0kRatio += s.D0k / s.DkFinal
+			kminRatio += s.KMinDist0 / s.DkFinal
+			count++
+		}
+	}
+	if count > 0 {
+		b.ReportMetric(100*d0kRatio/count, "D0k/Dk-%")
+		b.ReportMetric(100*kminRatio/count, "KMINDIST/Dk-%")
+	}
+}
+
+// BenchmarkF8IOTime measures the modeled I/O of the SILC family on the
+// paged store with the 5% LRU pool (fig. p.38).
+func BenchmarkF8IOTime(b *testing.B) {
+	for _, algo := range bench.SILCVariants() {
+		algo := algo
+		b.Run(algo.Name, func(b *testing.B) {
+			e := sharedEnv(b)
+			rng := rand.New(rand.NewSource(5))
+			e.Ix.Tracker().SetScope(false)
+			var ioNanos float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				objs := e.ObjectSet(0.07, rng)
+				res := algo.Run(e.Ix, objs, e.Query(rng), 10)
+				ioNanos += float64(res.Stats.IOTime.Nanoseconds())
+			}
+			b.ReportMetric(ioNanos/float64(b.N)/1e6, "modeled-io-ms/query")
+		})
+	}
+}
+
+// BenchmarkIndexBuild measures the one-time precomputation cost.
+func BenchmarkIndexBuild(b *testing.B) {
+	g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{Rows: 32, Cols: 32, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(g, core.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIERAStar quantifies how much of IER's cost is the
+// unguided per-candidate Dijkstra by swapping in A* (ablation; the paper
+// uses Dijkstra).
+func BenchmarkAblationIERAStar(b *testing.B) {
+	for _, algo := range []bench.Algorithm{
+		{Name: "IER-Dijkstra", Baseline: true, Run: knn.IER},
+		bench.IERAStarAlgorithm(),
+	} {
+		algo := algo
+		b.Run(algo.Name, func(b *testing.B) { sweepBench(b, algo, 0.05, 10) })
+	}
+}
+
+// BenchmarkAblationCacheSize sweeps the LRU pool fraction, showing the I/O
+// sensitivity the paper's 5% setting sits on.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for _, fraction := range []float64{0.01, 0.05, 0.25, 1.0} {
+		b.Run(fmt.Sprintf("cache=%g", fraction), func(b *testing.B) {
+			g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{
+				Rows: 48, Cols: 48, Seed: 8, WeightNoise: 0.1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix, err := core.Build(g, core.BuildOptions{DiskResident: true, CacheFraction: fraction})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(10))
+			n := g.NumVertices()
+			perm := rng.Perm(n)
+			vs := make([]graph.VertexID, n/20)
+			for i := range vs {
+				vs[i] = graph.VertexID(perm[i])
+			}
+			objs := knn.NewObjects(g, vs)
+			var misses float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := knn.Search(ix, objs, graph.VertexID(rng.Intn(n)), 10, knn.VariantKNN)
+				misses += float64(res.Stats.IO.Misses)
+			}
+			b.ReportMetric(misses/float64(b.N), "page-misses/query")
+		})
+	}
+}
+
+// BenchmarkBrowser measures incremental browsing cost per additional
+// neighbor (the library's headline cursor API).
+func BenchmarkBrowser(b *testing.B) {
+	e := sharedEnv(b)
+	rng := rand.New(rand.NewSource(11))
+	objs := e.ObjectSet(0.05, rng)
+	e.Ix.Tracker().SetScope(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		browser := knn.NewBrowser(e.Ix, objs, e.Query(rng))
+		for j := 0; j < 10; j++ {
+			if _, ok := browser.Next(); !ok {
+				break
+			}
+		}
+	}
+}

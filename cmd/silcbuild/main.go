@@ -1,0 +1,78 @@
+// Command silcbuild builds a SILC index over a network and reports its
+// storage statistics (the paper's O(N√N) Morton-block accounting).
+//
+// Usage:
+//
+//	silcbuild -net network.txt
+//	silcbuild -rows 96 -cols 96 -seed 2008   # generate, then build
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"silc"
+)
+
+func main() {
+	var (
+		netFile  = flag.String("net", "", "network file (generated if empty)")
+		rows     = flag.Int("rows", 64, "generated lattice rows")
+		cols     = flag.Int("cols", 64, "generated lattice cols")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		parallel = flag.Int("p", 0, "build workers (0 = all CPUs)")
+		out      = flag.String("o", "", "write the built index to this file")
+	)
+	flag.Parse()
+
+	net, err := loadOrGenerate(*netFile, *rows, *cols, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silcbuild:", err)
+		os.Exit(1)
+	}
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{Parallelism: *parallel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silcbuild:", err)
+		os.Exit(1)
+	}
+	s := ix.Stats()
+	n := float64(s.Vertices)
+	fmt.Printf("vertices:        %d\n", s.Vertices)
+	fmt.Printf("directed edges:  %d\n", s.Edges)
+	fmt.Printf("morton blocks:   %d\n", s.TotalBlocks)
+	fmt.Printf("blocks/vertex:   %.1f (min %d, max %d)\n", s.BlocksPerVertex(), s.MinBlocks, s.MaxBlocks)
+	fmt.Printf("c in c*n^1.5:    %.2f\n", float64(s.TotalBlocks)/(n*math.Sqrt(n)))
+	fmt.Printf("encoded size:    %.2f MiB\n", float64(s.TotalBytes)/(1<<20))
+	fmt.Printf("build time:      %v\n", s.BuildTime)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silcbuild:", err)
+			os.Exit(1)
+		}
+		written, err := ix.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silcbuild:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("index written:   %s (%.2f MiB)\n", *out, float64(written)/(1<<20))
+	}
+}
+
+func loadOrGenerate(file string, rows, cols int, seed int64) (*silc.Network, error) {
+	if file == "" {
+		return silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: rows, Cols: cols, Seed: seed})
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return silc.LoadNetwork(f)
+}

@@ -1,0 +1,160 @@
+// Command silcquery answers network-distance queries over a SILC index:
+// k-nearest-neighbor search, exact distances, shortest paths, and
+// progressive-refinement traces.
+//
+// Usage:
+//
+//	silcquery -rows 48 -cols 48 -mode knn -q 17 -k 5 -objects 0.05 -method KNN
+//	silcquery -net network.txt -mode dist -q 17 -dest 423
+//	silcquery -net network.txt -mode path -q 17 -dest 423
+//	silcquery -net network.txt -mode refine -q 17 -dest 423
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"silc"
+)
+
+func main() {
+	var (
+		netFile = flag.String("net", "", "network file (generated if empty)")
+		idxFile = flag.String("index", "", "prebuilt index file from silcbuild -o (built fresh if empty)")
+		rows    = flag.Int("rows", 48, "generated lattice rows")
+		cols    = flag.Int("cols", 48, "generated lattice cols")
+		seed    = flag.Int64("seed", 1, "generator / workload seed")
+		mode    = flag.String("mode", "knn", "query mode: knn, dist, path, refine")
+		q       = flag.Int("q", 0, "query vertex")
+		dest    = flag.Int("dest", 1, "destination vertex (dist, path, refine)")
+		k       = flag.Int("k", 5, "neighbor count (knn)")
+		objFrac = flag.Float64("objects", 0.05, "object fraction of N (knn)")
+		method  = flag.String("method", "KNN", "algorithm: KNN, INN, KNN-I, KNN-M, INE, IER")
+	)
+	flag.Parse()
+
+	net, err := loadOrGenerate(*netFile, *rows, *cols, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *q < 0 || *q >= net.NumVertices() || *dest < 0 || *dest >= net.NumVertices() {
+		fail(fmt.Errorf("vertex out of range [0,%d)", net.NumVertices()))
+	}
+	var ix *silc.Index
+	if *idxFile != "" {
+		f, err := os.Open(*idxFile)
+		if err != nil {
+			fail(err)
+		}
+		ix, err = silc.LoadIndex(f, net, silc.BuildOptions{})
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else if ix, err = silc.BuildIndex(net, silc.BuildOptions{}); err != nil {
+		fail(err)
+	}
+	src, dst := silc.VertexID(*q), silc.VertexID(*dest)
+
+	switch *mode {
+	case "knn":
+		runKNN(net, ix, src, *k, *objFrac, *method, *seed)
+	case "dist":
+		iv := ix.DistanceInterval(src, dst)
+		fmt.Printf("interval (no refinement): [%.6f, %.6f]\n", iv.Lo, iv.Hi)
+		fmt.Printf("exact network distance:   %.6f\n", ix.Distance(src, dst))
+		fmt.Printf("euclidean distance:       %.6f\n", net.Euclid(src, dst))
+	case "path":
+		path := ix.ShortestPath(src, dst)
+		fmt.Printf("shortest path, %d hops:\n", len(path)-1)
+		for _, v := range path {
+			p := net.Point(v)
+			fmt.Printf("  %6d  (%.4f, %.4f)\n", v, p.X, p.Y)
+		}
+	case "refine":
+		r := ix.NewRefiner(src, dst)
+		iv := r.Interval()
+		fmt.Printf("step %2d: [%.6f, %.6f] width %.6f\n", 0, iv.Lo, iv.Hi, iv.Hi-iv.Lo)
+		for !r.Done() {
+			r.Step()
+			iv = r.Interval()
+			via, acc := r.Via()
+			fmt.Printf("step %2d: [%.6f, %.6f] width %.6f  via %d at exact %.6f\n",
+				r.Steps(), iv.Lo, iv.Hi, iv.Hi-iv.Lo, via, acc)
+		}
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func runKNN(net *silc.Network, ix *silc.Index, q silc.VertexID, k int, frac float64, methodName string, seed int64) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	m := int(frac * float64(net.NumVertices()))
+	if m < 1 {
+		m = 1
+	}
+	perm := rng.Perm(net.NumVertices())
+	vertices := make([]silc.VertexID, m)
+	for i := 0; i < m; i++ {
+		vertices[i] = silc.VertexID(perm[i])
+	}
+	objs := silc.NewObjectSet(net, vertices)
+
+	method, err := parseMethod(methodName)
+	if err != nil {
+		fail(err)
+	}
+	res := ix.Query(objs, q, k, method)
+	fmt.Printf("%s: %d neighbors of vertex %d over |S|=%d (sorted=%v)\n",
+		method, len(res.Neighbors), q, objs.Len(), res.Sorted)
+	for i, n := range res.Neighbors {
+		marker := "~"
+		if n.Exact {
+			marker = "="
+		}
+		fmt.Printf("  %2d. object %4d at vertex %6d  dist %s %.6f  [%.6f, %.6f]\n",
+			i+1, n.ID, n.Vertex, marker, n.Dist, n.Interval.Lo, n.Interval.Hi)
+	}
+	s := res.Stats
+	fmt.Printf("stats: maxQueue=%d refinements=%d lookups=%d settled=%d cpu=%v\n",
+		s.MaxQueue, s.Refinements, s.Lookups, s.Settled, s.CPUTime)
+}
+
+func parseMethod(s string) (silc.Method, error) {
+	switch strings.ToUpper(s) {
+	case "KNN":
+		return silc.MethodKNN, nil
+	case "INN":
+		return silc.MethodINN, nil
+	case "KNN-I", "KNNI":
+		return silc.MethodKNNI, nil
+	case "KNN-M", "KNNM":
+		return silc.MethodKNNM, nil
+	case "INE":
+		return silc.MethodINE, nil
+	case "IER":
+		return silc.MethodIER, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func loadOrGenerate(file string, rows, cols int, seed int64) (*silc.Network, error) {
+	if file == "" {
+		return silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: rows, Cols: cols, Seed: seed})
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return silc.LoadNetwork(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "silcquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Distance browsing: the paper's headline capability. A cursor streams
+// objects in increasing network distance, paying only incremental cost per
+// additional neighbor — the pattern behind "show me more results" in a
+// mapping service. The example also traces progressive refinement, the
+// mechanism that lets the cursor rank objects without computing exact
+// distances it never needs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"silc"
+)
+
+func main() {
+	net, err := silc.GenerateRoadNetwork(silc.RoadNetworkOptions{
+		Rows: 40, Cols: 40, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	restaurants := make([]silc.VertexID, 60)
+	for i := range restaurants {
+		restaurants[i] = silc.VertexID(rng.Intn(net.NumVertices()))
+	}
+	objs := silc.NewObjectSet(net, restaurants)
+	q := silc.VertexID(rng.Intn(net.NumVertices()))
+
+	// Page 1: the first five restaurants.
+	fmt.Printf("browsing restaurants from intersection %d:\n", q)
+	cursor := ix.Browse(objs, q)
+	for i := 0; i < 5; i++ {
+		n, ok := cursor.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("  %2d. restaurant #%2d  %.4f away\n", i+1, n.ID, n.Dist)
+	}
+
+	// The user clicks "more": the cursor continues where it stopped —
+	// no recomputation of the first page.
+	fmt.Println("  --- more ---")
+	for i := 5; i < 10; i++ {
+		n, ok := cursor.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("  %2d. restaurant #%2d  %.4f away\n", i+1, n.ID, n.Dist)
+	}
+
+	// Under the hood: progressive refinement. Watch an interval tighten
+	// hop by hop until exact.
+	dest := restaurants[0]
+	fmt.Printf("\nprogressive refinement of distance(%d, %d):\n", q, dest)
+	r := ix.NewRefiner(q, dest)
+	iv := r.Interval()
+	fmt.Printf("  lookup:  [%.4f, %.4f]  width %.4f\n", iv.Lo, iv.Hi, iv.Hi-iv.Lo)
+	for !r.Done() {
+		r.Step()
+		iv = r.Interval()
+		if r.Steps()%5 == 0 || r.Done() {
+			fmt.Printf("  step %2d: [%.4f, %.4f]  width %.4f\n",
+				r.Steps(), iv.Lo, iv.Hi, iv.Hi-iv.Lo)
+		}
+	}
+	fmt.Printf("exact after %d refinements: %.4f\n", r.Steps(), iv.Lo)
+
+	// Distance comparison without exact distances: most comparisons
+	// resolve after a handful of refinements.
+	a, b := restaurants[1], restaurants[2]
+	fmt.Printf("\nis #1 closer than #2 from %d? %v (exact: %.4f vs %.4f)\n",
+		q, ix.IsCloser(q, a, b), ix.Distance(q, a), ix.Distance(q, b))
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a network, precompute the SILC index, and answer
+// network-distance queries — nearest neighbors, exact distances, and
+// shortest paths — without any graph search at query time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"silc"
+)
+
+func main() {
+	// 1. A synthetic road network: a perturbed lattice with holes and
+	// shortcuts, edge costs = road length with traffic noise.
+	net, err := silc.GenerateRoadNetwork(silc.RoadNetworkOptions{
+		Rows: 48, Cols: 48, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d intersections, %d road segments\n",
+		net.NumVertices(), net.NumEdges()/2)
+
+	// 2. Precompute the SILC index: one shortest-path quadtree per vertex.
+	// This is the one-time cost that every later query amortizes.
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := ix.Stats()
+	fmt.Printf("index:   %d Morton blocks (%.1f per vertex, %.2f MiB) in %v\n\n",
+		s.TotalBlocks, s.BlocksPerVertex(), float64(s.TotalBytes)/(1<<20), s.BuildTime)
+
+	// 3. Scatter some points of interest (say, coffee shops) and a query
+	// location. Object sets are independent of the index: swap them freely.
+	rng := rand.New(rand.NewSource(42))
+	shops := make([]silc.VertexID, 30)
+	for i := range shops {
+		shops[i] = silc.VertexID(rng.Intn(net.NumVertices()))
+	}
+	objs := silc.NewObjectSet(net, shops)
+	home := silc.VertexID(rng.Intn(net.NumVertices()))
+
+	// 4. The five nearest shops by driving distance, exact.
+	res := ix.NearestNeighbors(objs, home, 5)
+	fmt.Printf("5 nearest shops to intersection %d (by network distance):\n", home)
+	for i, n := range res.Neighbors {
+		fmt.Printf("  %d. shop #%d at intersection %d — %.4f network, %.4f straight-line\n",
+			i+1, n.ID, n.Vertex, n.Dist, net.Euclid(home, n.Vertex))
+	}
+	fmt.Printf("query cost: %d interval lookups, %d refinements, %v CPU\n\n",
+		res.Stats.Lookups, res.Stats.Refinements, res.Stats.CPUTime)
+
+	// 5. Exact distance and turn-by-turn path to the winner.
+	best := res.Neighbors[0].Vertex
+	fmt.Printf("distance home -> shop: %.4f\n", ix.Distance(home, best))
+	path := ix.ShortestPath(home, best)
+	fmt.Printf("route (%d hops): %v\n", len(path)-1, path)
+}

@@ -1,0 +1,206 @@
+package silc
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"silc/internal/core"
+)
+
+// BuildOptions configures BuildIndex.
+type BuildOptions struct {
+	// Parallelism sets the number of build workers (0 = all CPUs). The
+	// build runs one Dijkstra per vertex, parallelized over sources.
+	Parallelism int
+	// DiskResident attaches the paged-storage model: queries then report
+	// buffer-pool traffic and modeled I/O time, reproducing the paper's
+	// disk-resident evaluation setting.
+	DiskResident bool
+	// CacheFraction sizes the LRU buffer pool as a fraction of total pages
+	// (default 0.05, the paper's setting). Used only when DiskResident.
+	CacheFraction float64
+	// MissLatency is the modeled cost of one page miss (default 5ms).
+	MissLatency time.Duration
+	// ProximityRadius, when positive, bounds each vertex's quadtree to the
+	// vertices within that network distance — the paper's location-based-
+	// services approximation. It cuts build time and storage sharply for
+	// local-search workloads; queries beyond the radius report Distance
+	// +Inf, ShortestPath nil, and the interval [radius, +Inf), and
+	// NearestNeighbors returns only in-range neighbors (possibly fewer
+	// than k).
+	ProximityRadius float64
+}
+
+// BuildStats summarizes a completed index build.
+type BuildStats = core.BuildStats
+
+// Interval is a closed network-distance interval guaranteed to contain the
+// exact network distance.
+type Interval = core.Interval
+
+// Index is a SILC index over one network: per-vertex shortest-path quadtrees
+// supporting interval-based distance queries, progressive refinement, exact
+// distances, and path retrieval. An Index is safe for concurrent readers
+// unless built DiskResident (the buffer-pool statistics are per-index
+// mutable state).
+type Index struct {
+	net *Network
+	ix  *core.Index
+}
+
+// BuildIndex precomputes the SILC index for net. The network must be
+// strongly connected (use the generators, or validate custom networks).
+func BuildIndex(net *Network, opts BuildOptions) (*Index, error) {
+	if net == nil {
+		return nil, errors.New("silc: nil network")
+	}
+	ix, err := core.Build(net.g, core.BuildOptions{
+		Parallelism:     opts.Parallelism,
+		DiskResident:    opts.DiskResident,
+		CacheFraction:   opts.CacheFraction,
+		MissLatency:     opts.MissLatency,
+		ProximityRadius: opts.ProximityRadius,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{net: net, ix: ix}, nil
+}
+
+// Radius returns the proximity bound the index was built with (0 when
+// unbounded).
+func (ix *Index) Radius() float64 { return ix.ix.Radius() }
+
+// WriteTo serializes the index in the binary index format (16 bytes per
+// Morton block plus a CRC-32 trailer), so the one-time precomputation can be
+// reused across processes. The network is serialized separately with
+// Network.Write; LoadIndex rebinds the two.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.ix.WriteTo(w) }
+
+// LoadIndex deserializes an index produced by WriteTo and binds it to net,
+// which must be the network it was built from (structural mismatches and
+// corruption are rejected).
+func LoadIndex(r io.Reader, net *Network, opts BuildOptions) (*Index, error) {
+	if net == nil {
+		return nil, errors.New("silc: nil network")
+	}
+	ix, err := core.Load(r, net.g, core.BuildOptions{
+		Parallelism:   opts.Parallelism,
+		DiskResident:  opts.DiskResident,
+		CacheFraction: opts.CacheFraction,
+		MissLatency:   opts.MissLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{net: net, ix: ix}, nil
+}
+
+// Network returns the indexed network.
+func (ix *Index) Network() *Network { return ix.net }
+
+// Stats returns build statistics (vertices, Morton blocks, bytes, times).
+func (ix *Index) Stats() BuildStats { return ix.ix.Stats() }
+
+// Distance returns the exact network distance from u to v by full
+// progressive refinement (at most path-length block lookups).
+func (ix *Index) Distance(u, v VertexID) float64 { return ix.ix.Distance(u, v) }
+
+// DistanceInterval returns the zero-refinement network-distance interval
+// between u and v: a single quadtree lookup, no graph access.
+func (ix *Index) DistanceInterval(u, v VertexID) Interval { return ix.ix.DistanceInterval(u, v) }
+
+// ShortestPath retrieves the exact shortest path from u to v, inclusive of
+// both endpoints, one quadtree lookup per hop.
+func (ix *Index) ShortestPath(u, v VertexID) []VertexID { return ix.ix.Path(u, v) }
+
+// NextHop returns the first vertex after u on the shortest path toward v.
+func (ix *Index) NextHop(u, v VertexID) VertexID { return ix.ix.NextHop(u, v) }
+
+// IsCloser reports whether u is strictly closer to a than to b by network
+// distance, refining both intervals only as far as the comparison requires —
+// the paper's "is Munich closer to Mainz than to Bremen?" primitive.
+// On a proximity-bounded index two out-of-range destinations compare as
+// not-closer (both are beyond the radius).
+func (ix *Index) IsCloser(u, a, b VertexID) bool {
+	ra := ix.ix.NewRefiner(u, a)
+	rb := ix.ix.NewRefiner(u, b)
+	for {
+		ia, ib := ra.Interval(), rb.Interval()
+		if ia.Hi < ib.Lo {
+			return true
+		}
+		if ib.Hi <= ia.Lo {
+			return false
+		}
+		// Intervals collide: refine the wider one first; a stuck refiner
+		// (exact, or out of range) cedes to the other.
+		aStuck := ra.Done() || ra.OutOfRange()
+		bStuck := rb.Done() || rb.OutOfRange()
+		switch {
+		case aStuck && bStuck:
+			return ia.Lo < ib.Lo
+		case aStuck:
+			rb.Step()
+		case bStuck:
+			ra.Step()
+		case ia.Hi-ia.Lo >= ib.Hi-ib.Lo:
+			ra.Step()
+		default:
+			rb.Step()
+		}
+	}
+}
+
+// Refiner exposes progressive refinement directly: each Step tightens the
+// distance interval by one hop of the underlying shortest path.
+type Refiner struct {
+	r *core.Refiner
+}
+
+// NewRefiner starts progressive refinement for the pair (src, dst).
+func (ix *Index) NewRefiner(src, dst VertexID) *Refiner {
+	return &Refiner{r: ix.ix.NewRefiner(src, dst)}
+}
+
+// Interval returns the current distance interval.
+func (r *Refiner) Interval() Interval { return r.r.Interval() }
+
+// Step refines once; it returns false when the interval is exact or the
+// destination is out of a proximity-bounded index's range.
+func (r *Refiner) Step() bool { return r.r.Step() }
+
+// Done reports whether the interval is exact.
+func (r *Refiner) Done() bool { return r.r.Done() }
+
+// Steps returns the number of refinements performed.
+func (r *Refiner) Steps() int { return r.r.Steps() }
+
+// Via returns the last committed intermediate vertex and the exact distance
+// from the source to it.
+func (r *Refiner) Via() (VertexID, float64) { return r.r.Via() }
+
+// OutOfRange reports whether the destination lies beyond a
+// proximity-bounded index's radius; the interval is then [radius, +Inf) and
+// cannot improve.
+func (r *Refiner) OutOfRange() bool { return r.r.OutOfRange() }
+
+// IOStats reports buffer-pool traffic accumulated by a DiskResident index
+// (zeros otherwise).
+type IOStats struct {
+	PageHits   int64
+	PageMisses int64
+	// ModeledIOTime is PageMisses times the configured miss latency.
+	ModeledIOTime time.Duration
+}
+
+// IOStats returns cumulative buffer-pool statistics.
+func (ix *Index) IOStats() IOStats {
+	t := ix.ix.Tracker()
+	s := t.Stats()
+	return IOStats{PageHits: s.Hits, PageMisses: s.Misses, ModeledIOTime: t.ModeledIOTime()}
+}
+
+// ResetIOStats zeroes the buffer-pool counters, keeping cache contents warm.
+func (ix *Index) ResetIOStats() { ix.ix.Tracker().ResetStats() }

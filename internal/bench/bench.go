@@ -1,0 +1,308 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md §4 for the index). It
+// provides the default experiment environment (a synthetic road network with
+// a disk-resident SILC index and a 5% LRU buffer pool, standing in for the
+// paper's US eastern-seaboard extract), workload generators, per-algorithm
+// aggregation, and plain-text table rendering used by cmd/experiments and
+// the package-level benchmarks.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"silc/internal/core"
+	"silc/internal/graph"
+	"silc/internal/knn"
+)
+
+// Env is one experiment environment: a network plus its SILC index.
+type Env struct {
+	G  *graph.Network
+	Ix *core.Index
+}
+
+// DefaultRows/DefaultCols size the default experiment lattice (~15k vertices
+// after deletions; the paper's network has 91k — shapes, not absolute
+// numbers, are the reproduction target). The size is chosen so the paper's
+// smallest object fraction, |S| = 0.001N, still exceeds k = 10.
+const (
+	DefaultRows = 128
+	DefaultCols = 128
+	DefaultSeed = 2008 // the paper's year; any seed works
+)
+
+// NewEnv builds an environment on a rows x cols lattice. diskResident
+// attaches the paged-storage model with the paper's 5% LRU buffer pool.
+//
+// The evaluation network uses mild weight noise (travel cost close to road
+// length, as in the paper's TIGER-derived network): interval tightness — and
+// with it the refinement counts the figures measure — is a property of the
+// weights, and wildly noisy weights belong in correctness tests, not in the
+// evaluation substrate.
+func NewEnv(rows, cols int, seed int64, diskResident bool) (*Env, error) {
+	g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{
+		Rows: rows, Cols: cols, Seed: seed,
+		WeightNoise: 0.1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.Build(g, core.BuildOptions{
+		DiskResident:  diskResident,
+		CacheFraction: 0.05,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{G: g, Ix: ix}, nil
+}
+
+// DefaultEnv builds the standard evaluation environment.
+func DefaultEnv() (*Env, error) {
+	return NewEnv(DefaultRows, DefaultCols, DefaultSeed, true)
+}
+
+// ObjectSet draws round(fraction*N) distinct random vertices as S (the
+// paper's "object distribution |S| as a fraction of N").
+func (e *Env) ObjectSet(fraction float64, rng *rand.Rand) *knn.Objects {
+	n := e.G.NumVertices()
+	m := int(math.Round(fraction * float64(n)))
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	perm := rng.Perm(n)
+	vs := make([]graph.VertexID, m)
+	for i := 0; i < m; i++ {
+		vs[i] = graph.VertexID(perm[i])
+	}
+	return knn.NewObjects(e.G, vs)
+}
+
+// Query draws a random query vertex.
+func (e *Env) Query(rng *rand.Rand) graph.VertexID {
+	return graph.VertexID(rng.Intn(e.G.NumVertices()))
+}
+
+// Algorithm is a named kNN algorithm. Baseline marks the graph-expansion
+// comparators whose disk-resident database is the network alone.
+type Algorithm struct {
+	Name     string
+	Baseline bool
+	Run      func(*core.Index, *knn.Objects, graph.VertexID, int) knn.Result
+}
+
+// Algorithms returns the full comparison set in the paper's order.
+func Algorithms() []Algorithm {
+	algos := []Algorithm{
+		{Name: "INE", Baseline: true, Run: knn.INE},
+		{Name: "IER", Baseline: true, Run: knn.IER},
+	}
+	for _, v := range knn.Variants {
+		v := v
+		algos = append(algos, Algorithm{
+			Name: v.String(),
+			Run: func(ix *core.Index, o *knn.Objects, q graph.VertexID, k int) knn.Result {
+				return knn.Search(ix, o, q, k, v)
+			},
+		})
+	}
+	return algos
+}
+
+// IERAStarAlgorithm is the ablation variant of IER using A* instead of the
+// paper's per-candidate Dijkstra.
+func IERAStarAlgorithm() Algorithm {
+	return Algorithm{Name: "IER-A*", Baseline: true, Run: knn.IERAStar}
+}
+
+// SILCVariants returns only the SILC-driven family.
+func SILCVariants() []Algorithm {
+	return Algorithms()[2:]
+}
+
+// Agg aggregates query statistics for one algorithm at one sweep point.
+// All means are per query.
+type Agg struct {
+	Algorithm string
+	Queries   int
+
+	TotalTime time.Duration // CPU + modeled I/O
+	CPUTime   time.Duration
+	IOTime    time.Duration
+	PQTime    time.Duration
+
+	MaxQueue    float64
+	Refinements float64
+	Lookups     float64
+	KMinAccepts float64 // per query
+	LOps        float64
+	Settled     float64
+	IOAccesses  float64
+	IOMisses    float64
+
+	// Estimate-quality ratios, averaged over queries where defined.
+	D0kOverDk      float64
+	KMinDistOverDk float64
+	ratioCount     int
+
+	sumTotal, sumCPU, sumIO, sumPQ time.Duration
+}
+
+func (a *Agg) add(s knn.Stats) {
+	a.Queries++
+	a.sumCPU += s.CPU
+	a.sumIO += s.IOTime
+	a.sumPQ += s.PQTime
+	a.sumTotal += s.CPU + s.IOTime
+	a.MaxQueue += float64(s.MaxQueue)
+	a.Refinements += float64(s.Refinements)
+	a.Lookups += float64(s.Lookups)
+	a.KMinAccepts += float64(s.KMinDistAccepts)
+	a.LOps += float64(s.LOps)
+	a.Settled += float64(s.Settled)
+	a.IOAccesses += float64(s.IO.Accesses())
+	a.IOMisses += float64(s.IO.Misses)
+	if s.D0k > 0 && s.DkFinal > 0 {
+		a.D0kOverDk += s.D0k / s.DkFinal
+		a.KMinDistOverDk += s.KMinDist0 / s.DkFinal
+		a.ratioCount++
+	}
+}
+
+func (a *Agg) finish() {
+	q := float64(a.Queries)
+	if a.Queries == 0 {
+		return
+	}
+	a.TotalTime = a.sumTotal / time.Duration(a.Queries)
+	a.CPUTime = a.sumCPU / time.Duration(a.Queries)
+	a.IOTime = a.sumIO / time.Duration(a.Queries)
+	a.PQTime = a.sumPQ / time.Duration(a.Queries)
+	a.MaxQueue /= q
+	a.Refinements /= q
+	a.Lookups /= q
+	a.KMinAccepts /= q
+	a.LOps /= q
+	a.Settled /= q
+	a.IOAccesses /= q
+	a.IOMisses /= q
+	if a.ratioCount > 0 {
+		a.D0kOverDk /= float64(a.ratioCount)
+		a.KMinDistOverDk /= float64(a.ratioCount)
+	}
+}
+
+// SweepSpec is one point of the evaluation sweeps: the paper varies either
+// the object fraction |S|/N at fixed k, or k at fixed |S| = 0.07N.
+type SweepSpec struct {
+	Label    string
+	Fraction float64
+	K        int
+}
+
+// VarySSpec reproduces the paper's |S| sweep at k=10.
+func VarySSpec() []SweepSpec {
+	out := []SweepSpec{}
+	for _, f := range []float64{0.001, 0.01, 0.05, 0.2} {
+		out = append(out, SweepSpec{Label: fmt.Sprintf("|S|=%gN", f), Fraction: f, K: 10})
+	}
+	return out
+}
+
+// VaryKSpec reproduces the paper's k sweep at |S| = 0.07N.
+func VaryKSpec() []SweepSpec {
+	out := []SweepSpec{}
+	for _, k := range []int{5, 10, 50, 100, 300} {
+		out = append(out, SweepSpec{Label: fmt.Sprintf("k=%d", k), Fraction: 0.07, K: k})
+	}
+	return out
+}
+
+// SweepPoint is the aggregated outcome of one spec across all algorithms.
+type SweepPoint struct {
+	Spec SweepSpec
+	Per  map[string]*Agg
+}
+
+// Sweep runs queriesPer random (object set, query) pairs per spec through
+// every algorithm, regenerating object sets per query as the paper does
+// ("each query run on at least 50 random input datasets of same size").
+//
+// Every algorithm replays the identical workload, and each algorithm's batch
+// starts from a cold buffer pool and warms its own cache across the batch —
+// running the algorithms interleaved on one pool would let later algorithms
+// ride the pages the first one faulted in.
+func (e *Env) Sweep(specs []SweepSpec, queriesPer int, algos []Algorithm, seed int64) []SweepPoint {
+	rng := rand.New(rand.NewSource(seed))
+	points := make([]SweepPoint, 0, len(specs))
+	for _, spec := range specs {
+		type workload struct {
+			objs *knn.Objects
+			q    graph.VertexID
+		}
+		queries := make([]workload, queriesPer)
+		for qi := range queries {
+			queries[qi] = workload{objs: e.ObjectSet(spec.Fraction, rng), q: e.Query(rng)}
+		}
+		pt := SweepPoint{Spec: spec, Per: make(map[string]*Agg, len(algos))}
+		for _, a := range algos {
+			agg := &Agg{Algorithm: a.Name}
+			pt.Per[a.Name] = agg
+			e.Ix.Tracker().SetScope(a.Baseline)
+			for _, w := range queries {
+				res := a.Run(e.Ix, w.objs, w.q, spec.K)
+				agg.add(res.Stats)
+			}
+			agg.finish()
+		}
+		points = append(points, pt)
+	}
+	return points
+}
+
+// FitLogLogSlope fits a least-squares line to (log x, log y) and returns its
+// slope — the storage-growth exponent of the paper's fig. p.16.
+func FitLogLogSlope(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("bench: need >= 2 points with equal lengths")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// SortedAlgorithmNames returns the map keys of a sweep point in the paper's
+// presentation order.
+func SortedAlgorithmNames(per map[string]*Agg) []string {
+	order := map[string]int{"INE": 0, "IER": 1, "INN": 2, "KNN-I": 3, "KNN": 4, "KNN-M": 5}
+	names := make([]string, 0, len(per))
+	for name := range per {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		if iok && jok {
+			return oi < oj
+		}
+		if iok != jok {
+			return iok
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

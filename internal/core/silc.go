@@ -1,0 +1,410 @@
+// Package core implements the SILC framework, the paper's primary
+// contribution: precomputed all-pairs shortest paths stored as one
+// shortest-path quadtree per source vertex, queried through network-distance
+// intervals that refine progressively toward exact distances and paths.
+//
+// Building runs one Dijkstra per vertex (parallelized over sources — the
+// paper: "easily parallelizable, data parallelism") and encodes each
+// shortest-path tree as colored Morton blocks carrying (λ⁻, λ⁺) ratio
+// bounds. A query never touches the graph again: a block lookup yields an
+// interval, one refinement advances one hop along the encoded path, and
+// full refinement reproduces the exact shortest path in size-of-path steps.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"silc/internal/diskio"
+	"silc/internal/geom"
+	"silc/internal/graph"
+	"silc/internal/quadtree"
+	"silc/internal/sssp"
+)
+
+// Interval is a closed network-distance interval [Lo, Hi] guaranteed to
+// contain the true network distance.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Exact reports whether the interval has collapsed to a point (within
+// floating-point noise).
+func (iv Interval) Exact() bool { return iv.Hi-iv.Lo <= exactEps*(1+iv.Hi) }
+
+// Intersects reports whether two intervals overlap — the paper's "collision"
+// test between candidate neighbors.
+func (iv Interval) Intersects(o Interval) bool { return iv.Lo <= o.Hi && o.Lo <= iv.Hi }
+
+// intersect tightens iv by o; both must contain the true value, so the
+// intersection is non-empty up to floating-point noise, which is clamped.
+func (iv Interval) intersect(o Interval) Interval {
+	out := Interval{Lo: math.Max(iv.Lo, o.Lo), Hi: math.Min(iv.Hi, o.Hi)}
+	if out.Lo > out.Hi {
+		mid := (out.Lo + out.Hi) / 2
+		out.Lo, out.Hi = mid, mid
+	}
+	return out
+}
+
+const exactEps = 1e-12
+
+// BuildOptions configures Build.
+type BuildOptions struct {
+	// Parallelism is the number of concurrent build workers; 0 means
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+	// DiskResident attaches a paged-storage tracker so queries report
+	// buffer-pool traffic and modeled I/O time.
+	DiskResident bool
+	// CacheFraction sizes the LRU pool as a fraction of total pages.
+	// Default 0.05, the paper's setting. Only used when DiskResident.
+	CacheFraction float64
+	// MissLatency is the modeled cost per page miss; default 5ms.
+	MissLatency time.Duration
+	// ProximityRadius, when positive, bounds each shortest-path quadtree to
+	// the vertices within that network distance of its source — the paper's
+	// location-based-services approximation ("shortest-path quadtree on
+	// proximal vertices only"). Queries between vertices farther apart than
+	// the radius report the interval [radius, +Inf) and cannot be refined;
+	// Distance returns +Inf and Path returns nil for them. Proximity-bounded
+	// builds accept disconnected networks (unreachable = out of range).
+	ProximityRadius float64
+}
+
+// BuildStats describes a completed build.
+type BuildStats struct {
+	Vertices    int
+	Edges       int
+	TotalBlocks int64 // Morton blocks across all vertices (the paper's unit)
+	TotalBytes  int64 // TotalBlocks * 16 in the disk layout
+	MinBlocks   int   // smallest per-vertex quadtree
+	MaxBlocks   int   // largest per-vertex quadtree
+	BuildTime   time.Duration
+}
+
+// BlocksPerVertex returns the mean quadtree size.
+func (s BuildStats) BlocksPerVertex() float64 {
+	if s.Vertices == 0 {
+		return 0
+	}
+	return float64(s.TotalBlocks) / float64(s.Vertices)
+}
+
+// Index is a SILC index over one spatial network.
+type Index struct {
+	g       *graph.Network
+	trees   []*quadtree.Tree // indexed by source vertex
+	tracker *diskio.Tracker
+	radius  float64 // 0 = unbounded
+	stats   BuildStats
+}
+
+// Build precomputes the SILC index for g. It returns an error if the network
+// is not strongly connected (every shortest-path quadtree must color every
+// vertex), unless a ProximityRadius bounds the build, in which case
+// unreachable vertices are simply out of range.
+func Build(g *graph.Network, opts BuildOptions) (*Index, error) {
+	start := time.Now()
+	n := g.NumVertices()
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	order := g.MortonOrder()
+	codes := make([]geom.Code, n)
+	for i, v := range order {
+		codes[i] = g.Code(v)
+	}
+	qb := quadtree.NewBuilder(codes) // read-only after construction; shared
+
+	trees := make([]*quadtree.Tree, n)
+	errs := make([]error, workers)
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := sssp.NewWorkspace(n)
+			colors := make([]int32, n)
+			ratios := make([]float64, n)
+			for {
+				mu.Lock()
+				src := next
+				next++
+				mu.Unlock()
+				if src >= int64(n) {
+					return
+				}
+				source := graph.VertexID(src)
+				tree := ws.Run(g, source)
+				for i, v := range order {
+					if v == source {
+						colors[i] = quadtree.NoColor
+						ratios[i] = 0
+						continue
+					}
+					if opts.ProximityRadius > 0 && tree.Dist[v] > opts.ProximityRadius {
+						colors[i] = quadtree.OutOfRange
+						ratios[i] = 0
+						continue
+					}
+					if math.IsInf(tree.Dist[v], 1) {
+						errs[w] = fmt.Errorf("core: vertex %d unreachable from %d; SILC requires a strongly connected network", v, source)
+						return
+					}
+					colors[i] = int32(g.NeighborIndex(source, tree.FirstHop[v]))
+					ratios[i] = tree.Dist[v] / g.Euclid(source, v)
+				}
+				trees[source] = qb.Build(colors, ratios)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ix := &Index{g: g, trees: trees, radius: opts.ProximityRadius}
+	ix.stats = BuildStats{
+		Vertices:  n,
+		Edges:     g.NumEdges(),
+		MinBlocks: math.MaxInt,
+		BuildTime: time.Since(start),
+	}
+	for _, t := range trees {
+		b := t.NumBlocks()
+		ix.stats.TotalBlocks += int64(b)
+		if b < ix.stats.MinBlocks {
+			ix.stats.MinBlocks = b
+		}
+		if b > ix.stats.MaxBlocks {
+			ix.stats.MaxBlocks = b
+		}
+	}
+	ix.stats.TotalBytes = ix.stats.TotalBlocks * quadtree.EncodedSizeBytes
+
+	if opts.DiskResident {
+		fraction := opts.CacheFraction
+		if fraction <= 0 {
+			fraction = 0.05
+		}
+		ix.attachTracker(fraction, opts.MissLatency)
+	}
+	return ix, nil
+}
+
+func (ix *Index) attachTracker(fraction float64, latency time.Duration) {
+	n := ix.g.NumVertices()
+	blockCounts := make([]int, n)
+	degrees := make([]int, n)
+	for v := 0; v < n; v++ {
+		blockCounts[v] = ix.trees[v].NumBlocks()
+		degrees[v] = ix.g.Degree(graph.VertexID(v))
+	}
+	ix.tracker = diskio.NewTracker(blockCounts, degrees, fraction, latency)
+}
+
+// Network returns the indexed network.
+func (ix *Index) Network() *graph.Network { return ix.g }
+
+// Stats returns the build statistics.
+func (ix *Index) Stats() BuildStats { return ix.stats }
+
+// Tracker returns the paged-storage tracker, or nil for in-memory indexes.
+func (ix *Index) Tracker() *diskio.Tracker { return ix.tracker }
+
+// Radius returns the proximity bound of the index (0 when unbounded).
+func (ix *Index) Radius() float64 { return ix.radius }
+
+// BlockCount returns the Morton block count of v's shortest-path quadtree.
+func (ix *Index) BlockCount(v graph.VertexID) int { return ix.trees[v].NumBlocks() }
+
+// lookup finds the block of tree[u] containing dst's cell and charges the
+// page access.
+func (ix *Index) lookup(u, dst graph.VertexID) (quadtree.Block, bool) {
+	t := ix.trees[u]
+	i, ok := t.FindIndex(ix.g.Code(dst))
+	if !ok {
+		return quadtree.Block{}, false
+	}
+	ix.tracker.TouchBlock(int(u), i)
+	return t.Blocks[i], true
+}
+
+// DistanceInterval returns the zero-refinement network-distance interval
+// between u and v: one block lookup in u's quadtree.
+func (ix *Index) DistanceInterval(u, v graph.VertexID) Interval {
+	if u == v {
+		return Interval{}
+	}
+	b, ok := ix.lookup(u, v)
+	if !ok {
+		return ix.missInterval(u, v)
+	}
+	e := ix.g.Euclid(u, v)
+	return Interval{Lo: float64(b.LamLo) * e, Hi: float64(b.LamHi) * e}
+}
+
+// missInterval handles a lookup miss: beyond the proximity radius the true
+// distance is known to exceed the radius; on an unbounded index a miss is a
+// corrupted-index bug.
+func (ix *Index) missInterval(u, v graph.VertexID) Interval {
+	if ix.radius > 0 {
+		return Interval{Lo: ix.radius, Hi: math.Inf(1)}
+	}
+	panic(fmt.Sprintf("core: vertex %d not covered by quadtree of %d", v, u))
+}
+
+// NextHop returns the first vertex after u on the shortest path u→v.
+// It returns graph.NoVertex when v lies beyond the proximity radius.
+func (ix *Index) NextHop(u, v graph.VertexID) graph.VertexID {
+	if u == v {
+		return v
+	}
+	b, ok := ix.lookup(u, v)
+	if !ok {
+		ix.missInterval(u, v) // panics when the index is unbounded
+		return graph.NoVertex
+	}
+	targets, _ := ix.g.Neighbors(u)
+	return targets[b.Color]
+}
+
+// Path retrieves the exact shortest path from u to v (inclusive), one block
+// lookup per hop — the paper's "entire shortest path in size-of-path steps".
+// It returns nil when v lies beyond the proximity radius.
+func (ix *Index) Path(u, v graph.VertexID) []graph.VertexID {
+	path := []graph.VertexID{u}
+	for cur := u; cur != v; {
+		cur = ix.NextHop(cur, v)
+		if cur == graph.NoVertex {
+			return nil
+		}
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Distance fully refines and returns the exact network distance.
+// It returns +Inf when v lies beyond the proximity radius.
+func (ix *Index) Distance(u, v graph.VertexID) float64 {
+	r := ix.NewRefiner(u, v)
+	for !r.Done() {
+		if !r.Step() {
+			break
+		}
+	}
+	if r.OutOfRange() {
+		return math.Inf(1)
+	}
+	return r.Interval().Lo
+}
+
+// RegionLowerBound returns a lower bound on the network distance from q to
+// any vertex inside rect, using q's quadtree only (no graph access). This is
+// the DISTANCE_INTERVAL(object, Region) primitive the kNN algorithm applies
+// to blocks of the object index.
+func (ix *Index) RegionLowerBound(q graph.VertexID, rect geom.Rect) float64 {
+	if rect.Contains(ix.g.Point(q)) {
+		return 0
+	}
+	return ix.trees[q].RegionLowerBound(ix.g.Point(q), rect)
+}
+
+// Refiner carries the progressive-refinement state for one (src, dst) pair:
+// the last committed intermediate vertex, the exact distance accumulated to
+// it, and the current interval. Each Step advances one hop (one block
+// lookup) and tightens the interval monotonically; after at most
+// path-length steps the interval is exact.
+type Refiner struct {
+	ix         *Index
+	src, dst   graph.VertexID
+	cur        graph.VertexID
+	acc        float64
+	color      int32 // color of the block containing dst in cur's quadtree
+	iv         Interval
+	steps      int
+	done       bool
+	outOfRange bool
+}
+
+// NewRefiner computes the zero-refinement interval and returns the
+// refinement cursor for the pair.
+func (ix *Index) NewRefiner(src, dst graph.VertexID) *Refiner {
+	r := &Refiner{ix: ix, src: src, dst: dst, cur: src}
+	if src == dst {
+		r.done = true
+		return r
+	}
+	b, ok := ix.lookup(src, dst)
+	if !ok {
+		r.iv = ix.missInterval(src, dst)
+		r.outOfRange = true
+		return r
+	}
+	e := ix.g.Euclid(src, dst)
+	r.color = b.Color
+	r.iv = Interval{Lo: float64(b.LamLo) * e, Hi: float64(b.LamHi) * e}
+	return r
+}
+
+// Interval returns the current network-distance interval.
+func (r *Refiner) Interval() Interval { return r.iv }
+
+// Done reports whether the interval is exact (destination reached).
+func (r *Refiner) Done() bool { return r.done }
+
+// OutOfRange reports whether the destination lies beyond the index's
+// proximity radius; the interval is then [radius, +Inf) and cannot improve.
+func (r *Refiner) OutOfRange() bool { return r.outOfRange }
+
+// Steps returns the number of refinement operations performed.
+func (r *Refiner) Steps() int { return r.steps }
+
+// Via returns the last committed intermediate vertex and the exact network
+// distance from the source to it — the paper's observation that SILC always
+// expresses the distance as exact-prefix + interval-suffix.
+func (r *Refiner) Via() (graph.VertexID, float64) { return r.cur, r.acc }
+
+// Step performs one refinement: advance one hop along the encoded shortest
+// path and tighten the interval. It returns false once the interval is
+// exact.
+func (r *Refiner) Step() bool {
+	if r.done || r.outOfRange {
+		return false
+	}
+	r.steps++
+	g := r.ix.g
+	targets, weights := g.Neighbors(r.cur)
+	next := targets[r.color]
+	r.acc += weights[r.color]
+	r.cur = next
+	if next == r.dst {
+		r.iv = r.iv.intersect(Interval{Lo: r.acc, Hi: r.acc})
+		r.done = true
+		return false
+	}
+	b, ok := r.ix.lookup(next, r.dst)
+	if !ok {
+		panic(fmt.Sprintf("core: vertex %d not covered by quadtree of %d", r.dst, next))
+	}
+	r.color = b.Color
+	e := g.Euclid(next, r.dst)
+	r.iv = r.iv.intersect(Interval{
+		Lo: r.acc + float64(b.LamLo)*e,
+		Hi: r.acc + float64(b.LamHi)*e,
+	})
+	return true
+}

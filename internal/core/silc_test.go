@@ -1,0 +1,373 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"silc/internal/geom"
+	"silc/internal/graph"
+	"silc/internal/sssp"
+)
+
+func buildIndex(t testing.TB, g *graph.Network) *Index {
+	t.Helper()
+	ix, err := Build(g, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func roadNet(t testing.TB, rows, cols int, seed int64) *graph.Network {
+	t.Helper()
+	g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{Rows: rows, Cols: cols, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testPairs yields a deterministic sample of vertex pairs.
+func testPairs(g *graph.Network, count int, seed int64) [][2]graph.VertexID {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	pairs := make([][2]graph.VertexID, count)
+	for i := range pairs {
+		pairs[i] = [2]graph.VertexID{
+			graph.VertexID(rng.Intn(n)),
+			graph.VertexID(rng.Intn(n)),
+		}
+	}
+	return pairs
+}
+
+func TestIntervalContainsTrueDistanceAllPairs(t *testing.T) {
+	// Exhaustive containment check on a small network: the zero-refinement
+	// interval must contain the Dijkstra distance for every pair.
+	g := roadNet(t, 7, 7, 1)
+	ix := buildIndex(t, g)
+	for s := 0; s < g.NumVertices(); s++ {
+		tree := sssp.Dijkstra(g, graph.VertexID(s))
+		for v := 0; v < g.NumVertices(); v++ {
+			iv := ix.DistanceInterval(graph.VertexID(s), graph.VertexID(v))
+			d := tree.Dist[v]
+			if s == v {
+				if iv.Lo != 0 || iv.Hi != 0 {
+					t.Fatalf("self interval = %+v", iv)
+				}
+				continue
+			}
+			if iv.Lo > d+1e-9 || iv.Hi < d-1e-9 {
+				t.Fatalf("interval [%v,%v] misses true %v for (%d,%d)", iv.Lo, iv.Hi, d, s, v)
+			}
+			if iv.Lo < 0 {
+				t.Fatalf("negative lower bound %v", iv.Lo)
+			}
+		}
+	}
+}
+
+func TestRefinementMonotoneAndConvergesToExact(t *testing.T) {
+	g := roadNet(t, 9, 9, 2)
+	ix := buildIndex(t, g)
+	for _, pair := range testPairs(g, 120, 3) {
+		s, d := pair[0], pair[1]
+		truth := sssp.ShortestPath(g, s, d)
+		r := ix.NewRefiner(s, d)
+		prev := r.Interval()
+		if s == d {
+			if !r.Done() {
+				t.Fatal("refiner for identical pair not done")
+			}
+			continue
+		}
+		steps := 0
+		for !r.Done() {
+			r.Step()
+			cur := r.Interval()
+			if cur.Lo < prev.Lo-1e-9 || cur.Hi > prev.Hi+1e-9 {
+				t.Fatalf("interval widened: %+v -> %+v", prev, cur)
+			}
+			if cur.Lo > truth.Dist+1e-9 || cur.Hi < truth.Dist-1e-9 {
+				t.Fatalf("interval [%v,%v] lost true distance %v", cur.Lo, cur.Hi, truth.Dist)
+			}
+			prev = cur
+			steps++
+			if steps > g.NumVertices() {
+				t.Fatal("refinement did not terminate")
+			}
+		}
+		// Convergence in at most path-hop-count steps.
+		if hops := len(truth.Path) - 1; steps > hops {
+			t.Fatalf("took %d refinements for a %d-hop path", steps, hops)
+		}
+		final := r.Interval()
+		if math.Abs(final.Lo-truth.Dist) > 1e-9 || !final.Exact() {
+			t.Fatalf("final interval %+v, true %v", final, truth.Dist)
+		}
+		if r.Steps() != steps {
+			t.Fatalf("Steps()=%d counted %d", r.Steps(), steps)
+		}
+	}
+}
+
+func TestViaExposesExactPrefix(t *testing.T) {
+	g := roadNet(t, 8, 8, 5)
+	ix := buildIndex(t, g)
+	for _, pair := range testPairs(g, 40, 7) {
+		s, d := pair[0], pair[1]
+		if s == d {
+			continue
+		}
+		r := ix.NewRefiner(s, d)
+		for !r.Done() {
+			r.Step()
+			via, acc := r.Via()
+			want := sssp.ShortestPath(g, s, via)
+			// acc must be an exact distance to the intermediate vertex.
+			if via != s && math.Abs(acc-want.Dist) > 1e-9 {
+				t.Fatalf("Via prefix %v to %d, Dijkstra says %v", acc, via, want.Dist)
+			}
+		}
+	}
+}
+
+func TestDistanceMatchesDijkstra(t *testing.T) {
+	g := roadNet(t, 9, 9, 4)
+	ix := buildIndex(t, g)
+	for _, pair := range testPairs(g, 150, 11) {
+		s, d := pair[0], pair[1]
+		want := sssp.ShortestPath(g, s, d).Dist
+		if s == d {
+			want = 0
+		}
+		if got := ix.Distance(s, d); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Distance(%d,%d)=%v want %v", s, d, got, want)
+		}
+	}
+}
+
+func TestPathIsShortestAndValid(t *testing.T) {
+	g := roadNet(t, 9, 9, 6)
+	ix := buildIndex(t, g)
+	for _, pair := range testPairs(g, 100, 13) {
+		s, d := pair[0], pair[1]
+		path := ix.Path(s, d)
+		if path[0] != s || path[len(path)-1] != d {
+			t.Fatalf("path endpoints %v", path)
+		}
+		want := sssp.ShortestPath(g, s, d).Dist
+		if s == d {
+			if len(path) != 1 {
+				t.Fatalf("self path = %v", path)
+			}
+			continue
+		}
+		got := sssp.PathWeight(g, path)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("path weight %v want %v", got, want)
+		}
+	}
+}
+
+func TestNextHopAgreesWithSomeShortestPath(t *testing.T) {
+	g := roadNet(t, 8, 8, 8)
+	ix := buildIndex(t, g)
+	for _, pair := range testPairs(g, 80, 17) {
+		s, d := pair[0], pair[1]
+		if s == d {
+			if ix.NextHop(s, d) != d {
+				t.Fatal("NextHop(self) != self")
+			}
+			continue
+		}
+		hop := ix.NextHop(s, d)
+		w, ok := g.EdgeWeight(s, hop)
+		if !ok {
+			t.Fatalf("NextHop %d not adjacent to %d", hop, s)
+		}
+		// Optimal substructure: w + d(hop, dst) == d(s, dst).
+		dHop := sssp.ShortestPath(g, hop, d).Dist
+		if hop == d {
+			dHop = 0
+		}
+		dFull := sssp.ShortestPath(g, s, d).Dist
+		if math.Abs(w+dHop-dFull) > 1e-9 {
+			t.Fatalf("NextHop %d is not on a shortest path: %v + %v != %v", hop, w, dHop, dFull)
+		}
+	}
+}
+
+func TestBuildRejectsDisconnected(t *testing.T) {
+	b := graph.NewBuilder()
+	u := b.AddVertex(geom.Point{X: 0.1, Y: 0.1})
+	v := b.AddVertex(geom.Point{X: 0.2, Y: 0.1})
+	b.AddBiEdge(u, v, 1)
+	b.AddVertex(geom.Point{X: 0.9, Y: 0.9}) // isolated
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, BuildOptions{}); err == nil {
+		t.Fatal("expected error for disconnected network")
+	}
+}
+
+func TestBuildStats(t *testing.T) {
+	g := roadNet(t, 10, 10, 9)
+	ix := buildIndex(t, g)
+	s := ix.Stats()
+	if s.Vertices != g.NumVertices() || s.Edges != g.NumEdges() {
+		t.Fatalf("stats shape %+v", s)
+	}
+	var total int64
+	for v := 0; v < g.NumVertices(); v++ {
+		b := ix.BlockCount(graph.VertexID(v))
+		total += int64(b)
+		if b < s.MinBlocks || b > s.MaxBlocks {
+			t.Fatalf("block count %d outside [%d,%d]", b, s.MinBlocks, s.MaxBlocks)
+		}
+	}
+	if total != s.TotalBlocks {
+		t.Fatalf("TotalBlocks %d, summed %d", s.TotalBlocks, total)
+	}
+	if s.TotalBytes != total*16 {
+		t.Fatalf("TotalBytes = %d", s.TotalBytes)
+	}
+	if s.BlocksPerVertex() <= 0 {
+		t.Fatal("BlocksPerVertex should be positive")
+	}
+	if s.BuildTime <= 0 {
+		t.Fatal("BuildTime not recorded")
+	}
+}
+
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	g := roadNet(t, 8, 8, 10)
+	serial, err := Build(g, BuildOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Build(g, BuildOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats().TotalBlocks != parallel.Stats().TotalBlocks {
+		t.Fatalf("block totals differ: %d vs %d",
+			serial.Stats().TotalBlocks, parallel.Stats().TotalBlocks)
+	}
+	for _, pair := range testPairs(g, 50, 23) {
+		a := serial.DistanceInterval(pair[0], pair[1])
+		b := parallel.DistanceInterval(pair[0], pair[1])
+		if a != b {
+			t.Fatalf("intervals differ for %v: %+v vs %+v", pair, a, b)
+		}
+	}
+}
+
+func TestRegionLowerBoundValidAgainstDijkstra(t *testing.T) {
+	g := roadNet(t, 8, 8, 12)
+	ix := buildIndex(t, g)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		q := graph.VertexID(rng.Intn(g.NumVertices()))
+		tree := sssp.Dijkstra(g, q)
+		x1, x2 := rng.Float64(), rng.Float64()
+		y1, y2 := rng.Float64(), rng.Float64()
+		rect := geom.Rect{
+			MinX: math.Min(x1, x2), MaxX: math.Max(x1, x2),
+			MinY: math.Min(y1, y2), MaxY: math.Max(y1, y2),
+		}
+		bound := ix.RegionLowerBound(q, rect)
+		for v := 0; v < g.NumVertices(); v++ {
+			if !rect.Contains(g.Point(graph.VertexID(v))) || graph.VertexID(v) == q {
+				continue
+			}
+			if bound > tree.Dist[v]+1e-9 {
+				t.Fatalf("bound %v exceeds dist(%d)=%v", bound, v, tree.Dist[v])
+			}
+		}
+		if rect.Contains(g.Point(q)) && bound != 0 {
+			t.Fatalf("rect containing q must bound 0, got %v", bound)
+		}
+	}
+}
+
+func TestDiskResidentTracksIO(t *testing.T) {
+	g := roadNet(t, 8, 8, 14)
+	ix, err := Build(g, BuildOptions{DiskResident: true, CacheFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ix.Tracker()
+	if tr == nil {
+		t.Fatal("tracker missing")
+	}
+	before := tr.Stats().Accesses()
+	ix.Distance(0, graph.VertexID(g.NumVertices()-1))
+	after := tr.Stats().Accesses()
+	if after <= before {
+		t.Fatal("Distance produced no page accesses")
+	}
+	if tr.ModeledIOTime() < 0 {
+		t.Fatal("negative modeled IO time")
+	}
+	// In-memory index must have no tracker.
+	mem := buildIndex(t, g)
+	if mem.Tracker() != nil {
+		t.Fatal("in-memory index should have nil tracker")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	a := Interval{Lo: 1, Hi: 3}
+	b := Interval{Lo: 2.5, Hi: 4}
+	c := Interval{Lo: 3.5, Hi: 5}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("a,b should collide")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a,c should not collide")
+	}
+	if (Interval{Lo: 2, Hi: 2}).Exact() != true {
+		t.Fatal("point interval should be exact")
+	}
+	if a.Exact() {
+		t.Fatal("wide interval should not be exact")
+	}
+	got := a.intersect(b)
+	if got.Lo != 2.5 || got.Hi != 3 {
+		t.Fatalf("intersect = %+v", got)
+	}
+	// Disjoint-by-noise intervals clamp to a point rather than inverting.
+	clamped := Interval{Lo: 1, Hi: 2}.intersect(Interval{Lo: 2 + 1e-15, Hi: 3})
+	if clamped.Lo > clamped.Hi {
+		t.Fatalf("inverted interval %+v", clamped)
+	}
+}
+
+func TestRandomTopologies(t *testing.T) {
+	// SILC must stay correct on non-planar random graphs (compression is
+	// what degrades, not correctness).
+	for seed := int64(0); seed < 3; seed++ {
+		g, err := graph.GenerateRandomConnected(60, 60, 0.5, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := buildIndex(t, g)
+		oracle := sssp.FloydWarshall(g)
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 60; trial++ {
+			s := graph.VertexID(rng.Intn(g.NumVertices()))
+			d := graph.VertexID(rng.Intn(g.NumVertices()))
+			want := oracle[s][d]
+			if s == d {
+				want = 0
+			}
+			if got := ix.Distance(s, d); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d: Distance(%d,%d)=%v want %v", seed, s, d, got, want)
+			}
+		}
+	}
+}

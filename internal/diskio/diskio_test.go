@@ -1,0 +1,208 @@
+package diskio
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(2)
+	if c.Touch(1) {
+		t.Fatal("first touch should miss")
+	}
+	if !c.Touch(1) {
+		t.Fatal("second touch should hit")
+	}
+	c.Touch(2) // miss; pool now {1,2}
+	if !c.Touch(1) || !c.Touch(2) {
+		t.Fatal("both pages should be resident")
+	}
+	c.Touch(3) // evicts LRU = 1
+	if c.Touch(1) {
+		t.Fatal("page 1 should have been evicted")
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if c.Len() != 2 || c.Capacity() != 2 {
+		t.Fatalf("len/capacity = %d/%d", c.Len(), c.Capacity())
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(3)
+	c.Touch(1)
+	c.Touch(2)
+	c.Touch(3)
+	c.Touch(1) // 1 becomes MRU; LRU order now 2,3,1
+	c.Touch(4) // evicts 2; residents {3,1,4}
+	if !c.Touch(3) || !c.Touch(1) || !c.Touch(4) {
+		t.Fatal("3, 1, 4 should all be resident")
+	}
+	if c.Touch(2) {
+		t.Fatal("2 should have been evicted")
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0)
+	if c.Capacity() != 1 {
+		t.Fatalf("capacity = %d", c.Capacity())
+	}
+	c.Touch(1)
+	c.Touch(2)
+	if c.Touch(1) {
+		t.Fatal("capacity-1 cache should evict on every new page")
+	}
+}
+
+func TestCacheClearAndResetStats(t *testing.T) {
+	c := NewCache(4)
+	c.Touch(1)
+	c.Touch(1)
+	c.ResetStats()
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	if !c.Touch(1) {
+		t.Fatal("page should still be resident after ResetStats")
+	}
+	c.Clear()
+	if c.Touch(1) {
+		t.Fatal("page should be gone after Clear")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestStatsModeledIOTime(t *testing.T) {
+	s := Stats{Hits: 10, Misses: 3}
+	if got := s.ModeledIOTime(5 * time.Millisecond); got != 15*time.Millisecond {
+		t.Fatalf("ModeledIOTime = %v", got)
+	}
+	if s.Accesses() != 13 {
+		t.Fatalf("Accesses = %d", s.Accesses())
+	}
+	var sum Stats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.Hits != 20 || sum.Misses != 6 {
+		t.Fatalf("Add = %+v", sum)
+	}
+}
+
+func TestLayoutPaging(t *testing.T) {
+	// Three owners with 10, 0, 300 entries of 16 bytes on 4096-byte pages
+	// (256 entries per page).
+	l := NewLayout([]int{10, 0, 300}, 16, 4096)
+	if l.TotalPages() != 2 {
+		t.Fatalf("TotalPages = %d", l.TotalPages())
+	}
+	if got := l.Page(0, 0); got != 0 {
+		t.Fatalf("Page(0,0) = %d", got)
+	}
+	if got := l.Page(2, 0); got != 0 { // entry 10 of the global array
+		t.Fatalf("Page(2,0) = %d", got)
+	}
+	if got := l.Page(2, 250); got != 1 { // entry 260 crosses into page 1
+		t.Fatalf("Page(2,250) = %d", got)
+	}
+	first, last, ok := l.OwnerPages(2)
+	if !ok || first != 0 || last != 1 {
+		t.Fatalf("OwnerPages(2) = %d,%d,%v", first, last, ok)
+	}
+	if _, _, ok := l.OwnerPages(1); ok {
+		t.Fatal("owner 1 has no entries")
+	}
+}
+
+func TestLayoutEmpty(t *testing.T) {
+	l := NewLayout([]int{0, 0}, 16, 4096)
+	if l.TotalPages() != 0 {
+		t.Fatalf("TotalPages = %d", l.TotalPages())
+	}
+}
+
+func TestLayoutPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLayout([]int{1}, 100, 50)
+}
+
+func TestTrackerDisjointSpacesAndNil(t *testing.T) {
+	tr := NewTracker([]int{300, 300}, []int{4, 4}, 1.0, time.Millisecond)
+	tr.TouchBlock(0, 0)
+	tr.TouchAdjacency(0)
+	tr.TouchAdjacency(1)
+	s := tr.Stats()
+	// Block page 0 and adjacency page (shared by both tiny lists) are
+	// distinct pages: 2 misses, 1 hit.
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := tr.ModeledIOTime(); got != 2*time.Millisecond {
+		t.Fatalf("ModeledIOTime = %v", got)
+	}
+	// 600 block entries at 256/page = 3 pages, plus one adjacency page
+	// (8 edges at 48B fit one page).
+	if tr.TotalPages() != 4 {
+		t.Fatalf("TotalPages = %d", tr.TotalPages())
+	}
+
+	var nilTracker *Tracker
+	nilTracker.TouchBlock(0, 0)
+	nilTracker.TouchAdjacency(0)
+	nilTracker.ResetStats()
+	if s := nilTracker.Stats(); s != (Stats{}) {
+		t.Fatalf("nil tracker stats = %+v", s)
+	}
+	if nilTracker.ModeledIOTime() != 0 || nilTracker.TotalPages() != 0 {
+		t.Fatal("nil tracker should report zeros")
+	}
+}
+
+func TestTrackerCacheFraction(t *testing.T) {
+	// 1000 blocks of 16B = 4 pages; 1000 adjacency entries of 48B = 12
+	// pages (85/page). 50% fraction => capacity 8.
+	tr := NewTracker([]int{1000}, []int{1000}, 0.5, 0)
+	if tr.cache.Capacity() != 8 {
+		t.Fatalf("capacity = %d", tr.cache.Capacity())
+	}
+	if tr.missLatency != DefaultMissLatency {
+		t.Fatalf("missLatency = %v", tr.missLatency)
+	}
+}
+
+func TestTrackerSetScope(t *testing.T) {
+	// 100k block entries (16B) = 391 pages; 10k adjacency entries (48B,
+	// 85/page) = 118 pages. Full scope at 10% => 50 pages; network-only
+	// scope => 11 pages.
+	tr := NewTracker([]int{100000}, []int{10000}, 0.1, 0)
+	if got := tr.cache.Capacity(); got != 50 {
+		t.Fatalf("full-scope capacity = %d", got)
+	}
+	tr.TouchBlock(0, 0)
+	tr.SetScope(true)
+	if got := tr.cache.Capacity(); got != 11 {
+		t.Fatalf("network-scope capacity = %d", got)
+	}
+	if s := tr.Stats(); s.Accesses() != 0 {
+		t.Fatalf("SetScope must start cold: %+v", s)
+	}
+	tr.SetScope(false)
+	if got := tr.cache.Capacity(); got != 50 {
+		t.Fatalf("restored capacity = %d", got)
+	}
+	// Nil tracker: no-ops.
+	var nilTracker *Tracker
+	nilTracker.SetScope(true)
+	nilTracker.ClearCache()
+	if nilTracker.MissLatency() != DefaultMissLatency {
+		t.Fatal("nil tracker MissLatency")
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"silc/internal/geom"
+)
+
+// The network text format is line oriented:
+//
+//	# comments and blank lines are ignored
+//	silc-network 1
+//	<numVertices> <numDirectedEdges>
+//	<x> <y>            one line per vertex, unit-square coordinates
+//	<from> <to> <w>    one line per directed edge
+//
+// The format is self-describing enough for interchange with the cmd tools
+// and small enough to diff in tests.
+
+const formatMagic = "silc-network"
+const formatVersion = 1
+
+// Write serializes g in the network text format.
+func Write(w io.Writer, g *Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %d\n", formatMagic, formatVersion)
+	fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		p := g.Point(VertexID(v))
+		fmt.Fprintf(bw, "%.17g %.17g\n", p.X, p.Y)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		targets, weights := g.Neighbors(VertexID(v))
+		for i := range targets {
+			fmt.Fprintf(bw, "%d %d %.17g\n", v, targets[i], weights[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a network in the text format and validates it through Builder.
+func Read(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, nil
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	var version int
+	if _, err := fmt.Sscanf(header, formatMagic+" %d", &version); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %w", header, err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("graph: unsupported format version %d", version)
+	}
+
+	counts, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading counts: %w", err)
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(counts, "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad counts %q: %w", counts, err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative counts %d %d", n, m)
+	}
+
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading vertex %d: %w", i, err)
+		}
+		var p geom.Point
+		if _, err := fmt.Sscanf(line, "%g %g", &p.X, &p.Y); err != nil {
+			return nil, fmt.Errorf("graph: bad vertex line %q: %w", line, err)
+		}
+		b.AddVertex(p)
+	}
+	for i := 0; i < m; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		var from, to int
+		var w float64
+		if _, err := fmt.Sscanf(line, "%d %d %g", &from, &to, &w); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
+		}
+		b.AddEdge(VertexID(from), VertexID(to), w)
+	}
+	return b.Build()
+}

@@ -1,0 +1,90 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"silc/internal/graph"
+)
+
+func TestIERAStarMatchesIER(t *testing.T) {
+	// The A* ablation must return identical results to the paper-faithful
+	// Dijkstra-based IER while settling fewer vertices.
+	h := roadHarness(t, 12, 12, 71)
+	rng := rand.New(rand.NewSource(3))
+	totalDij, totalAst := 0, 0
+	for trial := 0; trial < 15; trial++ {
+		objs := h.randomObjects(rng.Intn(50)+5, rng)
+		q := graph.VertexID(rng.Intn(h.g.NumVertices()))
+		k := rng.Intn(6) + 1
+		a := IER(h.ix, objs, q, k)
+		b := IERAStar(h.ix, objs, q, k)
+		if len(a.Neighbors) != len(b.Neighbors) {
+			t.Fatalf("result sizes differ: %d vs %d", len(a.Neighbors), len(b.Neighbors))
+		}
+		for i := range a.Neighbors {
+			if math.Abs(a.Neighbors[i].Dist-b.Neighbors[i].Dist) > distTol {
+				t.Fatalf("rank %d: %v vs %v", i, a.Neighbors[i].Dist, b.Neighbors[i].Dist)
+			}
+		}
+		totalDij += a.Stats.Settled
+		totalAst += b.Stats.Settled
+		if b.Stats.Algorithm != "IER-A*" {
+			t.Fatalf("algorithm label %q", b.Stats.Algorithm)
+		}
+	}
+	if totalAst >= totalDij {
+		t.Fatalf("A* settled %d vs Dijkstra %d; heuristic not focusing", totalAst, totalDij)
+	}
+}
+
+func TestINEDegenerateSingleObject(t *testing.T) {
+	h := roadHarness(t, 6, 6, 72)
+	objs := NewObjects(h.g, []graph.VertexID{5})
+	res := INE(h.ix, objs, 5, 1)
+	if len(res.Neighbors) != 1 || res.Neighbors[0].Dist != 0 {
+		t.Fatalf("INE self-object: %+v", res.Neighbors)
+	}
+	// k exceeding |S| with INE must expand the whole reachable network and
+	// still terminate with one object.
+	res = INE(h.ix, objs, 0, 4)
+	if len(res.Neighbors) != 1 {
+		t.Fatalf("INE k>|S|: %d neighbors", len(res.Neighbors))
+	}
+	if res.Stats.Settled != h.g.NumVertices() {
+		t.Fatalf("INE should have exhausted the network: settled %d of %d",
+			res.Stats.Settled, h.g.NumVertices())
+	}
+}
+
+func TestSearchResultDistancesHelper(t *testing.T) {
+	h := roadHarness(t, 6, 6, 73)
+	rng := rand.New(rand.NewSource(5))
+	objs := h.randomObjects(10, rng)
+	res := Search(h.ix, objs, 0, 3, VariantKNN)
+	d := res.Distances()
+	if len(d) != len(res.Neighbors) {
+		t.Fatal("Distances length mismatch")
+	}
+	for i := range d {
+		if d[i] != res.Neighbors[i].Dist {
+			t.Fatal("Distances content mismatch")
+		}
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	want := map[Variant]string{
+		VariantKNN: "KNN", VariantINN: "INN", VariantKNNI: "KNN-I",
+		VariantKNNM: "KNN-M", Variant(99): "unknown",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Fatalf("%d.String() = %q want %q", v, v.String(), s)
+		}
+	}
+	if len(Variants) != 4 {
+		t.Fatalf("Variants = %v", Variants)
+	}
+}

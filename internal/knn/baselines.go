@@ -1,0 +1,193 @@
+package knn
+
+import (
+	"sort"
+
+	"silc/internal/core"
+	"silc/internal/graph"
+	"silc/internal/pqueue"
+)
+
+// INE is the "incremental network expansion" baseline of Papadias et al.:
+// Dijkstra from the query vertex over the disk-resident network, collecting
+// objects at settled vertices into a buffer of the k best, halting once the
+// expansion frontier passes the kth-best distance. Its cost scales with the
+// number of edges closer than the kth neighbor.
+func INE(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
+	io := beginIO(ix)
+	g := ix.Network()
+	tracker := ix.Tracker()
+	stats := Stats{Algorithm: "INE", K: k}
+
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	settled := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	var frontier pqueue.Min[graph.VertexID]
+	best := pqueue.NewIndexedMax[Neighbor]() // k best objects by network distance
+
+	if k > 0 && objs.Len() > 0 {
+		dist[q] = 0
+		frontier.Push(0, q)
+	}
+	for frontier.Len() > 0 {
+		d, v := frontier.Pop()
+		if settled[v] || d > dist[v] {
+			continue
+		}
+		if best.Len() == k && d > best.TopKey() {
+			break // every remaining vertex is farther than the kth neighbor
+		}
+		settled[v] = true
+		stats.Settled++
+		for _, id := range objs.AtVertex(v) {
+			nb := Neighbor{
+				Object:   objs.ByID(id),
+				Interval: core.Interval{Lo: d, Hi: d},
+				Dist:     d,
+				Exact:    true,
+			}
+			if best.Len() < k {
+				best.Push(d, nb)
+			} else if d < best.TopKey() {
+				best.Pop()
+				best.Push(d, nb)
+			}
+		}
+		tracker.TouchAdjacency(int(v))
+		targets, weights := g.Neighbors(v)
+		for i, t := range targets {
+			stats.Relaxed++
+			if nd := d + weights[i]; nd < dist[t] {
+				dist[t] = nd
+				frontier.Push(nd, t)
+			}
+		}
+		if frontier.Len() > stats.MaxQueue {
+			stats.MaxQueue = frontier.Len()
+		}
+	}
+
+	res := Result{Neighbors: drainAscending(best), Sorted: true, Stats: stats}
+	if n := len(res.Neighbors); n > 0 {
+		res.Stats.DkFinal = res.Neighbors[n-1].Dist
+	}
+	io.finish(&res.Stats)
+	return res
+}
+
+// IER is the "incremental Euclidean restriction" baseline: objects stream in
+// Euclidean-distance order from the PMR quadtree; each candidate's network
+// distance is computed with a point-to-point Dijkstra (as in the paper);
+// the stream stops once the next Euclidean distance exceeds the kth-best
+// network distance, which is sound because network distance dominates
+// Euclidean distance.
+func IER(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
+	return ier(ix, objs, q, k, false, "IER")
+}
+
+// IERAStar is IER with the per-candidate Dijkstra replaced by A* under the
+// admissible Euclidean heuristic — an ablation showing how much of IER's
+// cost is the unguided per-candidate search.
+func IERAStar(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
+	return ier(ix, objs, q, k, true, "IER-A*")
+}
+
+func ier(ix *core.Index, objs *Objects, q graph.VertexID, k int, astar bool, name string) Result {
+	io := beginIO(ix)
+	g := ix.Network()
+	stats := Stats{Algorithm: name, K: k}
+
+	best := pqueue.NewIndexedMax[Neighbor]()
+	if k > 0 {
+		cursor := objs.Tree().EuclideanBrowser(g.Point(q))
+		for {
+			o, eucl, ok := cursor.Next()
+			if !ok {
+				break
+			}
+			if best.Len() == k && eucl >= best.TopKey() {
+				break
+			}
+			d := ierNetworkDistance(ix, q, o.Vertex, astar, &stats)
+			nb := Neighbor{
+				Object:   o,
+				Interval: core.Interval{Lo: d, Hi: d},
+				Dist:     d,
+				Exact:    true,
+			}
+			if best.Len() < k {
+				best.Push(d, nb)
+			} else if d < best.TopKey() {
+				best.Pop()
+				best.Push(d, nb)
+			}
+		}
+	}
+
+	res := Result{Neighbors: drainAscending(best), Sorted: true, Stats: stats}
+	if n := len(res.Neighbors); n > 0 {
+		res.Stats.DkFinal = res.Neighbors[n-1].Dist
+	}
+	io.finish(&res.Stats)
+	return res
+}
+
+// ierNetworkDistance runs a point-to-point search on the paged network,
+// charging adjacency-page accesses to the index's tracker.
+func ierNetworkDistance(ix *core.Index, s, t graph.VertexID, astar bool, stats *Stats) float64 {
+	stats.AStarCalls++
+	if s == t {
+		return 0
+	}
+	g := ix.Network()
+	tracker := ix.Tracker()
+	target := g.Point(t)
+	h := func(v graph.VertexID) float64 {
+		if !astar {
+			return 0
+		}
+		return g.Point(v).Dist(target)
+	}
+
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	settled := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	var open pqueue.Min[graph.VertexID]
+	dist[s] = 0
+	open.Push(h(s), s)
+	for open.Len() > 0 {
+		_, v := open.Pop()
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		stats.Settled++
+		if v == t {
+			return dist[t]
+		}
+		tracker.TouchAdjacency(int(v))
+		d := dist[v]
+		targets, weights := g.Neighbors(v)
+		for i, u := range targets {
+			stats.Relaxed++
+			if nd := d + weights[i]; nd < dist[u] {
+				dist[u] = nd
+				open.Push(nd+h(u), u)
+			}
+		}
+	}
+	return inf
+}
+
+// drainAscending empties a max-heap of neighbors into ascending order.
+func drainAscending(best *pqueue.Indexed[Neighbor]) []Neighbor {
+	out := best.Items()
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out
+}

@@ -1,0 +1,435 @@
+package knn
+
+import (
+	"sort"
+	"time"
+
+	"silc/internal/core"
+	"silc/internal/graph"
+	"silc/internal/pmr"
+	"silc/internal/pqueue"
+)
+
+// Variant selects one member of the SILC best-first kNN family.
+type Variant int
+
+const (
+	// VariantKNN is the paper's non-incremental best-first algorithm: a
+	// queue Q of blocks and objects ordered by interval lower bound δ⁻, a
+	// result list L of the k best upper bounds δ⁺ defining the pruning
+	// distance Dk, interval-collision tests against the top of Q, and
+	// on-demand refinement.
+	VariantKNN Variant = iota
+	// VariantINN is the incremental variant: no L, no Dk pruning; neighbors
+	// stream out in distance order as their intervals separate.
+	VariantINN
+	// VariantKNNI estimates D⁰k from the upper bounds of the first k
+	// objects discovered and uses that static bound to filter every later
+	// enqueue, avoiding further manipulation of L.
+	VariantKNNI
+	// VariantKNNM additionally accepts an object outright when its upper
+	// bound drops below KMINDIST, the lower bound of the object currently
+	// defining Dk — skipping the refinements that only establish a total
+	// order. Its output is therefore unsorted.
+	//
+	// The KMINDIST shortcut is the paper's heuristic: it treats the Dk
+	// object's lower bound as a lower bound on the true kth-neighbor
+	// distance, which holds when intervals are tight and path-coherent (the
+	// paper's road networks) but can over-accept a boundary object on
+	// adversarial topologies with wildly uneven interval widths. The
+	// guarantee kNN-M always provides: k objects, each with true distance
+	// at most D⁰k, the first-k upper-bound estimate.
+	VariantKNNM
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantKNN:
+		return "KNN"
+	case VariantINN:
+		return "INN"
+	case VariantKNNI:
+		return "KNN-I"
+	case VariantKNNM:
+		return "KNN-M"
+	default:
+		return "unknown"
+	}
+}
+
+// Variants lists the family in the paper's order.
+var Variants = []Variant{VariantINN, VariantKNNI, VariantKNN, VariantKNNM}
+
+// Search runs the selected kNN variant from query vertex q.
+func Search(ix *core.Index, objs *Objects, q graph.VertexID, k int, variant Variant) Result {
+	io := beginIO(ix)
+	e := newEngine(ix, objs, q, k, variant)
+	e.run()
+	res := e.result()
+	io.finish(&res.Stats)
+	return res
+}
+
+type qelem struct {
+	node *pmr.Node // non-nil: an object-index block
+	obj  int32     // object id when node == nil
+	seq  uint32    // object freshness stamp (lazy deletion)
+}
+
+type objState struct {
+	id       int32
+	refiner  *core.Refiner
+	iv       core.Interval
+	seq      uint32
+	inL      bool
+	lh       pqueue.Handle[int32]
+	reported bool
+}
+
+type engine struct {
+	ix      *core.Index
+	objs    *Objects
+	q       graph.VertexID
+	k       int
+	variant Variant
+
+	queue   pqueue.Min[qelem]
+	l       *pqueue.Indexed[int32]
+	states  []*objState
+	results []Neighbor
+	stats   Stats
+
+	d0k      float64 // static bound for kNN-I/kNN-M enqueue filtering
+	d0kFixed bool
+	frozen   bool // kNN-I: stop maintaining L once D0k is fixed
+	pqClock  time.Duration
+}
+
+func newEngine(ix *core.Index, objs *Objects, q graph.VertexID, k int, variant Variant) *engine {
+	e := &engine{
+		ix:      ix,
+		objs:    objs,
+		q:       q,
+		k:       k,
+		variant: variant,
+		l:       pqueue.NewIndexedMax[int32](),
+		states:  make([]*objState, objs.Len()),
+		d0k:     inf,
+	}
+	e.stats.Algorithm = variant.String()
+	e.stats.K = k
+	if k > 0 && objs.Len() > 0 {
+		e.queue.Push(0, qelem{node: objs.Tree().Root()})
+		e.noteQueue()
+	}
+	return e
+}
+
+// dk is the evolving pruning distance: the kth-smallest interval upper
+// bound, +Inf until L holds k objects.
+func (e *engine) dk() float64 {
+	if e.l.Len() == e.k {
+		return e.l.TopKey()
+	}
+	return inf
+}
+
+// admit reports whether an element with interval lower bound lo can still
+// contribute to the result. kNN and kNN-M prune strictly against the
+// evolving Dk (boundary cases are completed from L by drainL); kNN-I admits
+// up to its static D⁰k inclusively, because after freezing there is no L to
+// fall back on and D⁰k itself is attainable by a legitimate kth neighbor.
+func (e *engine) admit(lo float64) bool {
+	switch e.variant {
+	case VariantKNN, VariantKNNM:
+		return lo < e.dk()
+	case VariantKNNI:
+		return lo <= e.d0k
+	default:
+		return true
+	}
+}
+
+// halted reports whether popping a fresh element with the given key proves
+// the search complete: the queue is min-ordered, so every remaining element
+// is at least this far.
+func (e *engine) halted(key float64) bool {
+	switch e.variant {
+	case VariantKNN, VariantKNNM:
+		return key >= e.dk()
+	case VariantKNNI:
+		return key > e.d0k
+	default:
+		return false
+	}
+}
+
+func (e *engine) noteQueue() {
+	if n := e.queue.Len(); n > e.stats.MaxQueue {
+		e.stats.MaxQueue = n
+	}
+}
+
+func (e *engine) run() {
+	for len(e.results) < e.k {
+		if !e.step() {
+			break
+		}
+	}
+	if len(e.results) < e.k && (e.variant == VariantKNN || e.variant == VariantKNNM) {
+		e.drainL()
+	}
+	e.stats.PQTime = e.pqClock
+	if n := len(e.results); n > 0 {
+		e.stats.DkFinal = e.results[n-1].Dist
+		if e.variant == VariantKNNM {
+			// Unsorted output: take the max.
+			for _, nb := range e.results {
+				if nb.Dist > e.stats.DkFinal {
+					e.stats.DkFinal = nb.Dist
+				}
+			}
+		}
+	}
+}
+
+// step processes one queue element. It returns false when the search is
+// finished (queue exhausted or pruning proves completeness).
+func (e *engine) step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	key, el := e.queue.Pop()
+
+	if el.node != nil {
+		if e.halted(key) {
+			// Nothing better remains; kNN and kNN-M complete from L.
+			return false
+		}
+		e.expand(el.node)
+		return true
+	}
+
+	st := e.states[el.obj]
+	if st.reported || el.seq != st.seq {
+		return true // stale entry
+	}
+	if e.halted(key) {
+		return false
+	}
+
+	// Out-of-range objects (proximity-bounded indexes) carry the interval
+	// [radius, +Inf) and cannot be ranked; they are never reported.
+	if st.refiner.OutOfRange() {
+		st.reported = true // drop without emitting
+		return true
+	}
+
+	// kNN-M: accept directly against KMINDIST, the lower bound of the
+	// object defining Dk; its distance certifies membership in the top k
+	// without refining p any further (paper p.36).
+	if e.variant == VariantKNNM && e.l.Len() == e.k {
+		kmin := e.states[topOf(e.l)].iv.Lo
+		if st.iv.Hi <= kmin {
+			e.stats.KMinDistAccepts++
+			e.report(st)
+			return true
+		}
+	}
+
+	// Collision test against the new top of Q. Block tops carry the
+	// interval [key, +Inf); object tops' lower bound is their key; in both
+	// cases the intervals intersect iff top's key <= p's upper bound.
+	if st.refiner.Done() || e.queue.Len() == 0 || st.iv.Hi < e.queue.PeekKey() {
+		e.report(st)
+		return true
+	}
+
+	// Collision: refine one step and reinsert.
+	st.refiner.Step()
+	e.stats.Refinements++
+	st.iv = st.refiner.Interval()
+	st.seq++
+	e.updateL(st)
+	if e.admit(st.iv.Lo) {
+		e.queue.Push(st.iv.Lo, qelem{obj: st.id, seq: st.seq})
+		e.noteQueue()
+	}
+	return true
+}
+
+func (e *engine) expand(n *pmr.Node) {
+	if n.IsLeaf() {
+		for _, o := range n.Objects() {
+			e.discover(o)
+		}
+		return
+	}
+	for _, c := range n.Children() {
+		if c == nil {
+			continue
+		}
+		lb := e.ix.RegionLowerBound(e.q, c.Rect())
+		if e.admit(lb) {
+			e.queue.Push(lb, qelem{node: c})
+			e.noteQueue()
+		}
+	}
+}
+
+func (e *engine) discover(o pmr.Object) {
+	st := &objState{id: o.ID, refiner: e.ix.NewRefiner(e.q, o.Vertex)}
+	st.iv = st.refiner.Interval()
+	e.states[o.ID] = st
+	e.stats.Lookups++
+	e.maybeInsertL(st)
+	if e.admit(st.iv.Lo) {
+		e.queue.Push(st.iv.Lo, qelem{obj: o.ID, seq: st.seq})
+		e.noteQueue()
+	}
+}
+
+// maintainsL reports whether the variant manipulates L at this moment.
+func (e *engine) maintainsL() bool {
+	switch e.variant {
+	case VariantKNN, VariantKNNM:
+		return true
+	case VariantKNNI:
+		return !e.frozen
+	default:
+		return false
+	}
+}
+
+func (e *engine) maybeInsertL(st *objState) {
+	if !e.maintainsL() || st.inL || st.refiner.OutOfRange() {
+		return
+	}
+	start := time.Now()
+	defer func() { e.pqClock += time.Since(start) }()
+	if e.l.Len() < e.k {
+		st.lh = e.l.Push(st.iv.Hi, st.id)
+		st.inL = true
+		e.stats.LOps++
+	} else if st.iv.Hi < e.l.TopKey() {
+		evicted := topOf(e.l)
+		e.l.Pop()
+		e.states[evicted].inL = false
+		st.lh = e.l.Push(st.iv.Hi, st.id)
+		st.inL = true
+		e.stats.LOps += 2
+	}
+	if n := e.l.Len(); n > e.stats.MaxL {
+		e.stats.MaxL = n
+	}
+	if e.l.Len() == e.k && !e.d0kFixed {
+		// The first-k estimate the paper calls D⁰k, and the lower bound of
+		// the object defining it (KMINDIST at estimation time).
+		e.d0kFixed = true
+		e.d0k = e.l.TopKey()
+		e.stats.D0k = e.d0k
+		e.stats.KMinDist0 = e.states[topOf(e.l)].iv.Lo
+		if e.variant == VariantKNNI {
+			e.frozen = true
+		}
+	}
+}
+
+func (e *engine) updateL(st *objState) {
+	if !e.maintainsL() {
+		return
+	}
+	if st.inL {
+		start := time.Now()
+		e.l.Update(st.lh, st.iv.Hi)
+		e.stats.LOps++
+		e.pqClock += time.Since(start)
+		return
+	}
+	e.maybeInsertL(st)
+}
+
+func (e *engine) report(st *objState) {
+	st.reported = true
+	exact := st.refiner.Done() || st.iv.Exact()
+	e.results = append(e.results, Neighbor{
+		Object:   e.objs.ByID(st.id),
+		Interval: st.iv,
+		Dist:     st.iv.Lo,
+		Exact:    exact,
+	})
+}
+
+// drainL emits the unreported members of L in upper-bound order. When the
+// main loop halts on the Dk bound, every unreported member of L provably
+// holds a point interval (δ⁻ >= Dk >= δ⁺), so this order is exact.
+func (e *engine) drainL() {
+	if e.l.Len() == 0 {
+		return
+	}
+	var rest []*objState
+	for _, id := range e.l.Items() {
+		if st := e.states[id]; !st.reported {
+			rest = append(rest, st)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].iv.Hi < rest[j].iv.Hi })
+	for _, st := range rest {
+		if len(e.results) >= e.k {
+			break
+		}
+		e.report(st)
+	}
+}
+
+func (e *engine) result() Result {
+	return Result{
+		Neighbors: e.results,
+		Sorted:    e.variant != VariantKNNM,
+		Stats:     e.stats,
+	}
+}
+
+// topOf returns the object id at the root of L.
+func topOf(l *pqueue.Indexed[int32]) int32 {
+	_, id := l.Top()
+	return id
+}
+
+// Browser is an incremental network-distance cursor over an object set: the
+// INN algorithm exposed as an iterator ("distance browsing"). Each Next
+// returns the next-nearest object; the cursor retains all search state so a
+// k+1st neighbor costs only the incremental work.
+type Browser struct {
+	e  *engine
+	at int
+}
+
+// NewBrowser positions a cursor before the nearest object to q.
+func NewBrowser(ix *core.Index, objs *Objects, q graph.VertexID) *Browser {
+	return &Browser{e: newEngine(ix, objs, q, objs.Len(), VariantINN)}
+}
+
+// Next returns the next neighbor in increasing network distance; ok is false
+// when the set is exhausted.
+func (b *Browser) Next() (Neighbor, bool) {
+	for len(b.e.results) <= b.at {
+		if !b.e.step() {
+			return Neighbor{}, false
+		}
+	}
+	n := b.e.results[b.at]
+	b.at++
+	return n, true
+}
+
+// Query returns the cursor's query vertex.
+func (b *Browser) Query() graph.VertexID { return b.e.q }
+
+// Stats returns the cursor's accumulated statistics.
+func (b *Browser) Stats() Stats {
+	s := b.e.stats
+	s.PQTime = b.e.pqClock
+	return s
+}

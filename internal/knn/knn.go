@@ -1,0 +1,143 @@
+// Package knn implements the paper's k-nearest-neighbor algorithms over a
+// SILC index: the non-incremental best-first kNN (paper §4) and its variants
+// INN, kNN-I, and kNN-M, plus the two comparison baselines from Papadias et
+// al. (VLDB 2003) — INE (incremental network expansion, i.e. Dijkstra with a
+// result buffer) and IER (incremental Euclidean restriction).
+//
+// All algorithms consume the same inputs — a core.Index, an object set S in
+// a PMR quadtree, a query vertex, and k — and report uniform statistics
+// (queue sizes, refinement counts, buffer-pool traffic) so the paper's
+// evaluation can be regenerated measure for measure.
+package knn
+
+import (
+	"math"
+	"time"
+
+	"silc/internal/core"
+	"silc/internal/diskio"
+	"silc/internal/graph"
+	"silc/internal/pmr"
+)
+
+// Objects is the query set S: a PMR quadtree plus the vertex->objects map
+// the network-expansion baseline needs.
+type Objects struct {
+	tree *pmr.Tree
+	objs []pmr.Object
+	at   map[graph.VertexID][]int32
+}
+
+// NewObjects builds an object set from network vertices. Object IDs are
+// dense in input order. Multiple objects may share a vertex.
+func NewObjects(g *graph.Network, vertices []graph.VertexID) *Objects {
+	s := &Objects{
+		tree: pmr.FromVertices(g, vertices, 0),
+		at:   make(map[graph.VertexID][]int32, len(vertices)),
+	}
+	s.objs = make([]pmr.Object, len(vertices))
+	for i, v := range vertices {
+		s.objs[i] = pmr.Object{ID: int32(i), Vertex: v, Pos: g.Point(v)}
+		s.at[v] = append(s.at[v], int32(i))
+	}
+	return s
+}
+
+// Len returns |S|.
+func (s *Objects) Len() int { return len(s.objs) }
+
+// Tree returns the PMR quadtree over S.
+func (s *Objects) Tree() *pmr.Tree { return s.tree }
+
+// ByID returns the object with the given dense id.
+func (s *Objects) ByID(id int32) pmr.Object { return s.objs[id] }
+
+// AtVertex returns the ids of objects located at v.
+func (s *Objects) AtVertex(v graph.VertexID) []int32 { return s.at[v] }
+
+// Neighbor is one reported nearest neighbor.
+type Neighbor struct {
+	Object pmr.Object
+	// Interval is the final network-distance interval; exact algorithms
+	// report a point interval.
+	Interval core.Interval
+	// Dist is the network distance (Interval.Lo; exact when Exact).
+	Dist float64
+	// Exact reports whether Dist is the exact network distance.
+	Exact bool
+}
+
+// Stats describes one query execution; fields irrelevant to an algorithm
+// stay zero. These are the quantities the paper's figures plot.
+type Stats struct {
+	Algorithm string
+	K         int
+
+	MaxQueue    int // maximum size of the search priority queue Q
+	MaxL        int // maximum size of the result priority queue L
+	Lookups     int // zero-refinement interval computations
+	Refinements int // progressive-refinement steps
+	// KMinDistAccepts counts kNN-M results accepted directly against
+	// KMINDIST, skipping refinement ("pruned" in the paper's fig. p.36).
+	KMinDistAccepts int
+	// LOps counts manipulations of L (the KNN-PQ cost component).
+	LOps int
+	// PQTime is the measured time spent manipulating L and Dk.
+	PQTime time.Duration
+
+	// D0k is the first-k upper-bound estimate of Dk (kNN-I / kNN-M; also
+	// recorded by kNN for the estimate-quality figure). Zero when no
+	// estimate was formed.
+	D0k float64
+	// KMinDist0 is the lower bound of the object defining D0k at the moment
+	// the estimate was formed.
+	KMinDist0 float64
+	// DkFinal is the distance of the kth reported neighbor.
+	DkFinal float64
+
+	Settled    int // INE/IER: vertices settled by graph expansion
+	Relaxed    int // INE/IER: edges relaxed
+	AStarCalls int // IER: per-candidate shortest-path computations
+
+	IO     diskio.Stats  // buffer-pool traffic during the query
+	IOTime time.Duration // modeled I/O time for the traffic above
+	CPU    time.Duration // measured wall time of the query computation
+}
+
+// Result is the outcome of one kNN query.
+type Result struct {
+	// Neighbors holds up to k neighbors. Sorted is true when they are in
+	// increasing network-distance order (kNN-M trades the ordering away).
+	Neighbors []Neighbor
+	Sorted    bool
+	Stats     Stats
+}
+
+// Distances returns the reported distances in result order.
+func (r Result) Distances() []float64 {
+	out := make([]float64, len(r.Neighbors))
+	for i, n := range r.Neighbors {
+		out[i] = n.Dist
+	}
+	return out
+}
+
+// ioBracket snapshots tracker statistics around a query.
+type ioBracket struct {
+	tracker *diskio.Tracker
+	before  diskio.Stats
+	start   time.Time
+}
+
+func beginIO(ix *core.Index) ioBracket {
+	return ioBracket{tracker: ix.Tracker(), before: ix.Tracker().Stats(), start: time.Now()}
+}
+
+func (b ioBracket) finish(s *Stats) {
+	s.CPU = time.Since(b.start)
+	after := b.tracker.Stats()
+	s.IO = diskio.Stats{Hits: after.Hits - b.before.Hits, Misses: after.Misses - b.before.Misses}
+	s.IOTime = s.IO.ModeledIOTime(b.tracker.MissLatency())
+}
+
+var inf = math.Inf(1)

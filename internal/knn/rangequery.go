@@ -1,0 +1,136 @@
+package knn
+
+import (
+	"silc/internal/core"
+	"silc/internal/graph"
+	"silc/internal/pqueue"
+)
+
+// RangeSearch returns every object within network distance radius of q —
+// the paper's "general framework" claim instantiated for a second query
+// type. The same machinery as kNN applies: object-index blocks prune on
+// their interval lower bound, objects accept on δ⁺ <= radius, reject on
+// δ⁻ > radius, and refine only while their interval straddles the radius.
+// Results are unordered; distances are intervals refined just far enough to
+// decide membership.
+func RangeSearch(ix *core.Index, objs *Objects, q graph.VertexID, radius float64) Result {
+	io := beginIO(ix)
+	stats := Stats{Algorithm: "RANGE"}
+	var res []Neighbor
+
+	if radius >= 0 && objs.Len() > 0 {
+		var queue pqueue.Min[qelem]
+		states := make([]*objState, objs.Len())
+		queue.Push(0, qelem{node: objs.Tree().Root()})
+		stats.MaxQueue = 1
+		for queue.Len() > 0 {
+			key, el := queue.Pop()
+			if key > radius {
+				break // min-ordered: everything remaining is out of range
+			}
+			if el.node != nil {
+				if el.node.IsLeaf() {
+					for _, o := range el.node.Objects() {
+						st := &objState{id: o.ID, refiner: ix.NewRefiner(q, o.Vertex)}
+						st.iv = st.refiner.Interval()
+						states[o.ID] = st
+						stats.Lookups++
+						if st.iv.Lo <= radius {
+							queue.Push(st.iv.Lo, qelem{obj: o.ID})
+						}
+					}
+				} else {
+					for _, c := range el.node.Children() {
+						if c == nil {
+							continue
+						}
+						if lb := ix.RegionLowerBound(q, c.Rect()); lb <= radius {
+							queue.Push(lb, qelem{node: c})
+						}
+					}
+				}
+				if queue.Len() > stats.MaxQueue {
+					stats.MaxQueue = queue.Len()
+				}
+				continue
+			}
+			st := states[el.obj]
+			// Refine until the interval falls on one side of the radius.
+			// Out-of-range objects (proximity-bounded indexes) hold
+			// [indexRadius, +Inf) forever and are excluded below.
+			for st.iv.Lo <= radius && st.iv.Hi > radius &&
+				!st.refiner.Done() && !st.refiner.OutOfRange() {
+				st.refiner.Step()
+				stats.Refinements++
+				st.iv = st.refiner.Interval()
+			}
+			if st.iv.Hi <= radius || (st.refiner.Done() && st.iv.Lo <= radius) {
+				res = append(res, Neighbor{
+					Object:   objs.ByID(st.id),
+					Interval: st.iv,
+					Dist:     st.iv.Lo,
+					Exact:    st.refiner.Done() || st.iv.Exact(),
+				})
+			}
+		}
+	}
+
+	out := Result{Neighbors: res, Sorted: false, Stats: stats}
+	io.finish(&out.Stats)
+	return out
+}
+
+// ObjectsInRange is the INE-style baseline for range search: Dijkstra from q
+// truncated at radius, collecting objects at settled vertices. Used for
+// cross-validation and as the comparison point in tests.
+func ObjectsInRange(ix *core.Index, objs *Objects, q graph.VertexID, radius float64) Result {
+	io := beginIO(ix)
+	g := ix.Network()
+	tracker := ix.Tracker()
+	stats := Stats{Algorithm: "RANGE-INE"}
+	var res []Neighbor
+
+	if radius >= 0 && objs.Len() > 0 {
+		n := g.NumVertices()
+		dist := make([]float64, n)
+		settled := make([]bool, n)
+		for i := range dist {
+			dist[i] = inf
+		}
+		var frontier pqueue.Min[graph.VertexID]
+		dist[q] = 0
+		frontier.Push(0, q)
+		for frontier.Len() > 0 {
+			d, v := frontier.Pop()
+			if settled[v] || d > dist[v] {
+				continue
+			}
+			if d > radius {
+				break
+			}
+			settled[v] = true
+			stats.Settled++
+			for _, id := range objs.AtVertex(v) {
+				res = append(res, Neighbor{
+					Object:   objs.ByID(id),
+					Interval: core.Interval{Lo: d, Hi: d},
+					Dist:     d,
+					Exact:    true,
+				})
+			}
+			tracker.TouchAdjacency(int(v))
+			targets, weights := g.Neighbors(v)
+			for i, t := range targets {
+				stats.Relaxed++
+				if nd := d + weights[i]; nd < dist[t] {
+					dist[t] = nd
+					frontier.Push(nd, t)
+				}
+			}
+		}
+	}
+
+	out := Result{Neighbors: res, Sorted: false, Stats: stats}
+	io.finish(&out.Stats)
+	return out
+}

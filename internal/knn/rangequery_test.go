@@ -1,0 +1,126 @@
+package knn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"silc/internal/graph"
+	"silc/internal/sssp"
+)
+
+// rangeTruth returns the ids of objects within radius by brute force.
+func rangeTruth(h *harness, objs *Objects, q graph.VertexID, radius float64) map[int32]float64 {
+	tree := sssp.Dijkstra(h.g, q)
+	out := make(map[int32]float64)
+	for id := int32(0); id < int32(objs.Len()); id++ {
+		if d := tree.Dist[objs.ByID(id).Vertex]; d <= radius {
+			out[id] = d
+		}
+	}
+	return out
+}
+
+func checkRange(t *testing.T, name string, res Result, want map[int32]float64) {
+	t.Helper()
+	got := make(map[int32]bool, len(res.Neighbors))
+	for _, nb := range res.Neighbors {
+		if got[nb.Object.ID] {
+			t.Fatalf("%s: duplicate object %d", name, nb.Object.ID)
+		}
+		got[nb.Object.ID] = true
+		d, ok := want[nb.Object.ID]
+		if !ok {
+			t.Fatalf("%s: object %d reported but out of range", name, nb.Object.ID)
+		}
+		if nb.Interval.Lo > d+distTol || nb.Interval.Hi < d-distTol {
+			t.Fatalf("%s: interval [%v,%v] misses true %v", name, nb.Interval.Lo, nb.Interval.Hi, d)
+		}
+	}
+	if len(got) != len(want) {
+		missing := []int32{}
+		for id := range want {
+			if !got[id] {
+				missing = append(missing, id)
+			}
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		t.Fatalf("%s: returned %d of %d; missing %v", name, len(got), len(want), missing)
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	h := roadHarness(t, 10, 10, 31)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		objs := h.randomObjects(rng.Intn(40)+1, rng)
+		q := graph.VertexID(rng.Intn(h.g.NumVertices()))
+		radius := rng.Float64() * 0.8
+		want := rangeTruth(h, objs, q, radius)
+		checkRange(t, "RANGE", RangeSearch(h.ix, objs, q, radius), want)
+		checkRange(t, "RANGE-INE", ObjectsInRange(h.ix, objs, q, radius), want)
+	}
+}
+
+func TestRangeSearchOnRandomTopology(t *testing.T) {
+	g, err := graph.GenerateRandomConnected(60, 50, 0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, g)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		objs := h.randomObjects(rng.Intn(30)+1, rng)
+		q := graph.VertexID(rng.Intn(g.NumVertices()))
+		radius := rng.Float64() * 1.5
+		want := rangeTruth(h, objs, q, radius)
+		checkRange(t, "RANGE", RangeSearch(h.ix, objs, q, radius), want)
+	}
+}
+
+func TestRangeSearchEdgeCases(t *testing.T) {
+	h := roadHarness(t, 8, 8, 33)
+	rng := rand.New(rand.NewSource(11))
+	objs := h.randomObjects(20, rng)
+	q := objs.ByID(0).Vertex
+
+	// Zero radius: exactly the objects at q.
+	res := RangeSearch(h.ix, objs, q, 0)
+	if len(res.Neighbors) != len(objs.AtVertex(q)) {
+		t.Fatalf("radius 0: got %d want %d", len(res.Neighbors), len(objs.AtVertex(q)))
+	}
+	// Negative radius: empty.
+	if res := RangeSearch(h.ix, objs, q, -1); len(res.Neighbors) != 0 {
+		t.Fatal("negative radius returned objects")
+	}
+	// Huge radius: everything.
+	if res := RangeSearch(h.ix, objs, q, 1e9); len(res.Neighbors) != objs.Len() {
+		t.Fatalf("huge radius returned %d of %d", len(res.Neighbors), objs.Len())
+	}
+	// Empty set.
+	if res := RangeSearch(h.ix, NewObjects(h.g, nil), q, 1); len(res.Neighbors) != 0 {
+		t.Fatal("empty set returned objects")
+	}
+}
+
+func TestRangeSearchRefinesOnlyStraddlers(t *testing.T) {
+	// Objects far outside or far inside the radius must not be refined:
+	// refinement count should be well below full-path refinement for all
+	// objects.
+	h := roadHarness(t, 12, 12, 35)
+	rng := rand.New(rand.NewSource(13))
+	objs := h.randomObjects(60, rng)
+	q := graph.VertexID(rng.Intn(h.g.NumVertices()))
+	res := RangeSearch(h.ix, objs, q, 0.3)
+
+	full := 0
+	for id := int32(0); id < int32(objs.Len()); id++ {
+		full += len(sssp.ShortestPath(h.g, q, objs.ByID(id).Vertex).Path)
+	}
+	if res.Stats.Refinements >= full/2 {
+		t.Fatalf("range search refined %d times; full refinement would be ~%d", res.Stats.Refinements, full)
+	}
+	if res.Stats.Lookups == 0 || res.Stats.MaxQueue == 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+}

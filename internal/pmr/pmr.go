@@ -1,0 +1,201 @@
+// Package pmr implements the spatial index over the query-object set S: a
+// bucket PR quadtree in the PMR style the paper uses. The index is decoupled
+// from the network — the same object tree serves any SILC index, and object
+// sets can change without touching precomputed shortest paths (the paper's
+// decoupling argument).
+package pmr
+
+import (
+	"math"
+
+	"silc/internal/geom"
+	"silc/internal/graph"
+	"silc/internal/pqueue"
+)
+
+// Object is one element of S. Objects live on network vertices (the case the
+// paper's evaluation exercises); Pos caches the vertex position.
+type Object struct {
+	ID     int32
+	Vertex graph.VertexID
+	Pos    geom.Point
+}
+
+// DefaultBucketCapacity is the leaf split threshold.
+const DefaultBucketCapacity = 8
+
+// Tree is a bucket PR quadtree over objects.
+type Tree struct {
+	root     *Node
+	capacity int
+	size     int
+}
+
+// Node is one quadtree node. Exported read-only so search algorithms can
+// drive their own best-first traversals.
+type Node struct {
+	cell     geom.Cell
+	children *[4]*Node // nil for leaves
+	objects  []Object  // leaf payload
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.children == nil }
+
+// Cell returns the node's quadtree cell.
+func (n *Node) Cell() geom.Cell { return n.cell }
+
+// Rect returns the node's rectangle.
+func (n *Node) Rect() geom.Rect { return n.cell.Rect() }
+
+// Objects returns a leaf's objects (nil for interior nodes). The slice
+// aliases internal storage and must not be modified.
+func (n *Node) Objects() []Object { return n.objects }
+
+// Children returns the four children of an interior node (entries may be
+// nil) or nil for leaves.
+func (n *Node) Children() []*Node {
+	if n.children == nil {
+		return nil
+	}
+	return n.children[:]
+}
+
+// New returns an empty tree with the given bucket capacity (0 selects
+// DefaultBucketCapacity).
+func New(capacity int) *Tree {
+	if capacity <= 0 {
+		capacity = DefaultBucketCapacity
+	}
+	return &Tree{root: &Node{cell: geom.RootCell()}, capacity: capacity}
+}
+
+// Len returns the number of stored objects.
+func (t *Tree) Len() int { return t.size }
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Insert adds o to the tree.
+func (t *Tree) Insert(o Object) {
+	t.size++
+	n := t.root
+	for !n.IsLeaf() {
+		n = n.childFor(o.Pos.Code())
+	}
+	n.objects = append(n.objects, o)
+	// Split while over capacity; identical-cell objects stop at MaxLevel.
+	for len(n.objects) > t.capacity && n.cell.Level < geom.MaxLevel {
+		n.split()
+		n = n.childFor(o.Pos.Code())
+	}
+}
+
+func (n *Node) childFor(code geom.Code) *Node {
+	span := geom.Span(n.cell.Level + 1)
+	i := int((code - n.cell.Code) / geom.Code(span))
+	child := n.children[i]
+	if child == nil {
+		child = &Node{cell: n.cell.Child(i)}
+		n.children[i] = child
+	}
+	return child
+}
+
+func (n *Node) split() {
+	n.children = new([4]*Node)
+	objs := n.objects
+	n.objects = nil
+	for _, o := range objs {
+		c := n.childFor(o.Pos.Code())
+		c.objects = append(c.objects, o)
+	}
+}
+
+// All returns every object in the tree, in traversal order.
+func (t *Tree) All() []Object {
+	var out []Object
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n.objects...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// NearestEuclidean returns up to k objects ordered by increasing Euclidean
+// distance from p — the incremental filter of the IER baseline and the
+// geodesic ("as the crow flies") ranking of the paper's motivating examples.
+func (t *Tree) NearestEuclidean(p geom.Point, k int) []Object {
+	out := make([]Object, 0, k)
+	cursor := t.EuclideanBrowser(p)
+	for len(out) < k {
+		o, _, ok := cursor.Next()
+		if !ok {
+			break
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// EuclideanBrowser is an incremental best-first cursor over objects by
+// Euclidean distance.
+type EuclideanBrowser struct {
+	p    geom.Point
+	heap pqueue.Min[euclElem]
+}
+
+type euclElem struct {
+	node *Node
+	obj  Object
+}
+
+// EuclideanBrowser returns a cursor positioned before the closest object.
+func (t *Tree) EuclideanBrowser(p geom.Point) *EuclideanBrowser {
+	b := &EuclideanBrowser{p: p}
+	b.heap.Push(t.root.Rect().MinDist(p), euclElem{node: t.root})
+	return b
+}
+
+// Next returns the next object in increasing Euclidean distance, its
+// distance, and false when exhausted.
+func (b *EuclideanBrowser) Next() (Object, float64, bool) {
+	for b.heap.Len() > 0 {
+		key, e := b.heap.Pop()
+		if e.node == nil {
+			return e.obj, key, true
+		}
+		if e.node.IsLeaf() {
+			for _, o := range e.node.objects {
+				b.heap.Push(b.p.Dist(o.Pos), euclElem{obj: o})
+			}
+			continue
+		}
+		for _, c := range e.node.children {
+			if c != nil {
+				b.heap.Push(c.Rect().MinDist(b.p), euclElem{node: c})
+			}
+		}
+	}
+	return Object{}, math.Inf(1), false
+}
+
+// FromVertices builds an object set from network vertices, assigning dense
+// object IDs in input order.
+func FromVertices(g *graph.Network, vertices []graph.VertexID, capacity int) *Tree {
+	t := New(capacity)
+	for i, v := range vertices {
+		t.Insert(Object{ID: int32(i), Vertex: v, Pos: g.Point(v)})
+	}
+	return t
+}

@@ -1,0 +1,185 @@
+package pmr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"silc/internal/geom"
+	"silc/internal/graph"
+)
+
+func randomObjects(n int, seed int64) []Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{
+			ID:  int32(i),
+			Pos: geom.Point{X: rng.Float64(), Y: rng.Float64()},
+		}
+	}
+	return objs
+}
+
+func TestInsertAndAll(t *testing.T) {
+	objs := randomObjects(500, 1)
+	tree := New(0)
+	for _, o := range objs {
+		tree.Insert(o)
+	}
+	if tree.Len() != len(objs) {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	got := tree.All()
+	if len(got) != len(objs) {
+		t.Fatalf("All returned %d", len(got))
+	}
+	seen := make(map[int32]bool)
+	for _, o := range got {
+		if seen[o.ID] {
+			t.Fatalf("duplicate object %d", o.ID)
+		}
+		seen[o.ID] = true
+	}
+}
+
+func TestStructureInvariants(t *testing.T) {
+	tree := New(4)
+	for _, o := range randomObjects(300, 2) {
+		tree.Insert(o)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		rect := n.Rect()
+		if n.IsLeaf() {
+			if len(n.objects) > 4 && n.cell.Level < geom.MaxLevel {
+				t.Fatalf("overfull leaf: %d objects at level %d", len(n.objects), n.cell.Level)
+			}
+			for _, o := range n.objects {
+				if !rect.Contains(o.Pos) {
+					t.Fatalf("object %d at %v outside leaf %v", o.ID, o.Pos, rect)
+				}
+			}
+			return
+		}
+		if len(n.objects) != 0 {
+			t.Fatal("interior node holds objects")
+		}
+		for i, c := range n.children {
+			if c == nil {
+				continue
+			}
+			if c.cell != n.cell.Child(i) {
+				t.Fatalf("child %d cell mismatch", i)
+			}
+			walk(c)
+		}
+	}
+	walk(tree.Root())
+}
+
+func TestNearestEuclideanMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		objs := randomObjects(rng.Intn(200)+1, int64(trial+10))
+		tree := New(rng.Intn(12) + 1)
+		for _, o := range objs {
+			tree.Insert(o)
+		}
+		q := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		k := rng.Intn(len(objs)+5) + 1
+
+		want := append([]Object(nil), objs...)
+		sort.Slice(want, func(i, j int) bool {
+			return q.DistSq(want[i].Pos) < q.DistSq(want[j].Pos)
+		})
+		if k < len(want) {
+			want = want[:k]
+		}
+		got := tree.NearestEuclidean(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			// Compare by distance (ties may reorder ids).
+			dg, dw := q.Dist(got[i].Pos), q.Dist(want[i].Pos)
+			if dg != dw {
+				t.Fatalf("trial %d: rank %d distance %v want %v", trial, i, dg, dw)
+			}
+		}
+	}
+}
+
+func TestEuclideanBrowserIncremental(t *testing.T) {
+	objs := randomObjects(100, 4)
+	tree := New(6)
+	for _, o := range objs {
+		tree.Insert(o)
+	}
+	q := geom.Point{X: 0.5, Y: 0.5}
+	b := tree.EuclideanBrowser(q)
+	prev := -1.0
+	count := 0
+	for {
+		_, d, ok := b.Next()
+		if !ok {
+			break
+		}
+		if d < prev {
+			t.Fatalf("distances not non-decreasing: %v after %v", d, prev)
+		}
+		prev = d
+		count++
+	}
+	if count != len(objs) {
+		t.Fatalf("browser yielded %d of %d", count, len(objs))
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := New(0)
+	if got := tree.NearestEuclidean(geom.Point{X: 0.5, Y: 0.5}, 3); len(got) != 0 {
+		t.Fatalf("got %d from empty tree", len(got))
+	}
+	if tree.Len() != 0 || len(tree.All()) != 0 {
+		t.Fatal("empty tree not empty")
+	}
+}
+
+func TestDuplicatePositionsDoNotLoop(t *testing.T) {
+	// Identical positions cannot be separated; the leaf at MaxLevel simply
+	// exceeds capacity instead of splitting forever.
+	tree := New(2)
+	p := geom.Point{X: 0.25, Y: 0.25}
+	for i := 0; i < 10; i++ {
+		tree.Insert(Object{ID: int32(i), Pos: p})
+	}
+	if tree.Len() != 10 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	got := tree.NearestEuclidean(geom.Point{X: 0.3, Y: 0.3}, 10)
+	if len(got) != 10 {
+		t.Fatalf("retrieved %d", len(got))
+	}
+}
+
+func TestFromVertices(t *testing.T) {
+	g, err := graph.GenerateGrid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := []graph.VertexID{3, 7, 11}
+	tree := FromVertices(g, vs, 0)
+	if tree.Len() != 3 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for i, o := range tree.All() {
+		_ = i
+		if o.Pos != g.Point(o.Vertex) {
+			t.Fatalf("object %d position mismatch", o.ID)
+		}
+	}
+}

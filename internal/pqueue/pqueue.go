@@ -1,0 +1,243 @@
+// Package pqueue provides the priority-queue machinery shared by the
+// shortest-path and nearest-neighbor algorithms: a plain binary min-heap
+// keyed by float64 priorities, an indexed heap with update/remove by handle
+// (needed for the kNN result list L, whose members are re-keyed on every
+// refinement), and a bounded max-heap for best-k accumulation.
+package pqueue
+
+// Min is a binary min-heap of values of type T ordered by a float64 key.
+// The zero value is an empty, ready-to-use heap.
+type Min[T any] struct {
+	keys []float64
+	vals []T
+}
+
+// Len returns the number of queued items.
+func (h *Min[T]) Len() int { return len(h.keys) }
+
+// Push inserts v with the given key.
+func (h *Min[T]) Push(key float64, v T) {
+	h.keys = append(h.keys, key)
+	h.vals = append(h.vals, v)
+	h.up(len(h.keys) - 1)
+}
+
+// Pop removes and returns the minimum-key item. It panics on an empty heap.
+func (h *Min[T]) Pop() (float64, T) {
+	n := len(h.keys) - 1
+	key, val := h.keys[0], h.vals[0]
+	h.keys[0], h.vals[0] = h.keys[n], h.vals[n]
+	h.keys = h.keys[:n]
+	var zero T
+	h.vals[n] = zero
+	h.vals = h.vals[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return key, val
+}
+
+// Peek returns the minimum key and value without removing them.
+// It panics on an empty heap.
+func (h *Min[T]) Peek() (float64, T) { return h.keys[0], h.vals[0] }
+
+// PeekKey returns the minimum key. It panics on an empty heap.
+func (h *Min[T]) PeekKey() float64 { return h.keys[0] }
+
+// Reset empties the heap, retaining capacity.
+func (h *Min[T]) Reset() {
+	h.keys = h.keys[:0]
+	clearSlice(h.vals)
+	h.vals = h.vals[:0]
+}
+
+func (h *Min[T]) up(i int) {
+	key, val := h.keys[i], h.vals[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= key {
+			break
+		}
+		h.keys[i], h.vals[i] = h.keys[parent], h.vals[parent]
+		i = parent
+	}
+	h.keys[i], h.vals[i] = key, val
+}
+
+func (h *Min[T]) down(i int) {
+	n := len(h.keys)
+	key, val := h.keys[i], h.vals[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.keys[r] < h.keys[child] {
+			child = r
+		}
+		if key <= h.keys[child] {
+			break
+		}
+		h.keys[i], h.vals[i] = h.keys[child], h.vals[child]
+		i = child
+	}
+	h.keys[i], h.vals[i] = key, val
+}
+
+func clearSlice[T any](s []T) {
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+}
+
+// Indexed is a binary heap whose items can be re-keyed or removed through
+// integer handles returned by Push. Ordering is controlled by max: a max-heap
+// keeps the largest key at the top (used for the kNN list L ordered by the
+// interval upper bound), a min-heap the smallest.
+type Indexed[T any] struct {
+	entries []*indexedEntry[T]
+	max     bool
+}
+
+type indexedEntry[T any] struct {
+	key float64
+	val T
+	pos int
+}
+
+// Handle identifies an item in an Indexed heap.
+type Handle[T any] struct{ e *indexedEntry[T] }
+
+// Valid reports whether the handle still refers to a queued item.
+func (h Handle[T]) Valid() bool { return h.e != nil && h.e.pos >= 0 }
+
+// Key returns the current key of the handle's item.
+func (h Handle[T]) Key() float64 { return h.e.key }
+
+// Value returns the item stored under the handle.
+func (h Handle[T]) Value() T { return h.e.val }
+
+// NewIndexedMax returns an empty max-ordered indexed heap.
+func NewIndexedMax[T any]() *Indexed[T] { return &Indexed[T]{max: true} }
+
+// NewIndexedMin returns an empty min-ordered indexed heap.
+func NewIndexedMin[T any]() *Indexed[T] { return &Indexed[T]{} }
+
+// Len returns the number of queued items.
+func (h *Indexed[T]) Len() int { return len(h.entries) }
+
+// Push inserts v with the given key and returns a handle for later updates.
+func (h *Indexed[T]) Push(key float64, v T) Handle[T] {
+	e := &indexedEntry[T]{key: key, val: v, pos: len(h.entries)}
+	h.entries = append(h.entries, e)
+	h.up(e.pos)
+	return Handle[T]{e}
+}
+
+// Top returns the key and value of the root item without removing it.
+// It panics on an empty heap.
+func (h *Indexed[T]) Top() (float64, T) {
+	e := h.entries[0]
+	return e.key, e.val
+}
+
+// TopKey returns the root key. It panics on an empty heap.
+func (h *Indexed[T]) TopKey() float64 { return h.entries[0].key }
+
+// TopHandle returns a handle to the root item. It panics on an empty heap.
+func (h *Indexed[T]) TopHandle() Handle[T] { return Handle[T]{h.entries[0]} }
+
+// Pop removes and returns the root item.
+func (h *Indexed[T]) Pop() (float64, T) {
+	e := h.entries[0]
+	h.remove(0)
+	return e.key, e.val
+}
+
+// Update changes the key of the item behind the handle and restores heap
+// order. It panics if the handle is no longer valid.
+func (h *Indexed[T]) Update(hd Handle[T], key float64) {
+	e := hd.e
+	if e == nil || e.pos < 0 {
+		panic("pqueue: Update on invalid handle")
+	}
+	e.key = key
+	h.down(e.pos)
+	h.up(e.pos)
+}
+
+// Remove deletes the item behind the handle. It panics if the handle is no
+// longer valid.
+func (h *Indexed[T]) Remove(hd Handle[T]) {
+	e := hd.e
+	if e == nil || e.pos < 0 {
+		panic("pqueue: Remove on invalid handle")
+	}
+	h.remove(e.pos)
+}
+
+func (h *Indexed[T]) remove(i int) {
+	n := len(h.entries) - 1
+	e := h.entries[i]
+	h.swap(i, n)
+	h.entries = h.entries[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+	e.pos = -1
+}
+
+// less orders i before j according to the heap's direction.
+func (h *Indexed[T]) less(i, j int) bool {
+	if h.max {
+		return h.entries[i].key > h.entries[j].key
+	}
+	return h.entries[i].key < h.entries[j].key
+}
+
+func (h *Indexed[T]) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.entries[i].pos = i
+	h.entries[j].pos = j
+}
+
+func (h *Indexed[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Indexed[T]) down(i int) {
+	n := len(h.entries)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.less(r, child) {
+			child = r
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h.swap(i, child)
+		i = child
+	}
+}
+
+// Items returns the queued values in heap (not sorted) order. Intended for
+// draining results at the end of a search.
+func (h *Indexed[T]) Items() []T {
+	out := make([]T, len(h.entries))
+	for i, e := range h.entries {
+		out[i] = e.val
+	}
+	return out
+}

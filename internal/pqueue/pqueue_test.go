@@ -1,0 +1,191 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinHeapSortsKeys(t *testing.T) {
+	f := func(keys []float64) bool {
+		var h Min[int]
+		clean := keys[:0]
+		for _, k := range keys {
+			if k == k { // drop NaNs: heaps require a total order
+				clean = append(clean, k)
+			}
+		}
+		for i, k := range clean {
+			h.Push(k, i)
+		}
+		want := append([]float64(nil), clean...)
+		sort.Float64s(want)
+		for _, w := range want {
+			got, _ := h.Pop()
+			if got != w {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinHeapValuesFollowKeys(t *testing.T) {
+	var h Min[string]
+	h.Push(3, "c")
+	h.Push(1, "a")
+	h.Push(2, "b")
+	if k, v := h.Peek(); k != 1 || v != "a" {
+		t.Fatalf("Peek = %v,%v", k, v)
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if _, v := h.Pop(); v != want {
+			t.Fatalf("got %q want %q", v, want)
+		}
+	}
+}
+
+func TestMinHeapReset(t *testing.T) {
+	var h Min[int]
+	for i := 0; i < 10; i++ {
+		h.Push(float64(i), i)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	h.Push(5, 5)
+	if k, v := h.Pop(); k != 5 || v != 5 {
+		t.Fatalf("heap unusable after Reset: %v %v", k, v)
+	}
+}
+
+func TestIndexedMaxOrdering(t *testing.T) {
+	h := NewIndexedMax[int]()
+	keys := []float64{5, 1, 9, 3, 7}
+	for i, k := range keys {
+		h.Push(k, i)
+	}
+	want := append([]float64(nil), keys...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+	for _, w := range want {
+		k, _ := h.Pop()
+		if k != w {
+			t.Fatalf("got %v want %v", k, w)
+		}
+	}
+}
+
+func TestIndexedUpdateAndRemove(t *testing.T) {
+	h := NewIndexedMax[string]()
+	a := h.Push(10, "a")
+	b := h.Push(20, "b")
+	c := h.Push(30, "c")
+	if k, v := h.Top(); k != 30 || v != "c" {
+		t.Fatalf("Top = %v,%v", k, v)
+	}
+	h.Update(c, 5) // c sinks to the bottom
+	if k, v := h.Top(); k != 20 || v != "b" {
+		t.Fatalf("after update Top = %v,%v", k, v)
+	}
+	h.Remove(b)
+	if b.Valid() {
+		t.Fatal("handle b should be invalid after Remove")
+	}
+	if k, v := h.Top(); k != 10 || v != "a" {
+		t.Fatalf("after remove Top = %v,%v", k, v)
+	}
+	h.Update(a, 1)
+	if k, _ := h.Top(); k != 5 {
+		t.Fatalf("after re-key Top key = %v, want 5 (c)", k)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestIndexedRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		h := NewIndexedMin[int]()
+		type item struct {
+			key    float64
+			handle Handle[int]
+		}
+		var live []*item
+		n := rng.Intn(60) + 1
+		for i := 0; i < n; i++ {
+			it := &item{key: rng.Float64()}
+			it.handle = h.Push(it.key, i)
+			live = append(live, it)
+		}
+		// Random updates and removals.
+		for op := 0; op < n; op++ {
+			if len(live) == 0 {
+				break
+			}
+			i := rng.Intn(len(live))
+			switch rng.Intn(3) {
+			case 0:
+				live[i].key = rng.Float64()
+				h.Update(live[i].handle, live[i].key)
+			case 1:
+				h.Remove(live[i].handle)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default:
+				// no-op
+			}
+		}
+		want := make([]float64, len(live))
+		for i, it := range live {
+			want[i] = it.key
+		}
+		sort.Float64s(want)
+		for _, w := range want {
+			k, _ := h.Pop()
+			if k != w {
+				t.Fatalf("trial %d: got %v want %v", trial, k, w)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("trial %d: leftover items", trial)
+		}
+	}
+}
+
+func TestIndexedItems(t *testing.T) {
+	h := NewIndexedMax[int]()
+	for i := 0; i < 5; i++ {
+		h.Push(float64(i), i)
+	}
+	items := h.Items()
+	if len(items) != 5 {
+		t.Fatalf("Items len = %d", len(items))
+	}
+	seen := map[int]bool{}
+	for _, v := range items {
+		seen[v] = true
+	}
+	for i := 0; i < 5; i++ {
+		if !seen[i] {
+			t.Fatalf("missing item %d", i)
+		}
+	}
+}
+
+func TestIndexedPanicsOnInvalidHandle(t *testing.T) {
+	h := NewIndexedMin[int]()
+	hd := h.Push(1, 1)
+	h.Remove(hd)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on stale handle")
+		}
+	}()
+	h.Update(hd, 2)
+}

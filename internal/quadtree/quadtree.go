@@ -1,0 +1,247 @@
+// Package quadtree builds and queries shortest-path quadtrees, the storage
+// representation at the heart of the SILC framework (paper §3).
+//
+// For a source vertex u, every other vertex v is colored by the index of the
+// first edge on the shortest path u→v. Path coherence on spatial networks
+// makes same-colored vertices spatially contiguous, so the colored vertex
+// set compresses into a region quadtree: a set of disjoint Morton blocks,
+// each single-colored, covering every vertex. Each block additionally keeps
+// the minimum and maximum over its vertices of the ratio network-distance /
+// Euclidean-distance (λ⁻, λ⁺), which turns a block lookup into a distance
+// interval without touching the graph.
+package quadtree
+
+import (
+	"math"
+	"sort"
+
+	"silc/internal/geom"
+)
+
+// NoColor marks the source vertex position, which belongs to no block.
+// It acts as a wildcard: the source joins any neighboring block.
+const NoColor int32 = -1
+
+// OutOfRange marks vertices beyond a proximity-bounded build's network
+// radius (the paper's location-based-services approximation: quadtrees over
+// proximal vertices only). Unlike NoColor it is NOT a wildcard — blocks
+// split until out-of-range vertices are excluded, so lookups of far
+// destinations miss instead of returning a wrong color.
+const OutOfRange int32 = -2
+
+// Block is one Morton block of a shortest-path quadtree. It asserts: every
+// network vertex whose Morton code falls inside Cell has first-hop Color,
+// and its network distance d from the source satisfies
+// LamLo*euclid <= d <= LamHi*euclid.
+type Block struct {
+	Cell  geom.Cell
+	Color int32
+	LamLo float32
+	LamHi float32
+}
+
+// EncodedSizeBytes is the size of one block in the paged disk layout:
+// 4-byte truncated Morton code + 1-byte level + 3-byte color + two 4-byte
+// ratio bounds. Used for storage accounting and I/O page mapping.
+const EncodedSizeBytes = 16
+
+// Tree is a shortest-path quadtree: blocks sorted by Morton code, disjoint,
+// jointly covering every vertex of the network except the source.
+type Tree struct {
+	Blocks []Block
+	// MinLambda is the smallest LamLo across blocks; it lets region queries
+	// prune on Euclidean distance alone. At least 1 whenever edge weights
+	// dominate Euclidean segment lengths.
+	MinLambda float64
+}
+
+// NumBlocks returns the Morton block count (the paper's storage unit).
+func (t *Tree) NumBlocks() int { return len(t.Blocks) }
+
+// EncodedBytes returns the tree's size in the disk layout.
+func (t *Tree) EncodedBytes() int { return len(t.Blocks) * EncodedSizeBytes }
+
+// Find returns the block containing the given Morton code. ok is false when
+// the code lies in uncovered (vertex-free or source) territory.
+func (t *Tree) Find(code geom.Code) (Block, bool) {
+	i := sort.Search(len(t.Blocks), func(i int) bool {
+		return t.Blocks[i].Cell.Code > code
+	})
+	if i == 0 {
+		return Block{}, false
+	}
+	b := t.Blocks[i-1]
+	if !b.Cell.ContainsCode(code) {
+		return Block{}, false
+	}
+	return b, true
+}
+
+// FindIndex is Find but returns the block's index, for page-access
+// accounting by the disk layer.
+func (t *Tree) FindIndex(code geom.Code) (int, bool) {
+	i := sort.Search(len(t.Blocks), func(i int) bool {
+		return t.Blocks[i].Cell.Code > code
+	})
+	if i == 0 || !t.Blocks[i-1].Cell.ContainsCode(code) {
+		return -1, false
+	}
+	return i - 1, true
+}
+
+// RegionLowerBound returns a lower bound on the network distance from the
+// query point q to any vertex lying inside rect: the minimum over blocks b
+// intersecting rect of LamLo(b) * minEuclid(q, b ∩ rect). Vertex-free area
+// contributes nothing (there is no vertex there to be near). Returns +Inf
+// when rect covers no block.
+func (t *Tree) RegionLowerBound(q geom.Point, rect geom.Rect) float64 {
+	best := math.Inf(1)
+	if len(t.Blocks) == 0 {
+		return best
+	}
+	t.regionVisit(geom.RootCell(), 0, len(t.Blocks), q, rect, &best)
+	return best
+}
+
+func (t *Tree) regionVisit(cell geom.Cell, lo, hi int, q geom.Point, rect geom.Rect, best *float64) {
+	if lo == hi {
+		return
+	}
+	cellRect := cell.Rect()
+	overlap, ok := cellRect.Intersect(rect)
+	if !ok {
+		return
+	}
+	// Prune: nothing in this cell can beat the current best. MinLambda
+	// scales the Euclidean bound into a valid network-distance bound.
+	if overlap.MinDist(q)*t.MinLambda >= *best {
+		return
+	}
+	if b := t.Blocks[lo]; b.Cell == cell {
+		// A single block fills the whole cell: leaf contribution.
+		d := overlap.MinDist(q) * float64(b.LamLo)
+		if d < *best {
+			*best = d
+		}
+		return
+	}
+	// Descend: partition the block range among the four children.
+	at := lo
+	for i := 0; i < 4; i++ {
+		child := cell.Child(i)
+		end := child.End()
+		sub := at + sort.Search(hi-at, func(j int) bool {
+			return t.Blocks[at+j].Cell.Code >= end
+		})
+		t.regionVisit(child, at, sub, q, rect, best)
+		at = sub
+	}
+}
+
+// Builder constructs shortest-path quadtrees over a fixed Morton-sorted
+// vertex layout. One Builder serves every source vertex of a network; it is
+// not safe for concurrent use (each parallel build worker owns one).
+type Builder struct {
+	codes []geom.Code // vertex Morton codes in ascending order
+}
+
+// NewBuilder returns a Builder over the given ascending Morton codes
+// (typically Network.MortonOrder mapped through Network.Code).
+func NewBuilder(codes []geom.Code) *Builder {
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			panic("quadtree: codes not strictly ascending")
+		}
+	}
+	return &Builder{codes: codes}
+}
+
+// Build constructs the shortest-path quadtree for one source vertex.
+//
+// colors[i] is the first-hop color of the vertex at Morton rank i and
+// ratios[i] its network/Euclidean distance ratio; the source's own rank
+// carries NoColor and is treated as a wildcard (it joins any block and
+// contributes no ratio). Build panics if decomposition cannot separate two
+// differently-colored vertices (impossible when vertex cells are distinct,
+// which graph.Builder enforces).
+func (b *Builder) Build(colors []int32, ratios []float64) *Tree {
+	if len(colors) != len(b.codes) || len(ratios) != len(b.codes) {
+		panic("quadtree: input length mismatch")
+	}
+	t := &Tree{MinLambda: math.Inf(1)}
+	b.buildRange(geom.RootCell(), 0, len(b.codes), colors, ratios, t)
+	if len(t.Blocks) == 0 {
+		t.MinLambda = 1
+	}
+	return t
+}
+
+func (b *Builder) buildRange(cell geom.Cell, lo, hi int, colors []int32, ratios []float64, t *Tree) {
+	if lo == hi {
+		return
+	}
+	// Homogeneity scan with wildcard source.
+	color := NoColor
+	uniform := true
+	for i := lo; i < hi; i++ {
+		c := colors[i]
+		if c == NoColor {
+			continue
+		}
+		if color == NoColor {
+			color = c
+		} else if c != color {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		if color < 0 {
+			return // only the source and/or out-of-range vertices: no block
+		}
+		lamLo, lamHi := float32(math.Inf(1)), float32(math.Inf(-1))
+		for i := lo; i < hi; i++ {
+			if colors[i] == NoColor {
+				continue
+			}
+			r := ratios[i]
+			// Round outward so float32 bounds still contain the ratio.
+			if f := nextDown32(r); f < lamLo {
+				lamLo = f
+			}
+			if f := nextUp32(r); f > lamHi {
+				lamHi = f
+			}
+		}
+		t.Blocks = append(t.Blocks, Block{Cell: cell, Color: color, LamLo: lamLo, LamHi: lamHi})
+		if float64(lamLo) < t.MinLambda {
+			t.MinLambda = float64(lamLo)
+		}
+		return
+	}
+	if cell.Level >= geom.MaxLevel {
+		panic("quadtree: two differently-colored vertices share a grid cell")
+	}
+	at := lo
+	for i := 0; i < 4; i++ {
+		child := cell.Child(i)
+		end := child.End()
+		sub := at + sort.Search(hi-at, func(j int) bool {
+			return b.codes[at+j] >= end
+		})
+		b.buildRange(child, at, sub, colors, ratios, t)
+		at = sub
+	}
+}
+
+// nextDown32 converts v to float32 and steps one ULP down, guaranteeing the
+// result does not exceed v even after reconstruction rounding.
+func nextDown32(v float64) float32 {
+	return math.Nextafter32(float32(v), float32(math.Inf(-1)))
+}
+
+// nextUp32 converts v to the smallest float32 not below it, stepping one ULP up.
+func nextUp32(v float64) float32 {
+	f := float32(v)
+	return math.Nextafter32(f, float32(math.Inf(1)))
+}

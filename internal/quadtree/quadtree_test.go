@@ -1,0 +1,273 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"silc/internal/geom"
+	"silc/internal/graph"
+	"silc/internal/sssp"
+)
+
+// fixture builds the quadtree inputs for one source vertex of a network:
+// Morton-sorted codes, first-hop colors, and distance ratios.
+type fixture struct {
+	g      *graph.Network
+	codes  []geom.Code
+	colors []int32
+	ratios []float64
+	tree   *sssp.Tree
+	source graph.VertexID
+}
+
+func makeFixture(t *testing.T, g *graph.Network, source graph.VertexID) *fixture {
+	t.Helper()
+	order := g.MortonOrder()
+	codes := make([]geom.Code, len(order))
+	for i, v := range order {
+		codes[i] = g.Code(v)
+	}
+	tree := sssp.Dijkstra(g, source)
+	colors := make([]int32, len(order))
+	ratios := make([]float64, len(order))
+	for i, v := range order {
+		if v == source {
+			colors[i] = NoColor
+			continue
+		}
+		if math.IsInf(tree.Dist[v], 1) {
+			t.Fatalf("fixture network disconnected at %d", v)
+		}
+		hop := tree.FirstHop[v]
+		colors[i] = int32(g.NeighborIndex(source, hop))
+		ratios[i] = tree.Dist[v] / g.Euclid(source, v)
+	}
+	return &fixture{g: g, codes: codes, colors: colors, ratios: ratios, tree: tree, source: source}
+}
+
+func testNetwork(t *testing.T, seed int64) *graph.Network {
+	t.Helper()
+	g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{Rows: 10, Cols: 10, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBlocksDisjointSortedAndCovering(t *testing.T) {
+	g := testNetwork(t, 1)
+	for _, source := range []graph.VertexID{0, graph.VertexID(g.NumVertices() / 2)} {
+		fx := makeFixture(t, g, source)
+		qt := NewBuilder(fx.codes).Build(fx.colors, fx.ratios)
+
+		// Sorted and disjoint.
+		for i := 1; i < len(qt.Blocks); i++ {
+			prev, cur := qt.Blocks[i-1], qt.Blocks[i]
+			if prev.Cell.End() > cur.Cell.Code {
+				t.Fatalf("blocks %d,%d overlap: %v then %v", i-1, i, prev.Cell, cur.Cell)
+			}
+		}
+		// Every non-source vertex is covered by exactly one block with the
+		// right color, and its ratio lies inside the block's lambda range.
+		for i, code := range fx.codes {
+			if fx.colors[i] == NoColor {
+				continue
+			}
+			b, ok := qt.Find(code)
+			if !ok {
+				t.Fatalf("vertex at code %x not covered", uint64(code))
+			}
+			if b.Color != fx.colors[i] {
+				t.Fatalf("vertex at code %x: block color %d want %d", uint64(code), b.Color, fx.colors[i])
+			}
+			if float64(b.LamLo) > fx.ratios[i] || float64(b.LamHi) < fx.ratios[i] {
+				t.Fatalf("ratio %v outside [%v,%v]", fx.ratios[i], b.LamLo, b.LamHi)
+			}
+		}
+		if qt.MinLambda < 1 {
+			t.Fatalf("MinLambda %v < 1 on a weight>=euclid network", qt.MinLambda)
+		}
+	}
+}
+
+func TestFindMissesUncoveredSpace(t *testing.T) {
+	g := testNetwork(t, 2)
+	fx := makeFixture(t, g, 0)
+	qt := NewBuilder(fx.codes).Build(fx.colors, fx.ratios)
+	// A code beyond the last block's end is uncovered.
+	last := qt.Blocks[len(qt.Blocks)-1]
+	if _, ok := qt.Find(last.Cell.End()); ok {
+		// Only fails if another block starts exactly there, which the sorted
+		// disjointness test above already rules out past the last block.
+		t.Fatal("Find succeeded past the final block")
+	}
+	if _, ok := qt.Find(0); ok {
+		if b, _ := qt.Find(0); b.Cell.Code != 0 {
+			t.Fatal("Find(0) returned a non-covering block")
+		}
+	}
+}
+
+func TestBuildFewerBlocksThanVertices(t *testing.T) {
+	// Path coherence must compress: the block count should be well below the
+	// vertex count for a lattice-like network (O(sqrt n) vs n).
+	g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{Rows: 24, Cols: 24, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := makeFixture(t, g, graph.VertexID(g.NumVertices()/2))
+	qt := NewBuilder(fx.codes).Build(fx.colors, fx.ratios)
+	n := g.NumVertices()
+	if qt.NumBlocks() >= n {
+		t.Fatalf("no compression: %d blocks for %d vertices", qt.NumBlocks(), n)
+	}
+	if qt.EncodedBytes() != qt.NumBlocks()*EncodedSizeBytes {
+		t.Fatal("EncodedBytes inconsistent")
+	}
+}
+
+func TestSingleVertexSource(t *testing.T) {
+	// A two-vertex network: the tree for each source has exactly one block.
+	b := graph.NewBuilder()
+	u := b.AddVertex(geom.Point{X: 0.25, Y: 0.5})
+	v := b.AddVertex(geom.Point{X: 0.75, Y: 0.5})
+	b.AddBiEdge(u, v, 0.6)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := makeFixture(t, g, u)
+	qt := NewBuilder(fx.codes).Build(fx.colors, fx.ratios)
+	if qt.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d want 1", qt.NumBlocks())
+	}
+	blk := qt.Blocks[0]
+	if blk.Color != 0 {
+		t.Fatalf("color = %d want 0", blk.Color)
+	}
+	ratio := 0.6 / 0.5
+	if float64(blk.LamLo) > ratio || float64(blk.LamHi) < ratio {
+		t.Fatalf("ratio %v outside [%v,%v]", ratio, blk.LamLo, blk.LamHi)
+	}
+}
+
+func TestRegionLowerBoundIsValid(t *testing.T) {
+	g := testNetwork(t, 4)
+	source := graph.VertexID(1)
+	fx := makeFixture(t, g, source)
+	qt := NewBuilder(fx.codes).Build(fx.colors, fx.ratios)
+	q := g.Point(source)
+	rng := rand.New(rand.NewSource(17))
+
+	for trial := 0; trial < 300; trial++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		y1, y2 := rng.Float64(), rng.Float64()
+		rect := geom.Rect{
+			MinX: math.Min(x1, x2), MaxX: math.Max(x1, x2),
+			MinY: math.Min(y1, y2), MaxY: math.Max(y1, y2),
+		}
+		bound := qt.RegionLowerBound(q, rect)
+		// The bound must not exceed the true network distance to any vertex
+		// inside the rect.
+		for v := 0; v < g.NumVertices(); v++ {
+			vv := graph.VertexID(v)
+			if vv == source || !rect.Contains(g.Point(vv)) {
+				continue
+			}
+			if bound > fx.tree.Dist[v]+1e-9 {
+				t.Fatalf("trial %d: bound %v exceeds dist(%d)=%v", trial, bound, v, fx.tree.Dist[v])
+			}
+		}
+	}
+}
+
+func TestRegionLowerBoundEmptyRect(t *testing.T) {
+	g := testNetwork(t, 5)
+	fx := makeFixture(t, g, 0)
+	qt := NewBuilder(fx.codes).Build(fx.colors, fx.ratios)
+	// A sliver in the extreme corner outside the network's extent: either
+	// +Inf (no blocks) or a large bound; it must not panic and must be >= 0.
+	bound := qt.RegionLowerBound(g.Point(0), geom.Rect{MinX: 0.9999, MinY: 0.9999, MaxX: 0.99995, MaxY: 0.99995})
+	if bound < 0 {
+		t.Fatalf("negative bound %v", bound)
+	}
+}
+
+func TestBuilderPanicsOnUnsortedCodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder([]geom.Code{5, 3})
+}
+
+func TestBuildPanicsOnLengthMismatch(t *testing.T) {
+	b := NewBuilder([]geom.Code{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Build([]int32{0, 0}, []float64{1, 1})
+}
+
+func TestLambdaBoundsOutwardRounding(t *testing.T) {
+	// A ratio that is not exactly representable in float32 must still fall
+	// strictly inside [LamLo, LamHi] after the float32 round trip.
+	codes := []geom.Code{geom.Encode(10, 10), geom.Encode(50000, 50000)}
+	b := NewBuilder(codes)
+	ratio := 1.0000000123456789
+	tree := b.Build([]int32{NoColor, 0}, []float64{0, ratio})
+	if len(tree.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(tree.Blocks))
+	}
+	blk := tree.Blocks[0]
+	if !(float64(blk.LamLo) < ratio && ratio < float64(blk.LamHi)) {
+		t.Fatalf("ratio %v not strictly inside [%v,%v]", ratio, blk.LamLo, blk.LamHi)
+	}
+}
+
+func TestSourceOnlyTree(t *testing.T) {
+	codes := []geom.Code{geom.Encode(100, 100)}
+	tree := NewBuilder(codes).Build([]int32{NoColor}, []float64{0})
+	if tree.NumBlocks() != 0 {
+		t.Fatalf("blocks = %d want 0", tree.NumBlocks())
+	}
+	if _, ok := tree.Find(codes[0]); ok {
+		t.Fatal("Find on empty tree succeeded")
+	}
+	if got := tree.RegionLowerBound(geom.Point{X: 0.5, Y: 0.5}, geom.UnitRect()); !math.IsInf(got, 1) {
+		t.Fatalf("RegionLowerBound on empty tree = %v", got)
+	}
+}
+
+func TestRegionLowerBoundTightOnLeafBlocks(t *testing.T) {
+	// For a rect covering exactly one vertex, the bound should equal
+	// LamLo * euclid(q, nearest point of rect∩block) which is at most
+	// LamLo * euclid(q, vertex) — so bound <= true distance but also
+	// reasonably tight (within LamHi/LamLo of it).
+	g := testNetwork(t, 6)
+	source := graph.VertexID(2)
+	fx := makeFixture(t, g, source)
+	qt := NewBuilder(fx.codes).Build(fx.colors, fx.ratios)
+	q := g.Point(source)
+	for v := 0; v < g.NumVertices(); v += 7 {
+		vv := graph.VertexID(v)
+		if vv == source {
+			continue
+		}
+		p := g.Point(vv)
+		eps := 1e-7
+		rect := geom.Rect{MinX: p.X - eps, MinY: p.Y - eps, MaxX: p.X + eps, MaxY: p.Y + eps}
+		bound := qt.RegionLowerBound(q, rect)
+		d := fx.tree.Dist[v]
+		if bound > d+1e-9 {
+			t.Fatalf("bound %v exceeds true %v", bound, d)
+		}
+		if bound < d/10 {
+			t.Fatalf("bound %v unreasonably loose vs true %v", bound, d)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package silc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestIndexPersistenceRoundTrip(t *testing.T) {
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+
+	var netBuf, ixBuf bytes.Buffer
+	if err := net.Write(&netBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(&ixBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different process: reload both and verify query equivalence.
+	net2, err := LoadNetwork(&netBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := LoadIndex(bytes.NewReader(ixBuf.Bytes()), net2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		u := VertexID(rng.Intn(net.NumVertices()))
+		v := VertexID(rng.Intn(net.NumVertices()))
+		if a, b := ix.Distance(u, v), ix2.Distance(u, v); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("distance differs after reload: %v vs %v", a, b)
+		}
+	}
+	if ix.Stats().TotalBlocks != ix2.Stats().TotalBlocks {
+		t.Fatal("block counts differ after reload")
+	}
+}
+
+func TestLoadIndexRejectsGarbage(t *testing.T) {
+	net := testNetwork(t)
+	if _, err := LoadIndex(bytes.NewReader([]byte("not an index")), net, BuildOptions{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadIndex(bytes.NewReader(nil), nil, BuildOptions{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+	rng := rand.New(rand.NewSource(8))
+	perm := rng.Perm(net.NumVertices())
+	vertices := make([]VertexID, 40)
+	for i := range vertices {
+		vertices[i] = VertexID(perm[i])
+	}
+	objs := NewObjectSet(net, vertices)
+	q := VertexID(perm[45])
+
+	for _, radius := range []float64{0.1, 0.3, 0.7} {
+		res := ix.WithinDistance(objs, q, radius)
+		// Cross-validate against exact distances.
+		want := 0
+		for _, v := range vertices {
+			if ix.Distance(q, v) <= radius {
+				want++
+			}
+		}
+		if len(res.Neighbors) != want {
+			t.Fatalf("radius %v: got %d want %d", radius, len(res.Neighbors), want)
+		}
+		for _, n := range res.Neighbors {
+			if d := ix.Distance(q, n.Vertex); d > radius+1e-9 {
+				t.Fatalf("object at %v beyond radius %v", d, radius)
+			}
+		}
+	}
+	if res := ix.WithinDistance(objs, q, -1); len(res.Neighbors) != 0 {
+		t.Fatal("negative radius returned objects")
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	// An in-memory index must serve concurrent queries safely (run under
+	// -race in CI). DiskResident indexes carry mutable buffer-pool state
+	// and are documented as single-reader.
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+	rng := rand.New(rand.NewSource(12))
+	perm := rng.Perm(net.NumVertices())
+	vertices := make([]VertexID, 30)
+	for i := range vertices {
+		vertices[i] = VertexID(perm[i])
+	}
+	objs := NewObjectSet(net, vertices)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 25; i++ {
+				q := VertexID(r.Intn(net.NumVertices()))
+				res := ix.NearestNeighbors(objs, q, 3)
+				if len(res.Neighbors) != 3 {
+					errs <- "short result"
+					return
+				}
+				d := ix.Distance(q, res.Neighbors[0].Vertex)
+				if math.Abs(d-res.Neighbors[0].Dist) > 1e-9 {
+					errs <- "distance mismatch"
+					return
+				}
+				_ = ix.ShortestPath(q, res.Neighbors[2].Vertex)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestProximityBoundedIndexPublicAPI(t *testing.T) {
+	net := testNetwork(t)
+	ix, err := BuildIndex(net, BuildOptions{ProximityRadius: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Radius() != 0.25 {
+		t.Fatalf("Radius = %v", ix.Radius())
+	}
+	full := testIndex(t, net)
+	if ix.Stats().TotalBlocks >= full.Stats().TotalBlocks {
+		t.Fatal("proximity bound did not shrink the index")
+	}
+
+	rng := rand.New(rand.NewSource(14))
+	sawNear, sawFar := false, false
+	for trial := 0; trial < 200 && !(sawNear && sawFar); trial++ {
+		u := VertexID(rng.Intn(net.NumVertices()))
+		v := VertexID(rng.Intn(net.NumVertices()))
+		if u == v {
+			continue
+		}
+		want := full.Distance(u, v)
+		got := ix.Distance(u, v)
+		if want <= 0.25 {
+			sawNear = true
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("in-range distance %v want %v", got, want)
+			}
+		} else {
+			sawFar = true
+			if !math.IsInf(got, 1) {
+				t.Fatalf("out-of-range distance %v, want +Inf", got)
+			}
+			if ix.ShortestPath(u, v) != nil {
+				t.Fatal("out-of-range path not nil")
+			}
+			r := ix.NewRefiner(u, v)
+			if !r.OutOfRange() {
+				t.Fatal("refiner should report out of range")
+			}
+		}
+	}
+	if !sawNear || !sawFar {
+		t.Fatal("test radius did not exercise both regimes")
+	}
+
+	// Persistence keeps the bound.
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIndex(bytes.NewReader(buf.Bytes()), net, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Radius() != 0.25 {
+		t.Fatalf("radius lost on reload: %v", back.Radius())
+	}
+}

@@ -1,0 +1,242 @@
+package silc
+
+import (
+	"time"
+
+	"silc/internal/knn"
+)
+
+// ObjectSet is a set S of query objects placed on network vertices, indexed
+// by a PMR quadtree. Object sets are independent of any index: build them,
+// discard them, and swap them freely — the precomputed shortest paths are
+// reused across all of them (the paper's decoupling property).
+type ObjectSet struct {
+	net  *Network
+	objs *knn.Objects
+}
+
+// NewObjectSet places one object on each listed vertex (duplicates allowed).
+// Object IDs are dense in input order.
+func NewObjectSet(net *Network, vertices []VertexID) *ObjectSet {
+	return &ObjectSet{net: net, objs: knn.NewObjects(net.g, vertices)}
+}
+
+// NewObjectSetFromPoints snaps each point to its nearest network vertex and
+// places an object there. (The paper supports objects on edges and faces as
+// well; this library implements the vertex-resident case its evaluation
+// exercises.)
+func NewObjectSetFromPoints(net *Network, pts []Point) *ObjectSet {
+	vs := make([]VertexID, len(pts))
+	for i, p := range pts {
+		vs[i] = net.g.NearestVertex(p)
+	}
+	return NewObjectSet(net, vs)
+}
+
+// Len returns |S|.
+func (s *ObjectSet) Len() int { return s.objs.Len() }
+
+// Vertex returns the vertex hosting object id.
+func (s *ObjectSet) Vertex(id int32) VertexID { return s.objs.ByID(id).Vertex }
+
+// NearestEuclidean returns up to k object ids ordered by straight-line
+// ("as the crow flies") distance from p — the geodesic ranking the paper's
+// motivating examples compare against.
+func (s *ObjectSet) NearestEuclidean(p Point, k int) []int32 {
+	objs := s.objs.Tree().NearestEuclidean(p, k)
+	out := make([]int32, len(objs))
+	for i, o := range objs {
+		out[i] = o.ID
+	}
+	return out
+}
+
+// Method selects the kNN algorithm.
+type Method int
+
+const (
+	// MethodKNN is the paper's non-incremental best-first algorithm
+	// (default; fastest at small k).
+	MethodKNN Method = iota
+	// MethodINN is the incremental algorithm (no Dk pruning; cheapest L
+	// management, preferred at large k).
+	MethodINN
+	// MethodKNNI filters the queue with the static first-k estimate D⁰k.
+	MethodKNNI
+	// MethodKNNM skips total-ordering refinements via KMINDIST; its results
+	// are unsorted. Exact on path-coherent road networks; see the package
+	// documentation of internal/knn for the boundary caveat.
+	MethodKNNM
+	// MethodINE is the incremental-network-expansion baseline (Dijkstra
+	// with a result buffer); needs no SILC index data.
+	MethodINE
+	// MethodIER is the incremental-Euclidean-restriction baseline (Euclidean
+	// filter plus per-candidate A*).
+	MethodIER
+)
+
+// String returns the method's name as used in the paper.
+func (m Method) String() string {
+	switch m {
+	case MethodKNN:
+		return "KNN"
+	case MethodINN:
+		return "INN"
+	case MethodKNNI:
+		return "KNN-I"
+	case MethodKNNM:
+		return "KNN-M"
+	case MethodINE:
+		return "INE"
+	case MethodIER:
+		return "IER"
+	default:
+		return "unknown"
+	}
+}
+
+// Neighbor is one reported nearest neighbor.
+type Neighbor struct {
+	// ID is the object's id within its ObjectSet.
+	ID int32
+	// Vertex hosts the object.
+	Vertex VertexID
+	// Dist is the network distance from the query (exact when Exact).
+	Dist float64
+	// Interval is the final distance interval; a point interval when Exact.
+	Interval Interval
+	// Exact reports whether Dist is exact.
+	Exact bool
+}
+
+// QueryStats describes one query's execution.
+type QueryStats struct {
+	Method      string
+	MaxQueue    int           // peak search-queue size
+	Refinements int           // progressive-refinement steps
+	Lookups     int           // interval computations
+	Settled     int           // graph vertices settled (INE/IER)
+	PageHits    int64         // buffer-pool hits (DiskResident indexes)
+	PageMisses  int64         // buffer-pool misses
+	IOTime      time.Duration // modeled I/O time
+	CPUTime     time.Duration // measured computation time
+}
+
+// Result is the outcome of a kNN query.
+type Result struct {
+	// Neighbors holds up to k neighbors, in increasing network distance
+	// unless Sorted is false (MethodKNNM).
+	Neighbors []Neighbor
+	Sorted    bool
+	Stats     QueryStats
+}
+
+// NearestNeighbors returns the k nearest objects to q by network distance
+// using the paper's kNN algorithm, with distances fully refined to exact
+// values. For algorithm selection and raw interval output use Query.
+func (ix *Index) NearestNeighbors(objs *ObjectSet, q VertexID, k int) Result {
+	res := ix.Query(objs, q, k, MethodKNN)
+	for i := range res.Neighbors {
+		n := &res.Neighbors[i]
+		if !n.Exact {
+			d := ix.Distance(q, n.Vertex)
+			n.Dist = d
+			n.Interval = Interval{Lo: d, Hi: d}
+			n.Exact = true
+		}
+	}
+	return res
+}
+
+// Query runs the selected kNN method. Distances of reported neighbors are
+// exact only where Exact is set: the algorithms refine intervals just far
+// enough to certify the ranking, which is the paper's contract.
+func (ix *Index) Query(objs *ObjectSet, q VertexID, k int, method Method) Result {
+	var raw knn.Result
+	switch method {
+	case MethodINE:
+		raw = knn.INE(ix.ix, objs.objs, q, k)
+	case MethodIER:
+		raw = knn.IER(ix.ix, objs.objs, q, k)
+	case MethodINN:
+		raw = knn.Search(ix.ix, objs.objs, q, k, knn.VariantINN)
+	case MethodKNNI:
+		raw = knn.Search(ix.ix, objs.objs, q, k, knn.VariantKNNI)
+	case MethodKNNM:
+		raw = knn.Search(ix.ix, objs.objs, q, k, knn.VariantKNNM)
+	default:
+		raw = knn.Search(ix.ix, objs.objs, q, k, knn.VariantKNN)
+	}
+	return convertResult(raw)
+}
+
+func convertResult(raw knn.Result) Result {
+	out := Result{Sorted: raw.Sorted}
+	out.Neighbors = make([]Neighbor, len(raw.Neighbors))
+	for i, n := range raw.Neighbors {
+		out.Neighbors[i] = Neighbor{
+			ID:       n.Object.ID,
+			Vertex:   n.Object.Vertex,
+			Dist:     n.Dist,
+			Interval: n.Interval,
+			Exact:    n.Exact,
+		}
+	}
+	s := raw.Stats
+	out.Stats = QueryStats{
+		Method:      s.Algorithm,
+		MaxQueue:    s.MaxQueue,
+		Refinements: s.Refinements,
+		Lookups:     s.Lookups,
+		Settled:     s.Settled,
+		PageHits:    s.IO.Hits,
+		PageMisses:  s.IO.Misses,
+		IOTime:      s.IOTime,
+		CPUTime:     s.CPU,
+	}
+	return out
+}
+
+// WithinDistance returns every object whose network distance from q is at
+// most radius (a network-distance range query — the "general framework"
+// query type beyond nearest neighbors). Results are unordered; intervals
+// are refined exactly far enough to decide membership, so Dist is exact
+// only where Exact is set.
+func (ix *Index) WithinDistance(objs *ObjectSet, q VertexID, radius float64) Result {
+	return convertResult(knn.RangeSearch(ix.ix, objs.objs, q, radius))
+}
+
+// Browser is an incremental network-distance cursor over an object set —
+// the "distance browsing" of the paper's title. Neighbors stream out in
+// increasing network distance; state persists between calls, so the (k+1)st
+// neighbor costs only incremental work.
+type Browser struct {
+	ix *Index
+	b  *knn.Browser
+}
+
+// Browse positions a cursor at query vertex q over objs.
+func (ix *Index) Browse(objs *ObjectSet, q VertexID) *Browser {
+	return &Browser{ix: ix, b: knn.NewBrowser(ix.ix, objs.objs, q)}
+}
+
+// Next returns the next-nearest object; ok is false when S is exhausted.
+// The reported distance is refined to exact.
+func (b *Browser) Next() (Neighbor, bool) {
+	raw, ok := b.b.Next()
+	if !ok {
+		return Neighbor{}, false
+	}
+	n := Neighbor{
+		ID:       raw.Object.ID,
+		Vertex:   raw.Object.Vertex,
+		Dist:     raw.Dist,
+		Interval: raw.Interval,
+		Exact:    raw.Exact,
+	}
+	if !n.Exact {
+		d := b.ix.Distance(b.b.Query(), n.Vertex)
+		n.Dist, n.Interval, n.Exact = d, Interval{Lo: d, Hi: d}, true
+	}
+	return n, true
+}

@@ -1,0 +1,356 @@
+package silc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testNetwork(t testing.TB) *Network {
+	t.Helper()
+	net, err := GenerateRoadNetwork(RoadNetworkOptions{Rows: 14, Cols: 14, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testIndex(t testing.TB, net *Network) *Index {
+	t.Helper()
+	ix, err := BuildIndex(net, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestEndToEndNearestNeighbors(t *testing.T) {
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+	rng := rand.New(rand.NewSource(1))
+
+	perm := rng.Perm(net.NumVertices())
+	vertices := make([]VertexID, 25)
+	for i := range vertices {
+		vertices[i] = VertexID(perm[i])
+	}
+	objs := NewObjectSet(net, vertices)
+	q := VertexID(perm[30])
+
+	res := ix.NearestNeighbors(objs, q, 5)
+	if len(res.Neighbors) != 5 || !res.Sorted {
+		t.Fatalf("result shape: %d sorted=%v", len(res.Neighbors), res.Sorted)
+	}
+	prev := -1.0
+	for _, n := range res.Neighbors {
+		if !n.Exact {
+			t.Fatal("NearestNeighbors must return exact distances")
+		}
+		if n.Dist < prev {
+			t.Fatal("results not sorted")
+		}
+		prev = n.Dist
+		// Cross-check against the index's own exact distance.
+		if d := ix.Distance(q, n.Vertex); math.Abs(d-n.Dist) > 1e-9 {
+			t.Fatalf("distance mismatch: %v vs %v", n.Dist, d)
+		}
+	}
+	if res.Stats.Method != "KNN" || res.Stats.Lookups == 0 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+}
+
+func TestAllMethodsAgreeOnResultSet(t *testing.T) {
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(net.NumVertices())
+	vertices := make([]VertexID, 40)
+	for i := range vertices {
+		vertices[i] = VertexID(perm[i])
+	}
+	objs := NewObjectSet(net, vertices)
+	q := VertexID(perm[50])
+	k := 7
+
+	reference := ix.NearestNeighbors(objs, q, k)
+	refDists := make([]float64, k)
+	for i, n := range reference.Neighbors {
+		refDists[i] = n.Dist
+	}
+
+	for _, m := range []Method{MethodKNN, MethodINN, MethodKNNI, MethodKNNM, MethodINE, MethodIER} {
+		res := ix.Query(objs, q, k, m)
+		if len(res.Neighbors) != k {
+			t.Fatalf("%v: %d results", m, len(res.Neighbors))
+		}
+		dists := make([]float64, k)
+		for i, n := range res.Neighbors {
+			dists[i] = ix.Distance(q, n.Vertex)
+		}
+		if !res.Sorted {
+			sortFloats(dists)
+		}
+		for i := range dists {
+			if math.Abs(dists[i]-refDists[i]) > 1e-9 {
+				t.Fatalf("%v: rank %d dist %v want %v", m, i, dists[i], refDists[i])
+			}
+		}
+		if res.Stats.Method != m.String() {
+			t.Fatalf("%v: stats method %q", m, res.Stats.Method)
+		}
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestBrowserMatchesNearestNeighbors(t *testing.T) {
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(net.NumVertices())
+	vertices := make([]VertexID, 20)
+	for i := range vertices {
+		vertices[i] = VertexID(perm[i])
+	}
+	objs := NewObjectSet(net, vertices)
+	q := VertexID(perm[25])
+
+	want := ix.NearestNeighbors(objs, q, objs.Len())
+	b := ix.Browse(objs, q)
+	for i := 0; ; i++ {
+		n, ok := b.Next()
+		if !ok {
+			if i != objs.Len() {
+				t.Fatalf("browser exhausted after %d of %d", i, objs.Len())
+			}
+			break
+		}
+		if math.Abs(n.Dist-want.Neighbors[i].Dist) > 1e-9 {
+			t.Fatalf("rank %d: browser %v batch %v", i, n.Dist, want.Neighbors[i].Dist)
+		}
+		if !n.Exact {
+			t.Fatal("browser distances must be exact")
+		}
+	}
+}
+
+func TestShortestPathAndIntervals(t *testing.T) {
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+	u, v := VertexID(0), VertexID(net.NumVertices()-1)
+
+	iv := ix.DistanceInterval(u, v)
+	d := ix.Distance(u, v)
+	if iv.Lo > d+1e-9 || iv.Hi < d-1e-9 {
+		t.Fatalf("interval [%v,%v] misses %v", iv.Lo, iv.Hi, d)
+	}
+	path := ix.ShortestPath(u, v)
+	if path[0] != u || path[len(path)-1] != v {
+		t.Fatal("bad path endpoints")
+	}
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		targets, weights := net.Neighbors(path[i-1])
+		found := false
+		for j, tgt := range targets {
+			if tgt == path[i] {
+				if !found || weights[j] < 0 {
+					total += weights[j]
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("path hop %d->%d is not an edge", path[i-1], path[i])
+		}
+	}
+	if math.Abs(total-d) > 1e-9 {
+		t.Fatalf("path weight %v != distance %v", total, d)
+	}
+	if hop := ix.NextHop(u, v); hop != path[1] {
+		t.Fatalf("NextHop %d != path[1] %d", hop, path[1])
+	}
+}
+
+func TestRefinerConverges(t *testing.T) {
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+	u, v := VertexID(3), VertexID(net.NumVertices()-4)
+	r := ix.NewRefiner(u, v)
+	want := ix.Distance(u, v)
+	steps := 0
+	for !r.Done() {
+		r.Step()
+		steps++
+		iv := r.Interval()
+		if iv.Lo > want+1e-9 || iv.Hi < want-1e-9 {
+			t.Fatalf("interval lost the true distance at step %d", steps)
+		}
+	}
+	if r.Steps() != steps {
+		t.Fatal("step count mismatch")
+	}
+	if via, acc := r.Via(); via != v || math.Abs(acc-want) > 1e-9 {
+		t.Fatalf("Via after convergence = %d,%v", via, acc)
+	}
+}
+
+func TestIsCloser(t *testing.T) {
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		u := VertexID(rng.Intn(net.NumVertices()))
+		a := VertexID(rng.Intn(net.NumVertices()))
+		b := VertexID(rng.Intn(net.NumVertices()))
+		da, db := ix.Distance(u, a), ix.Distance(u, b)
+		if math.Abs(da-db) < 1e-12 {
+			continue // tie: either answer acceptable
+		}
+		if got := ix.IsCloser(u, a, b); got != (da < db) {
+			t.Fatalf("IsCloser(%d,%d,%d)=%v but %v vs %v", u, a, b, got, da, db)
+		}
+	}
+}
+
+func TestObjectSetFromPoints(t *testing.T) {
+	net := testNetwork(t)
+	pts := []Point{{X: 0.2, Y: 0.2}, {X: 0.8, Y: 0.8}}
+	objs := NewObjectSetFromPoints(net, pts)
+	if objs.Len() != 2 {
+		t.Fatalf("len = %d", objs.Len())
+	}
+	for i, p := range pts {
+		want := net.NearestVertex(p)
+		if got := objs.Vertex(int32(i)); got != want {
+			t.Fatalf("object %d snapped to %d want %d", i, got, want)
+		}
+	}
+	got := objs.NearestEuclidean(Point{X: 0.1, Y: 0.1}, 2)
+	if len(got) != 2 || got[0] != 0 {
+		t.Fatalf("NearestEuclidean = %v", got)
+	}
+}
+
+func TestNetworkSerializationRoundTrip(t *testing.T) {
+	net := testNetwork(t)
+	var buf bytes.Buffer
+	if err := net.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != net.NumVertices() || back.NumEdges() != net.NumEdges() {
+		t.Fatal("round trip changed the network")
+	}
+}
+
+func TestNetworkBuilderAndCustomQueries(t *testing.T) {
+	nb := NewNetworkBuilder()
+	a := nb.AddVertex(Point{X: 0.1, Y: 0.5})
+	b := nb.AddVertex(Point{X: 0.5, Y: 0.5})
+	c := nb.AddVertex(Point{X: 0.9, Y: 0.5})
+	d := nb.AddVertex(Point{X: 0.5, Y: 0.9})
+	nb.AddRoad(a, b, 0.5)
+	nb.AddRoad(b, c, 0.5)
+	nb.AddRoad(b, d, 0.6)
+	nb.AddRoad(a, d, 0.7)
+	net, err := nb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := testIndex(t, net)
+	if got := ix.Distance(a, c); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("Distance(a,c) = %v", got)
+	}
+	if got := ix.ShortestPath(a, c); len(got) != 3 || got[1] != b {
+		t.Fatalf("path = %v", got)
+	}
+	// Degenerate collinear network must still work.
+	if got := ix.Distance(d, c); math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("Distance(d,c) = %v", got)
+	}
+}
+
+func TestDiskResidentIOStats(t *testing.T) {
+	net := testNetwork(t)
+	ix, err := BuildIndex(net, BuildOptions{DiskResident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Distance(0, VertexID(net.NumVertices()-1))
+	s := ix.IOStats()
+	if s.PageHits+s.PageMisses == 0 {
+		t.Fatal("no IO recorded")
+	}
+	ix.ResetIOStats()
+	if s := ix.IOStats(); s.PageHits+s.PageMisses != 0 {
+		t.Fatal("reset failed")
+	}
+
+	mem := testIndex(t, net)
+	if s := mem.IOStats(); s != (IOStats{}) {
+		t.Fatalf("in-memory index reported IO: %+v", s)
+	}
+}
+
+func TestDistanceOracleFacade(t *testing.T) {
+	net := testNetwork(t)
+	ix := testIndex(t, net)
+	o, err := BuildDistanceOracle(ix, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Epsilon() != 0.25 || o.NumPairs() == 0 || o.SizeBytes() == 0 {
+		t.Fatal("oracle metadata missing")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		u := VertexID(rng.Intn(net.NumVertices()))
+		v := VertexID(rng.Intn(net.NumVertices()))
+		want := ix.Distance(u, v)
+		got := o.Distance(u, v)
+		if math.Abs(got-want) > 0.25*want+1e-9 {
+			t.Fatalf("oracle error too large: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestBuildIndexErrors(t *testing.T) {
+	if _, err := BuildIndex(nil, BuildOptions{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	nb := NewNetworkBuilder()
+	nb.AddVertex(Point{X: 0.1, Y: 0.1})
+	nb.AddVertex(Point{X: 0.9, Y: 0.9})
+	net, err := nb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildIndex(net, BuildOptions{}); err == nil {
+		t.Fatal("disconnected network accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	cases := map[Method]string{
+		MethodKNN: "KNN", MethodINN: "INN", MethodKNNI: "KNN-I",
+		MethodKNNM: "KNN-M", MethodINE: "INE", MethodIER: "IER", Method(99): "unknown",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", m, m.String())
+		}
+	}
+}
