@@ -1,0 +1,90 @@
+package silc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchStats aggregates one QueryBatch execution.
+type BatchStats struct {
+	// Queries is the number of queries answered.
+	Queries int
+	// Workers is the worker-pool size the batch ran with.
+	Workers int
+	// Wall is the end-to-end elapsed time of the batch.
+	Wall time.Duration
+	// QPS is Queries divided by Wall.
+	QPS float64
+	// TotalCPU sums the per-query computation times across workers; on a
+	// multi-core machine it exceeds Wall when the pool actually runs in
+	// parallel.
+	TotalCPU time.Duration
+	// PageHits / PageMisses / IOTime sum the per-query buffer-pool traffic
+	// (DiskResident indexes; zeros otherwise).
+	PageHits   int64
+	PageMisses int64
+	IOTime     time.Duration
+}
+
+// BatchResult is the outcome of QueryBatch: one Result per query vertex, in
+// input order, plus aggregate statistics.
+type BatchResult struct {
+	Results []Result
+	Stats   BatchStats
+}
+
+// QueryBatch answers one kNN query per vertex in queries over a shared
+// object set, using a bounded worker pool of GOMAXPROCS goroutines. Every
+// index — including DiskResident ones — supports this: queries share the
+// sharded buffer pool and each carries its own statistics context, so
+// Results[i].Stats reports exactly query i's traffic. Results are in input
+// order.
+func (ix *Index) QueryBatch(objs *ObjectSet, queries []VertexID, k int, method Method) BatchResult {
+	return ix.QueryBatchWorkers(objs, queries, k, method, 0)
+}
+
+// QueryBatchWorkers is QueryBatch with an explicit worker-pool bound
+// (workers <= 0 selects GOMAXPROCS). The pool is bounded regardless of
+// batch size: a batch of a million queries still runs at most workers
+// queries at a time.
+func (ix *Index) QueryBatchWorkers(objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	start := time.Now()
+	results := make([]Result, len(queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(queries)) {
+					return
+				}
+				results[i] = ix.Query(objs, queries[i], k, method)
+			}
+		}()
+	}
+	wg.Wait()
+
+	agg := BatchStats{Queries: len(queries), Workers: workers, Wall: time.Since(start)}
+	for i := range results {
+		s := &results[i].Stats
+		agg.TotalCPU += s.CPUTime
+		agg.PageHits += s.PageHits
+		agg.PageMisses += s.PageMisses
+		agg.IOTime += s.IOTime
+	}
+	if agg.Wall > 0 {
+		agg.QPS = float64(agg.Queries) / agg.Wall.Seconds()
+	}
+	return BatchResult{Results: results, Stats: agg}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"silc/internal/bench"
@@ -395,5 +396,53 @@ func BenchmarkBrowser(b *testing.B) {
 				break
 			}
 		}
+	}
+}
+
+// BenchmarkTPParallelThroughput measures concurrent kNN throughput over one
+// shared disk-resident index (experiment TP). Sweep goroutine counts with
+// `go test -bench=TP -cpu 1,2,4,8`: ns/op at each -cpu value is the
+// inverse of that goroutine count's QPS.
+func BenchmarkTPParallelThroughput(b *testing.B) {
+	e := sharedEnv(b)
+	rng := rand.New(rand.NewSource(99))
+	objs := e.ObjectSet(0.05, rng)
+	queries := make([]graph.VertexID, 512)
+	for i := range queries {
+		queries[i] = e.Query(rng)
+	}
+	e.Ix.Tracker().SetScope(false)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1) - 1
+			knn.Search(e.Ix, objs, queries[i%int64(len(queries))], 10, knn.VariantKNN)
+		}
+	})
+}
+
+// BenchmarkQueryBatch measures the public batch API end to end: one call
+// answering 64 queries over the worker pool.
+func BenchmarkQueryBatch(b *testing.B) {
+	net := testNetwork(b)
+	ix, err := BuildIndex(net, BuildOptions{DiskResident: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(net.NumVertices())
+	vertices := make([]VertexID, 50)
+	for i := range vertices {
+		vertices[i] = VertexID(perm[i])
+	}
+	objs := NewObjectSet(net, vertices)
+	queries := make([]VertexID, 64)
+	for i := range queries {
+		queries[i] = VertexID(rng.Intn(net.NumVertices()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QueryBatch(objs, queries, 10, MethodKNN)
 	}
 }

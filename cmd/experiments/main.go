@@ -11,6 +11,8 @@
 //	F6  KMINDIST pruning in kNN-M          (paper p.36)
 //	F7  quality of D0k and KMINDIST        (paper p.37)
 //	F8  total and I/O time decomposition   (paper p.38)
+//	TP  parallel query throughput          (beyond the paper: QPS vs
+//	    goroutine count on one shared index, memory- and disk-resident)
 //
 // Usage:
 //
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -79,7 +82,7 @@ func main() {
 	}
 
 	needEnv := want("F2") || want("F3") || want("F4") || want("F5") ||
-		want("F6") || want("F7") || want("F8")
+		want("F6") || want("F7") || want("F8") || want("TP")
 	if !needEnv {
 		fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
@@ -130,6 +133,24 @@ func main() {
 				bench.RenderF8(out, p.title, p.points)
 			}
 		}
+	}
+
+	if want("TP") {
+		gcs := []int{1, 2, 4, 8, 16}
+		nq := 2000
+		if *quick {
+			gcs, nq = []int{1, 2, 4}, 400
+		}
+		w := env.NewThroughputWorkload(nq, 0.05, 10, *seed+4)
+		fmt.Fprintln(out, bench.ThroughputTable(
+			fmt.Sprintf("TP: parallel kNN throughput, disk-resident (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
+			bench.ThroughputSweep(env.Ix, w, gcs)))
+		memEnv, err := bench.NewEnv(*rows, *cols, *seed, false)
+		check(err)
+		wm := memEnv.NewThroughputWorkload(nq, 0.05, 10, *seed+4)
+		fmt.Fprintln(out, bench.ThroughputTable(
+			"TP: parallel kNN throughput, memory-resident",
+			bench.ThroughputSweep(memEnv.Ix, wm, gcs)))
 	}
 	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

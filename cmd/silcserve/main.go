@@ -1,0 +1,537 @@
+// Command silcserve serves network-distance queries over HTTP/JSON from one
+// shared SILC index — the "heavy traffic" deployment the concurrent query
+// engine enables. Endpoints:
+//
+//	GET  /knn?q=V&k=K[&method=KNN]   k nearest objects to vertex V
+//	POST /knn {"queries":[...],"k":K[,"method":"KNN"]}   batch kNN
+//	GET  /distance?src=U&dst=V       exact network distance
+//	GET  /path?src=U&dst=V           exact shortest path
+//	GET  /range?q=V&radius=R         objects within network distance R
+//	GET  /stats                      build, buffer-pool, and server counters
+//	GET  /healthz                    liveness probe
+//
+// The index is either loaded (-network plus -index, produced by silcbuild)
+// or built at startup from a generated road network. The query-object set
+// defaults to a random sample of vertices (-object-fraction) or is read
+// from -objects, one vertex id per line. All queries run concurrently over
+// one shared index; batch requests additionally fan out over a bounded
+// worker pool.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"silc"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		networkPath = flag.String("network", "", "network file (silcbuild text format); empty = generate")
+		indexPath   = flag.String("index", "", "prebuilt index file (requires -network)")
+		rows        = flag.Int("rows", 64, "generated network rows (when no -network)")
+		cols        = flag.Int("cols", 64, "generated network cols")
+		seed        = flag.Int64("seed", 1, "generated network seed")
+		disk        = flag.Bool("disk", false, "attach the disk-resident storage model")
+		cacheFrac   = flag.Float64("cache-fraction", 0.05, "buffer-pool size as a fraction of total pages")
+		missLatency = flag.Duration("miss-latency", 0, "modeled page-miss latency (0 = default 200µs)")
+		objectsPath = flag.String("objects", "", "object vertices file, one id per line; empty = random sample")
+		objectFrac  = flag.Float64("object-fraction", 0.05, "fraction of vertices carrying an object (when no -objects)")
+		objectSeed  = flag.Int64("object-seed", 2008, "object sample seed")
+		maxK        = flag.Int("max-k", 1000, "largest k a request may ask for")
+		maxBatch    = flag.Int("max-batch", 10000, "largest batch request size")
+	)
+	flag.Parse()
+
+	net, ix, err := loadOrBuild(*networkPath, *indexPath, *rows, *cols, *seed, silc.BuildOptions{
+		DiskResident:  *disk,
+		CacheFraction: *cacheFrac,
+		MissLatency:   *missLatency,
+	})
+	if err != nil {
+		log.Fatalf("silcserve: %v", err)
+	}
+	objs, nObjs, err := loadObjects(net, *objectsPath, *objectFrac, *objectSeed)
+	if err != nil {
+		log.Fatalf("silcserve: %v", err)
+	}
+	st := ix.Stats()
+	log.Printf("serving %d vertices, %d edges, %d objects (%.1f blocks/vertex)",
+		st.Vertices, st.Edges, nObjs, st.BlocksPerVertex())
+
+	s := newServer(ix, objs, *maxK, *maxBatch)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("silcserve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Printf("silcserve: shutdown: %v", err)
+	}
+}
+
+func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, opts silc.BuildOptions) (*silc.Network, *silc.Index, error) {
+	var net *silc.Network
+	var err error
+	if networkPath != "" {
+		f, err := os.Open(networkPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		net, err = silc.LoadNetwork(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("load network: %w", err)
+		}
+	} else {
+		if indexPath != "" {
+			return nil, nil, errors.New("-index requires -network")
+		}
+		net, err = silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: rows, Cols: cols, Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if indexPath != "" {
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		ix, err := silc.LoadIndex(f, net, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("load index: %w", err)
+		}
+		return net, ix, nil
+	}
+	log.Printf("building index over %d vertices...", net.NumVertices())
+	ix, err := silc.BuildIndex(net, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, ix, nil
+}
+
+func loadObjects(net *silc.Network, path string, fraction float64, seed int64) (*silc.ObjectSet, int, error) {
+	var vs []silc.VertexID
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, line := range strings.Fields(string(data)) {
+			id, err := strconv.Atoi(line)
+			if err != nil || id < 0 || id >= net.NumVertices() {
+				return nil, 0, fmt.Errorf("bad object vertex %q", line)
+			}
+			vs = append(vs, silc.VertexID(id))
+		}
+	} else {
+		n := net.NumVertices()
+		m := int(math.Round(fraction * float64(n)))
+		if m < 1 {
+			m = 1
+		}
+		if m > n {
+			m = n
+		}
+		perm := rand.New(rand.NewSource(seed)).Perm(n)
+		for _, v := range perm[:m] {
+			vs = append(vs, silc.VertexID(v))
+		}
+	}
+	if len(vs) == 0 {
+		return nil, 0, errors.New("empty object set")
+	}
+	return silc.NewObjectSet(net, vs), len(vs), nil
+}
+
+// server holds the shared read-only state plus request counters.
+type server struct {
+	ix       *silc.Index
+	objs     *silc.ObjectSet
+	maxK     int
+	maxBatch int
+	started  time.Time
+	requests atomic.Int64
+	queries  atomic.Int64 // logical queries answered (a batch counts each)
+}
+
+func newServer(ix *silc.Index, objs *silc.ObjectSet, maxK, maxBatch int) *server {
+	return &server{ix: ix, objs: objs, maxK: maxK, maxBatch: maxBatch, started: time.Now()}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/knn", s.count(s.handleKNN))
+	mux.HandleFunc("/distance", s.count(s.handleDistance))
+	mux.HandleFunc("/path", s.count(s.handlePath))
+	mux.HandleFunc("/range", s.count(s.handleRange))
+	mux.HandleFunc("/stats", s.count(s.handleStats))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) httpError {
+	return httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *server) vertexParam(r *http.Request, name string) (silc.VertexID, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, badRequest("missing parameter %q", name)
+	}
+	id, err := strconv.Atoi(raw)
+	if err != nil || id < 0 || id >= s.ix.Network().NumVertices() {
+		return 0, badRequest("parameter %q: not a vertex id in [0,%d)", name, s.ix.Network().NumVertices())
+	}
+	return silc.VertexID(id), nil
+}
+
+func parseMethod(name string) (silc.Method, error) {
+	switch strings.ToUpper(name) {
+	case "", "KNN":
+		return silc.MethodKNN, nil
+	case "INN":
+		return silc.MethodINN, nil
+	case "KNN-I", "KNNI":
+		return silc.MethodKNNI, nil
+	case "KNN-M", "KNNM":
+		return silc.MethodKNNM, nil
+	case "INE":
+		return silc.MethodINE, nil
+	case "IER":
+		return silc.MethodIER, nil
+	default:
+		return 0, badRequest("unknown method %q", name)
+	}
+}
+
+type neighborJSON struct {
+	ID     int32   `json:"id"`
+	Vertex int64   `json:"vertex"`
+	Dist   float64 `json:"dist"`
+	Exact  bool    `json:"exact"`
+}
+
+type queryStatsJSON struct {
+	Method      string `json:"method"`
+	Refinements int    `json:"refinements"`
+	Lookups     int    `json:"lookups"`
+	Settled     int    `json:"settled,omitempty"`
+	PageHits    int64  `json:"page_hits"`
+	PageMisses  int64  `json:"page_misses"`
+	IOTimeUS    int64  `json:"io_time_us"`
+	CPUTimeUS   int64  `json:"cpu_time_us"`
+}
+
+func toNeighbors(ns []silc.Neighbor) []neighborJSON {
+	out := make([]neighborJSON, len(ns))
+	for i, n := range ns {
+		out[i] = neighborJSON{ID: n.ID, Vertex: int64(n.Vertex), Dist: n.Dist, Exact: n.Exact}
+	}
+	return out
+}
+
+func toStats(st silc.QueryStats) queryStatsJSON {
+	return queryStatsJSON{
+		Method:      st.Method,
+		Refinements: st.Refinements,
+		Lookups:     st.Lookups,
+		Settled:     st.Settled,
+		PageHits:    st.PageHits,
+		PageMisses:  st.PageMisses,
+		IOTimeUS:    st.IOTime.Microseconds(),
+		CPUTimeUS:   st.CPUTime.Microseconds(),
+	}
+}
+
+func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleKNNBatch(w, r)
+		return
+	}
+	q, err := s.vertexParam(r, "q")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	k, err := s.kParam(r.URL.Query().Get("k"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	method, err := parseMethod(r.URL.Query().Get("method"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res := s.ix.Query(s.objs, q, k, method)
+	s.queries.Add(1)
+	writeJSON(w, map[string]any{
+		"query":     int64(q),
+		"k":         k,
+		"sorted":    res.Sorted,
+		"neighbors": toNeighbors(res.Neighbors),
+		"stats":     toStats(res.Stats),
+	})
+}
+
+func (s *server) kParam(raw string) (int, error) {
+	if raw == "" {
+		return 0, badRequest("missing parameter %q", "k")
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k < 1 || k > s.maxK {
+		return 0, badRequest("parameter k must be in [1,%d]", s.maxK)
+	}
+	return k, nil
+}
+
+type batchRequest struct {
+	Queries []int64 `json:"queries"`
+	K       int     `json:"k"`
+	Method  string  `json:"method"`
+}
+
+func (s *server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
+	// Bound the body before decoding: ~24 bytes per vertex id is generous,
+	// and parsing must not be the path to memory exhaustion.
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.maxBatch)*24+4096)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest("bad JSON body: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 || len(req.Queries) > s.maxBatch {
+		writeError(w, badRequest("batch size must be in [1,%d]", s.maxBatch))
+		return
+	}
+	if req.K < 1 || req.K > s.maxK {
+		writeError(w, badRequest("k must be in [1,%d]", s.maxK))
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	n := s.ix.Network().NumVertices()
+	queries := make([]silc.VertexID, len(req.Queries))
+	for i, v := range req.Queries {
+		if v < 0 || v >= int64(n) {
+			writeError(w, badRequest("queries[%d]: not a vertex id in [0,%d)", i, n))
+			return
+		}
+		queries[i] = silc.VertexID(v)
+	}
+	batch := s.ix.QueryBatch(s.objs, queries, req.K, method)
+	s.queries.Add(int64(len(queries)))
+	results := make([]map[string]any, len(batch.Results))
+	for i, res := range batch.Results {
+		results[i] = map[string]any{
+			"query":     req.Queries[i],
+			"sorted":    res.Sorted,
+			"neighbors": toNeighbors(res.Neighbors),
+			"stats":     toStats(res.Stats),
+		}
+	}
+	writeJSON(w, map[string]any{
+		"k":       req.K,
+		"results": results,
+		"batch": map[string]any{
+			"queries":      batch.Stats.Queries,
+			"workers":      batch.Stats.Workers,
+			"wall_us":      batch.Stats.Wall.Microseconds(),
+			"qps":          batch.Stats.QPS,
+			"total_cpu_us": batch.Stats.TotalCPU.Microseconds(),
+			"page_hits":    batch.Stats.PageHits,
+			"page_misses":  batch.Stats.PageMisses,
+			"io_time_us":   batch.Stats.IOTime.Microseconds(),
+		},
+	})
+}
+
+func (s *server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	src, err := s.vertexParam(r, "src")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	dst, err := s.vertexParam(r, "dst")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	d := s.ix.Distance(src, dst)
+	s.queries.Add(1)
+	resp := map[string]any{
+		"src":       int64(src),
+		"dst":       int64(dst),
+		"reachable": !math.IsInf(d, 1),
+	}
+	if !math.IsInf(d, 1) {
+		resp["distance"] = d
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
+	src, err := s.vertexParam(r, "src")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	dst, err := s.vertexParam(r, "dst")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	path := s.ix.ShortestPath(src, dst)
+	s.queries.Add(1)
+	if path == nil {
+		writeJSON(w, map[string]any{"src": int64(src), "dst": int64(dst), "reachable": false})
+		return
+	}
+	ids := make([]int64, len(path))
+	for i, v := range path {
+		ids[i] = int64(v)
+	}
+	writeJSON(w, map[string]any{
+		"src":       int64(src),
+		"dst":       int64(dst),
+		"reachable": true,
+		"distance":  pathCost(s.ix.Network(), path),
+		"path":      ids,
+	})
+}
+
+// pathCost sums edge weights along a path already retrieved from the index,
+// avoiding a second full refinement query for the distance.
+func pathCost(net *silc.Network, path []silc.VertexID) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		targets, weights := net.Neighbors(path[i])
+		best := math.Inf(1)
+		for j, t := range targets {
+			if t == path[i+1] && weights[j] < best {
+				best = weights[j] // cheapest parallel edge = the one on the shortest path
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
+	q, err := s.vertexParam(r, "q")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	radius, err := strconv.ParseFloat(r.URL.Query().Get("radius"), 64)
+	if err != nil || radius < 0 || math.IsInf(radius, 0) || math.IsNaN(radius) {
+		writeError(w, badRequest("parameter radius must be a non-negative number"))
+		return
+	}
+	res := s.ix.WithinDistance(s.objs, q, radius)
+	s.queries.Add(1)
+	writeJSON(w, map[string]any{
+		"query":     int64(q),
+		"radius":    radius,
+		"count":     len(res.Neighbors),
+		"neighbors": toNeighbors(res.Neighbors),
+		"stats":     toStats(res.Stats),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.ix.Stats()
+	io := s.ix.IOStats()
+	writeJSON(w, map[string]any{
+		"index": map[string]any{
+			"vertices":          st.Vertices,
+			"edges":             st.Edges,
+			"total_blocks":      st.TotalBlocks,
+			"total_bytes":       st.TotalBytes,
+			"blocks_per_vertex": st.BlocksPerVertex(),
+			"build_time_ms":     st.BuildTime.Milliseconds(),
+			"radius":            s.ix.Radius(),
+		},
+		"objects": s.objs.Len(),
+		"pool": map[string]any{
+			"page_hits":          io.PageHits,
+			"page_misses":        io.PageMisses,
+			"modeled_io_time_us": io.ModeledIOTime.Microseconds(),
+		},
+		"server": map[string]any{
+			"uptime_s": int64(time.Since(s.started).Seconds()),
+			"requests": s.requests.Load(),
+			"queries":  s.queries.Load(),
+		},
+	})
+}

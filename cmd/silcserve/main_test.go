@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"silc"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	net, err := silc.GenerateGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{DiskResident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]silc.VertexID, net.NumVertices())
+	for i := range vs {
+		vs[i] = silc.VertexID(i)
+	}
+	return newServer(ix, silc.NewObjectSet(net, vs), 100, 1000)
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func TestServerEndpoints(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).routes())
+	defer ts.Close()
+
+	var knn struct {
+		Neighbors []struct {
+			Vertex int64   `json:"vertex"`
+			Dist   float64 `json:"dist"`
+			Exact  bool    `json:"exact"`
+		} `json:"neighbors"`
+		Stats struct {
+			Method string `json:"method"`
+		} `json:"stats"`
+	}
+	if resp := getJSON(t, ts, "/knn?q=0&k=3", &knn); resp.StatusCode != 200 {
+		t.Fatalf("/knn status %d", resp.StatusCode)
+	}
+	if len(knn.Neighbors) != 3 || knn.Stats.Method != "KNN" {
+		t.Fatalf("knn response: %+v", knn)
+	}
+	if knn.Neighbors[0].Dist != 0 {
+		t.Fatalf("nearest to an object-bearing vertex should be distance 0: %+v", knn.Neighbors[0])
+	}
+
+	var dist struct {
+		Reachable bool    `json:"reachable"`
+		Distance  float64 `json:"distance"`
+	}
+	getJSON(t, ts, "/distance?src=0&dst=63", &dist)
+	if !dist.Reachable || dist.Distance <= 0 {
+		t.Fatalf("distance response: %+v", dist)
+	}
+
+	var path struct {
+		Reachable bool    `json:"reachable"`
+		Distance  float64 `json:"distance"`
+		Path      []int64 `json:"path"`
+	}
+	getJSON(t, ts, "/path?src=0&dst=63", &path)
+	if !path.Reachable || len(path.Path) < 2 || path.Path[0] != 0 || path.Path[len(path.Path)-1] != 63 {
+		t.Fatalf("path response: %+v", path)
+	}
+	if path.Distance != dist.Distance {
+		t.Fatalf("path distance %v != distance %v", path.Distance, dist.Distance)
+	}
+
+	var rng struct {
+		Count     int `json:"count"`
+		Neighbors []struct {
+			Dist float64 `json:"dist"`
+		} `json:"neighbors"`
+	}
+	getJSON(t, ts, "/range?q=0&radius=0.3", &rng)
+	if rng.Count == 0 || rng.Count != len(rng.Neighbors) {
+		t.Fatalf("range response: %+v", rng)
+	}
+
+	var stats struct {
+		Index struct {
+			Vertices int `json:"vertices"`
+		} `json:"index"`
+		Pool struct {
+			PageMisses int64 `json:"page_misses"`
+		} `json:"page_misses_unused"`
+		Server struct {
+			Requests int64 `json:"requests"`
+			Queries  int64 `json:"queries"`
+		} `json:"server"`
+	}
+	getJSON(t, ts, "/stats", &stats)
+	if stats.Index.Vertices != 64 {
+		t.Fatalf("stats vertices = %d", stats.Index.Vertices)
+	}
+	if stats.Server.Queries < 4 {
+		t.Fatalf("stats queries = %d", stats.Server.Queries)
+	}
+
+	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != 200 {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).routes())
+	defer ts.Close()
+	for _, path := range []string{
+		"/knn?q=0",                 // missing k
+		"/knn?q=9999&k=3",          // vertex out of range
+		"/knn?q=0&k=0",             // bad k
+		"/knn?q=0&k=3&method=WARP", // unknown method
+		"/distance?src=0",          // missing dst
+		"/range?q=0&radius=-1",
+	} {
+		resp := getJSON(t, ts, path, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerBatchKNN(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).routes())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"queries": []int64{0, 7, 21, 63},
+		"k":       2,
+		"method":  "KNN",
+	})
+	resp, err := ts.Client().Post(ts.URL+"/knn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out struct {
+		Results []struct {
+			Query     int64 `json:"query"`
+			Neighbors []struct {
+				Dist float64 `json:"dist"`
+			} `json:"neighbors"`
+		} `json:"results"`
+		Batch struct {
+			Queries int     `json:"queries"`
+			Workers int     `json:"workers"`
+			QPS     float64 `json:"qps"`
+		} `json:"batch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 || out.Batch.Queries != 4 || out.Batch.Workers < 1 || out.Batch.QPS <= 0 {
+		t.Fatalf("batch response: %+v", out)
+	}
+	for i, r := range out.Results {
+		if len(r.Neighbors) != 2 {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+		if r.Neighbors[0].Dist != 0 {
+			t.Fatalf("result %d should start at its own vertex: %+v", i, r)
+		}
+	}
+}
+
+// TestServerConcurrentRequests hammers one shared disk-resident index from
+// many goroutines; run under -race this is the serving-layer concurrency
+// check.
+func TestServerConcurrentRequests(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).routes())
+	defer ts.Close()
+
+	paths := []string{
+		"/knn?q=5&k=4",
+		"/knn?q=40&k=2&method=INN",
+		"/distance?src=3&dst=60",
+		"/path?src=9&dst=54",
+		"/range?q=30&radius=0.25",
+		"/stats",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				resp, err := ts.Client().Get(ts.URL + paths[(w+i)%len(paths)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

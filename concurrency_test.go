@@ -1,0 +1,216 @@
+package silc
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// concurrencyFixture builds one shared index (memory- or disk-resident),
+// an object set, and a pool of query vertices.
+func concurrencyFixture(t *testing.T, diskResident bool) (*Index, *ObjectSet, []VertexID) {
+	t.Helper()
+	net := testNetwork(t)
+	ix, err := BuildIndex(net, BuildOptions{DiskResident: diskResident})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	perm := rng.Perm(net.NumVertices())
+	vertices := make([]VertexID, 40)
+	for i := range vertices {
+		vertices[i] = VertexID(perm[i])
+	}
+	queries := make([]VertexID, 60)
+	for i := range queries {
+		queries[i] = VertexID(rng.Intn(net.NumVertices()))
+	}
+	return ix, NewObjectSet(net, vertices), queries
+}
+
+func neighborsEqual(t *testing.T, tag string, got, want []Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d neighbors, want %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		// Equidistant neighbors may legally swap order, so compare the
+		// certified distances rather than object identity.
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("%s: neighbor %d dist %v, want %v", tag, i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func testParallelQueries(t *testing.T, diskResident bool) {
+	ix, objs, queries := concurrencyFixture(t, diskResident)
+	const k = 5
+
+	want := make([]Result, len(queries))
+	for i, q := range queries {
+		want[i] = ix.NearestNeighbors(objs, q, k)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range queries {
+				j := (i + w*7) % len(queries)
+				res := ix.NearestNeighbors(objs, queries[j], k)
+				neighborsEqual(t, "parallel query", res.Neighbors, want[j].Neighbors)
+				if diskResident && res.Stats.PageHits+res.Stats.PageMisses == 0 {
+					t.Errorf("disk-resident query reported no page traffic")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestParallelQueriesMemoryResident(t *testing.T) { testParallelQueries(t, false) }
+func TestParallelQueriesDiskResident(t *testing.T)   { testParallelQueries(t, true) }
+
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	for _, disk := range []bool{false, true} {
+		ix, objs, queries := concurrencyFixture(t, disk)
+		const k = 4
+		batch := ix.QueryBatch(objs, queries, k, MethodKNN)
+		if len(batch.Results) != len(queries) {
+			t.Fatalf("batch returned %d results for %d queries", len(batch.Results), len(queries))
+		}
+		if batch.Stats.Queries != len(queries) || batch.Stats.Workers < 1 {
+			t.Fatalf("batch stats: %+v", batch.Stats)
+		}
+		if batch.Stats.QPS <= 0 || batch.Stats.Wall <= 0 {
+			t.Fatalf("batch stats: %+v", batch.Stats)
+		}
+		var hits, misses int64
+		for i, q := range queries {
+			want := ix.Query(objs, q, k, MethodKNN)
+			neighborsEqual(t, "batch result", batch.Results[i].Neighbors, want.Neighbors)
+			hits += batch.Results[i].Stats.PageHits
+			misses += batch.Results[i].Stats.PageMisses
+		}
+		// Aggregate traffic is exactly the sum of per-query traffic.
+		if hits != batch.Stats.PageHits || misses != batch.Stats.PageMisses {
+			t.Fatalf("aggregate IO %d/%d != summed per-query %d/%d",
+				batch.Stats.PageHits, batch.Stats.PageMisses, hits, misses)
+		}
+		if disk && batch.Stats.PageHits+batch.Stats.PageMisses == 0 {
+			t.Fatal("disk-resident batch reported no page traffic")
+		}
+		if !disk && batch.Stats.PageHits+batch.Stats.PageMisses != 0 {
+			t.Fatal("memory-resident batch should report zero page traffic")
+		}
+	}
+}
+
+func TestQueryBatchWorkersBound(t *testing.T) {
+	ix, objs, queries := concurrencyFixture(t, false)
+	one := ix.QueryBatchWorkers(objs, queries, 3, MethodKNN, 1)
+	four := ix.QueryBatchWorkers(objs, queries, 3, MethodKNN, 4)
+	if one.Stats.Workers != 1 || four.Stats.Workers != 4 {
+		t.Fatalf("workers = %d and %d", one.Stats.Workers, four.Stats.Workers)
+	}
+	for i := range queries {
+		neighborsEqual(t, "worker bound", four.Results[i].Neighbors, one.Results[i].Neighbors)
+	}
+	empty := ix.QueryBatch(objs, nil, 3, MethodKNN)
+	if len(empty.Results) != 0 || empty.Stats.Queries != 0 {
+		t.Fatalf("empty batch: %+v", empty.Stats)
+	}
+}
+
+func TestQueryBatchAllMethods(t *testing.T) {
+	ix, objs, queries := concurrencyFixture(t, true)
+	queries = queries[:10]
+	for _, m := range []Method{MethodKNN, MethodINN, MethodKNNI, MethodKNNM, MethodINE, MethodIER} {
+		batch := ix.QueryBatch(objs, queries, 3, m)
+		for i, res := range batch.Results {
+			if len(res.Neighbors) != 3 {
+				t.Fatalf("%v query %d: %d neighbors", m, i, len(res.Neighbors))
+			}
+		}
+	}
+}
+
+// TestConcurrentBrowsers interleaves several distance-browsing cursors over
+// one shared disk-resident index: each cursor must stream the same sequence
+// a fresh solo cursor produces.
+func TestConcurrentBrowsers(t *testing.T) {
+	ix, objs, queries := concurrencyFixture(t, true)
+	starts := queries[:6]
+	const steps = 15
+
+	want := make([][]Neighbor, len(starts))
+	for i, q := range starts {
+		b := ix.Browse(objs, q)
+		for j := 0; j < steps; j++ {
+			n, ok := b.Next()
+			if !ok {
+				break
+			}
+			want[i] = append(want[i], n)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		for i, q := range starts {
+			wg.Add(1)
+			go func(i int, q VertexID) {
+				defer wg.Done()
+				b := ix.Browse(objs, q)
+				for j := 0; j < steps; j++ {
+					n, ok := b.Next()
+					if !ok {
+						if j != len(want[i]) {
+							t.Errorf("cursor %d exhausted at %d, want %d", i, j, len(want[i]))
+						}
+						return
+					}
+					if math.Abs(n.Dist-want[i][j].Dist) > 1e-9 {
+						t.Errorf("cursor %d step %d: dist %v, want %v", i, j, n.Dist, want[i][j].Dist)
+						return
+					}
+				}
+				if s := b.Stats(); s.PageHits+s.PageMisses == 0 {
+					t.Errorf("cursor %d reported no page traffic", i)
+				}
+			}(i, q)
+		}
+	}
+	wg.Wait()
+}
+
+// TestConcurrentMixedReaders drives every public query primitive at once
+// over one shared disk-resident index — the -race canary for the whole
+// query surface.
+func TestConcurrentMixedReaders(t *testing.T) {
+	ix, objs, queries := concurrencyFixture(t, true)
+	var wg sync.WaitGroup
+	run := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				f(i)
+			}
+		}()
+	}
+	n := len(queries)
+	run(func(i int) { ix.NearestNeighbors(objs, queries[i%n], 3) })
+	run(func(i int) { ix.Distance(queries[i%n], queries[(i+1)%n]) })
+	run(func(i int) { ix.ShortestPath(queries[i%n], queries[(i+3)%n]) })
+	run(func(i int) { ix.DistanceInterval(queries[i%n], queries[(i+5)%n]) })
+	run(func(i int) { ix.IsCloser(queries[i%n], queries[(i+1)%n], queries[(i+2)%n]) })
+	run(func(i int) { ix.WithinDistance(objs, queries[i%n], 0.2) })
+	run(func(i int) { ix.IOStats() })
+	wg.Wait()
+	if s := ix.IOStats(); s.PageHits+s.PageMisses == 0 {
+		t.Fatal("pool-wide counters should have accumulated traffic")
+	}
+}

@@ -1,0 +1,3 @@
+module silc
+
+go 1.24

@@ -20,7 +20,10 @@ type BuildOptions struct {
 	// CacheFraction sizes the LRU buffer pool as a fraction of total pages
 	// (default 0.05, the paper's setting). Used only when DiskResident.
 	CacheFraction float64
-	// MissLatency is the modeled cost of one page miss (default 5ms).
+	// MissLatency is the modeled cost of one page miss. The default is
+	// diskio.DefaultMissLatency, 200µs — a buffered 4KiB read, which
+	// reproduces the paper's magnitudes; raise it toward 5ms to model a
+	// cold spinning disk. Used only when DiskResident.
 	MissLatency time.Duration
 	// ProximityRadius, when positive, bounds each vertex's quadtree to the
 	// vertices within that network distance — the paper's location-based-
@@ -41,9 +44,9 @@ type Interval = core.Interval
 
 // Index is a SILC index over one network: per-vertex shortest-path quadtrees
 // supporting interval-based distance queries, progressive refinement, exact
-// distances, and path retrieval. An Index is safe for concurrent readers
-// unless built DiskResident (the buffer-pool statistics are per-index
-// mutable state).
+// distances, and path retrieval. Every Index — including DiskResident ones —
+// is safe for unlimited concurrent readers: the buffer pool is sharded and
+// per-query statistics live in query-owned contexts, never on the Index.
 type Index struct {
 	net *Network
 	ix  *core.Index
@@ -195,7 +198,9 @@ type IOStats struct {
 	ModeledIOTime time.Duration
 }
 
-// IOStats returns cumulative buffer-pool statistics.
+// IOStats returns cumulative pool-wide buffer-pool statistics, summed over
+// all queries since the last reset. Per-query traffic is reported on each
+// Result's QueryStats.
 func (ix *Index) IOStats() IOStats {
 	t := ix.ix.Tracker()
 	s := t.Stats()

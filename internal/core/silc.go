@@ -63,7 +63,8 @@ type BuildOptions struct {
 	// CacheFraction sizes the LRU pool as a fraction of total pages.
 	// Default 0.05, the paper's setting. Only used when DiskResident.
 	CacheFraction float64
-	// MissLatency is the modeled cost per page miss; default 5ms.
+	// MissLatency is the modeled cost per page miss; default
+	// diskio.DefaultMissLatency (200µs, a buffered 4KiB read).
 	MissLatency time.Duration
 	// ProximityRadius, when positive, bounds each shortest-path quadtree to
 	// the vertices within that network distance of its source — the paper's
@@ -94,7 +95,33 @@ func (s BuildStats) BlocksPerVertex() float64 {
 	return float64(s.TotalBlocks) / float64(s.Vertices)
 }
 
-// Index is a SILC index over one spatial network.
+// QueryContext carries the per-query mutable state of one logical query:
+// today the buffer-pool traffic counter, tomorrow whatever else a query
+// accumulates. Each context is owned by exactly one goroutine; the index
+// itself stays read-only on the query path, which is what makes every
+// Index — including DiskResident ones — safe for unlimited concurrent
+// readers. A nil *QueryContext is valid everywhere and means "untracked":
+// the shared pool is still charged, but no per-query attribution happens.
+type QueryContext struct {
+	// IO counts the buffer-pool traffic this query caused.
+	IO diskio.Stats
+}
+
+// NewQueryContext returns a fresh per-query context.
+func NewQueryContext() *QueryContext { return &QueryContext{} }
+
+// ioCounter returns the per-query counter to charge, nil when untracked.
+func (qc *QueryContext) ioCounter() *diskio.Stats {
+	if qc == nil {
+		return nil
+	}
+	return &qc.IO
+}
+
+// Index is a SILC index over one spatial network. The query path never
+// mutates the Index: per-query state lives in a QueryContext and the
+// buffer pool is sharded, so any number of goroutines may query one shared
+// Index concurrently.
 type Index struct {
 	g       *graph.Network
 	trees   []*quadtree.Tree // indexed by source vertex
@@ -232,24 +259,29 @@ func (ix *Index) Radius() float64 { return ix.radius }
 func (ix *Index) BlockCount(v graph.VertexID) int { return ix.trees[v].NumBlocks() }
 
 // lookup finds the block of tree[u] containing dst's cell and charges the
-// page access.
-func (ix *Index) lookup(u, dst graph.VertexID) (quadtree.Block, bool) {
+// page access to qc's counter (untracked when qc is nil).
+func (ix *Index) lookup(qc *QueryContext, u, dst graph.VertexID) (quadtree.Block, bool) {
 	t := ix.trees[u]
 	i, ok := t.FindIndex(ix.g.Code(dst))
 	if !ok {
 		return quadtree.Block{}, false
 	}
-	ix.tracker.TouchBlock(int(u), i)
+	ix.tracker.TouchBlock(int(u), i, qc.ioCounter())
 	return t.Blocks[i], true
 }
 
 // DistanceInterval returns the zero-refinement network-distance interval
 // between u and v: one block lookup in u's quadtree.
 func (ix *Index) DistanceInterval(u, v graph.VertexID) Interval {
+	return ix.DistanceIntervalCtx(nil, u, v)
+}
+
+// DistanceIntervalCtx is DistanceInterval with per-query I/O attribution.
+func (ix *Index) DistanceIntervalCtx(qc *QueryContext, u, v graph.VertexID) Interval {
 	if u == v {
 		return Interval{}
 	}
-	b, ok := ix.lookup(u, v)
+	b, ok := ix.lookup(qc, u, v)
 	if !ok {
 		return ix.missInterval(u, v)
 	}
@@ -270,10 +302,15 @@ func (ix *Index) missInterval(u, v graph.VertexID) Interval {
 // NextHop returns the first vertex after u on the shortest path u→v.
 // It returns graph.NoVertex when v lies beyond the proximity radius.
 func (ix *Index) NextHop(u, v graph.VertexID) graph.VertexID {
+	return ix.NextHopCtx(nil, u, v)
+}
+
+// NextHopCtx is NextHop with per-query I/O attribution.
+func (ix *Index) NextHopCtx(qc *QueryContext, u, v graph.VertexID) graph.VertexID {
 	if u == v {
 		return v
 	}
-	b, ok := ix.lookup(u, v)
+	b, ok := ix.lookup(qc, u, v)
 	if !ok {
 		ix.missInterval(u, v) // panics when the index is unbounded
 		return graph.NoVertex
@@ -286,9 +323,14 @@ func (ix *Index) NextHop(u, v graph.VertexID) graph.VertexID {
 // lookup per hop — the paper's "entire shortest path in size-of-path steps".
 // It returns nil when v lies beyond the proximity radius.
 func (ix *Index) Path(u, v graph.VertexID) []graph.VertexID {
+	return ix.PathCtx(nil, u, v)
+}
+
+// PathCtx is Path with per-query I/O attribution.
+func (ix *Index) PathCtx(qc *QueryContext, u, v graph.VertexID) []graph.VertexID {
 	path := []graph.VertexID{u}
 	for cur := u; cur != v; {
-		cur = ix.NextHop(cur, v)
+		cur = ix.NextHopCtx(qc, cur, v)
 		if cur == graph.NoVertex {
 			return nil
 		}
@@ -300,7 +342,12 @@ func (ix *Index) Path(u, v graph.VertexID) []graph.VertexID {
 // Distance fully refines and returns the exact network distance.
 // It returns +Inf when v lies beyond the proximity radius.
 func (ix *Index) Distance(u, v graph.VertexID) float64 {
-	r := ix.NewRefiner(u, v)
+	return ix.DistanceCtx(nil, u, v)
+}
+
+// DistanceCtx is Distance with per-query I/O attribution.
+func (ix *Index) DistanceCtx(qc *QueryContext, u, v graph.VertexID) float64 {
+	r := ix.NewRefinerCtx(qc, u, v)
 	for !r.Done() {
 		if !r.Step() {
 			break
@@ -330,6 +377,7 @@ func (ix *Index) RegionLowerBound(q graph.VertexID, rect geom.Rect) float64 {
 // path-length steps the interval is exact.
 type Refiner struct {
 	ix         *Index
+	qc         *QueryContext
 	src, dst   graph.VertexID
 	cur        graph.VertexID
 	acc        float64
@@ -343,12 +391,18 @@ type Refiner struct {
 // NewRefiner computes the zero-refinement interval and returns the
 // refinement cursor for the pair.
 func (ix *Index) NewRefiner(src, dst graph.VertexID) *Refiner {
-	r := &Refiner{ix: ix, src: src, dst: dst, cur: src}
+	return ix.NewRefinerCtx(nil, src, dst)
+}
+
+// NewRefinerCtx is NewRefiner with per-query I/O attribution: every block
+// lookup the cursor performs is charged to qc.
+func (ix *Index) NewRefinerCtx(qc *QueryContext, src, dst graph.VertexID) *Refiner {
+	r := &Refiner{ix: ix, qc: qc, src: src, dst: dst, cur: src}
 	if src == dst {
 		r.done = true
 		return r
 	}
-	b, ok := ix.lookup(src, dst)
+	b, ok := ix.lookup(qc, src, dst)
 	if !ok {
 		r.iv = ix.missInterval(src, dst)
 		r.outOfRange = true
@@ -396,7 +450,7 @@ func (r *Refiner) Step() bool {
 		r.done = true
 		return false
 	}
-	b, ok := r.ix.lookup(next, r.dst)
+	b, ok := r.ix.lookup(r.qc, next, r.dst)
 	if !ok {
 		panic(fmt.Sprintf("core: vertex %d not covered by quadtree of %d", r.dst, next))
 	}

@@ -4,9 +4,19 @@
 // count (the paper uses 5%). Algorithms report page hits/misses and a
 // modeled I/O time (misses x per-miss latency), reproducing the paper's
 // "I/O time dominates" analysis without a physical disk.
+//
+// The buffer pool is sharded: page ids hash onto N independently
+// mutex-guarded LRU shards, so unlimited concurrent queries can share one
+// pool without serializing on a single lock. Aggregate hit/miss counters are
+// atomic; per-query attribution happens through a query-owned *Stats counter
+// passed into every Touch call (nil for untracked access).
 package diskio
 
-import "time"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // PageID identifies one page across all paged structures of an index.
 type PageID int64
@@ -46,8 +56,9 @@ func (s Stats) ModeledIOTime(missLatency time.Duration) time.Duration {
 	return time.Duration(s.Misses) * missLatency
 }
 
-// Cache is an LRU page buffer pool. The zero value is unusable; create with
-// NewCache. Not safe for concurrent use (queries own their tracker).
+// Cache is a single LRU page list — the building block of one Pool shard.
+// The zero value is unusable; create with NewCache. Not safe for concurrent
+// use on its own: Pool guards each Cache with its shard mutex.
 type Cache struct {
 	capacity int
 	slots    map[PageID]int // page -> slot index
@@ -154,6 +165,141 @@ func (c *Cache) moveToFront(slot int) {
 	c.pushFront(slot)
 }
 
+// DefaultPoolShards is the shard count of a sharded buffer pool. Power of
+// two so shard selection is a mask; large enough that tens of goroutines
+// rarely collide on one shard mutex.
+const DefaultPoolShards = 64
+
+// Pool is a sharded LRU buffer pool, safe for unlimited concurrent users.
+// Pages hash onto shards (Fibonacci hashing of the PageID), each shard is a
+// mutex-guarded Cache holding its slice of the total capacity, and the
+// aggregate hit/miss counters are atomics. Per-shard LRU approximates global
+// LRU the way production buffer managers do: eviction order is exact within
+// a shard and pages spread uniformly across shards.
+type Pool struct {
+	shards []poolShard
+	shift  uint // 64 - log2(len(shards))
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type poolShard struct {
+	mu  sync.Mutex
+	lru *Cache
+	// Pad to a 64-byte cache line (8 mutex + 8 pointer + 48) so neighboring
+	// shard mutexes don't false-share.
+	_ [48]byte
+}
+
+// NewPool returns a sharded pool of the given total page capacity (minimum
+// 1). The shard count is reduced below shards when the capacity is too small
+// to give every shard at least one page.
+func NewPool(capacity, shards int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	for shards > 1 && (shards&(shards-1)) != 0 {
+		shards-- // round down to a power of two
+	}
+	for shards > capacity {
+		shards >>= 1
+	}
+	p := &Pool{shards: make([]poolShard, shards)}
+	log2 := 0
+	for 1<<log2 < shards {
+		log2++
+	}
+	p.shift = uint(64 - log2)
+	base, rem := capacity/shards, capacity%shards
+	for i := range p.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		p.shards[i].lru = NewCache(c)
+	}
+	return p
+}
+
+// shardOf maps a page id onto its shard by Fibonacci hashing.
+func (p *Pool) shardOf(id PageID) *poolShard {
+	if len(p.shards) == 1 {
+		return &p.shards[0]
+	}
+	return &p.shards[(uint64(id)*0x9E3779B97F4A7C15)>>p.shift]
+}
+
+// Touch accesses page id, returning true on a hit. The access is counted in
+// the pool's atomic aggregates and, when qs is non-nil, in the caller's
+// per-query counter (qs must be owned by the calling goroutine).
+func (p *Pool) Touch(id PageID, qs *Stats) bool {
+	s := p.shardOf(id)
+	s.mu.Lock()
+	hit := s.lru.Touch(id)
+	s.mu.Unlock()
+	if hit {
+		p.hits.Add(1)
+		if qs != nil {
+			qs.Hits++
+		}
+	} else {
+		p.misses.Add(1)
+		if qs != nil {
+			qs.Misses++
+		}
+	}
+	return hit
+}
+
+// Capacity returns the total page capacity across shards.
+func (p *Pool) Capacity() int {
+	total := 0
+	for i := range p.shards {
+		total += p.shards[i].lru.Capacity()
+	}
+	return total
+}
+
+// NumShards returns the shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Len returns the number of resident pages across shards.
+func (p *Pool) Len() int {
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		total += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns the aggregate hit/miss counters.
+func (p *Pool) Stats() Stats {
+	return Stats{Hits: p.hits.Load(), Misses: p.misses.Load()}
+}
+
+// ResetStats zeroes the aggregate counters without evicting pages.
+func (p *Pool) ResetStats() {
+	p.hits.Store(0)
+	p.misses.Store(0)
+}
+
+// Clear evicts every page and zeroes the counters.
+func (p *Pool) Clear() {
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.lru.Clear()
+		s.mu.Unlock()
+	}
+	p.ResetStats()
+}
+
 // Layout maps (owner, entry) coordinates onto a dense page range: owner v's
 // entries start at a prefix-sum base and pack entriesPerPage to a page.
 // It describes how per-vertex SILC block arrays (or adjacency lists) are
@@ -201,10 +347,15 @@ func (l *Layout) TotalPages() int64 {
 }
 
 // Tracker combines the SILC block layout and the adjacency layout behind one
-// buffer pool with disjoint page-id spaces. A nil *Tracker is valid and
-// counts nothing (the pure in-memory configuration).
+// sharded buffer pool with disjoint page-id spaces. A nil *Tracker is valid
+// and counts nothing (the pure in-memory configuration). Touch methods are
+// safe for unlimited concurrent callers; each caller attributes its own
+// traffic through the *Stats counter it passes in. Reconfiguration
+// (SetScope, ClearCache) swaps or clears the pool atomically, so racing
+// queries cannot corrupt it — their traffic simply lands in whichever pool
+// they observe.
 type Tracker struct {
-	cache       *Cache
+	pool        atomic.Pointer[Pool]
 	blocks      *Layout
 	adjacency   *Layout
 	adjBase     PageID
@@ -219,18 +370,26 @@ func NewTracker(blockCounts, degrees []int, cacheFraction float64, missLatency t
 	blocks := NewLayout(blockCounts, 16, DefaultPageSize)
 	adjacency := NewLayout(degrees, AdjacencyEntrySize, DefaultPageSize)
 	total := blocks.TotalPages() + adjacency.TotalPages()
-	capacity := int(float64(total) * cacheFraction)
 	if missLatency <= 0 {
 		missLatency = DefaultMissLatency
 	}
-	return &Tracker{
-		cache:       NewCache(capacity),
+	t := &Tracker{
 		blocks:      blocks,
 		adjacency:   adjacency,
 		adjBase:     PageID(blocks.TotalPages()),
 		fraction:    cacheFraction,
 		missLatency: missLatency,
 	}
+	t.pool.Store(NewPool(int(float64(total)*cacheFraction), DefaultPoolShards))
+	return t
+}
+
+// Pool returns the current buffer pool (nil for a nil tracker).
+func (t *Tracker) Pool() *Pool {
+	if t == nil {
+		return nil
+	}
+	return t.pool.Load()
 }
 
 // SetScope resizes the buffer pool for the database an algorithm actually
@@ -247,20 +406,22 @@ func (t *Tracker) SetScope(networkOnly bool) {
 	if !networkOnly {
 		total += t.blocks.TotalPages()
 	}
-	t.cache = NewCache(int(float64(total) * t.fraction))
+	t.pool.Store(NewPool(int(float64(total)*t.fraction), DefaultPoolShards))
 }
 
-// TouchBlock records an access to block entryIdx of vertex v's quadtree.
-func (t *Tracker) TouchBlock(v, entryIdx int) {
+// TouchBlock records an access to block entryIdx of vertex v's quadtree,
+// attributing it to the per-query counter qs (nil for untracked access).
+func (t *Tracker) TouchBlock(v, entryIdx int, qs *Stats) {
 	if t == nil {
 		return
 	}
-	t.cache.Touch(t.blocks.Page(v, entryIdx))
+	t.pool.Load().Touch(t.blocks.Page(v, entryIdx), qs)
 }
 
 // TouchAdjacency records an access to vertex v's adjacency list (INE/IER
-// expansion step). Lists rarely straddle pages; the first page is charged.
-func (t *Tracker) TouchAdjacency(v int) {
+// expansion step), attributed to qs. Lists rarely straddle pages; the first
+// page is charged.
+func (t *Tracker) TouchAdjacency(v int, qs *Stats) {
 	if t == nil {
 		return
 	}
@@ -268,22 +429,23 @@ func (t *Tracker) TouchAdjacency(v int) {
 	if !ok {
 		return
 	}
-	t.cache.Touch(t.adjBase + first)
+	t.pool.Load().Touch(t.adjBase+first, qs)
 }
 
-// Stats returns the pool counters (zero for a nil tracker).
+// Stats returns the pool-wide aggregate counters (zero for a nil tracker).
 func (t *Tracker) Stats() Stats {
 	if t == nil {
 		return Stats{}
 	}
-	return t.cache.Stats()
+	return t.pool.Load().Stats()
 }
 
-// ResetStats zeroes the counters, keeping cache contents warm (queries in a
-// batch share the pool, as in the paper's repeated-query setup).
+// ResetStats zeroes the aggregate counters, keeping cache contents warm
+// (queries in a batch share the pool, as in the paper's repeated-query
+// setup).
 func (t *Tracker) ResetStats() {
 	if t != nil {
-		t.cache.ResetStats()
+		t.pool.Load().ResetStats()
 	}
 }
 
@@ -291,7 +453,7 @@ func (t *Tracker) ResetStats() {
 // at the beginning of one algorithm's query batch.
 func (t *Tracker) ClearCache() {
 	if t != nil {
-		t.cache.Clear()
+		t.pool.Load().Clear()
 	}
 }
 
@@ -304,12 +466,13 @@ func (t *Tracker) MissLatency() time.Duration {
 	return t.missLatency
 }
 
-// ModeledIOTime converts current miss counts into modeled I/O time.
+// ModeledIOTime converts current aggregate miss counts into modeled I/O
+// time.
 func (t *Tracker) ModeledIOTime() time.Duration {
 	if t == nil {
 		return 0
 	}
-	return t.cache.Stats().ModeledIOTime(t.missLatency)
+	return t.pool.Load().Stats().ModeledIOTime(t.missLatency)
 }
 
 // TotalPages returns the page count across both layouts.

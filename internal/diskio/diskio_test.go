@@ -1,6 +1,7 @@
 package diskio
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -136,9 +137,9 @@ func TestLayoutPanicsOnBadSizes(t *testing.T) {
 
 func TestTrackerDisjointSpacesAndNil(t *testing.T) {
 	tr := NewTracker([]int{300, 300}, []int{4, 4}, 1.0, time.Millisecond)
-	tr.TouchBlock(0, 0)
-	tr.TouchAdjacency(0)
-	tr.TouchAdjacency(1)
+	tr.TouchBlock(0, 0, nil)
+	tr.TouchAdjacency(0, nil)
+	tr.TouchAdjacency(1, nil)
 	s := tr.Stats()
 	// Block page 0 and adjacency page (shared by both tiny lists) are
 	// distinct pages: 2 misses, 1 hit.
@@ -155,8 +156,8 @@ func TestTrackerDisjointSpacesAndNil(t *testing.T) {
 	}
 
 	var nilTracker *Tracker
-	nilTracker.TouchBlock(0, 0)
-	nilTracker.TouchAdjacency(0)
+	nilTracker.TouchBlock(0, 0, nil)
+	nilTracker.TouchAdjacency(0, nil)
 	nilTracker.ResetStats()
 	if s := nilTracker.Stats(); s != (Stats{}) {
 		t.Fatalf("nil tracker stats = %+v", s)
@@ -170,8 +171,8 @@ func TestTrackerCacheFraction(t *testing.T) {
 	// 1000 blocks of 16B = 4 pages; 1000 adjacency entries of 48B = 12
 	// pages (85/page). 50% fraction => capacity 8.
 	tr := NewTracker([]int{1000}, []int{1000}, 0.5, 0)
-	if tr.cache.Capacity() != 8 {
-		t.Fatalf("capacity = %d", tr.cache.Capacity())
+	if tr.Pool().Capacity() != 8 {
+		t.Fatalf("capacity = %d", tr.Pool().Capacity())
 	}
 	if tr.missLatency != DefaultMissLatency {
 		t.Fatalf("missLatency = %v", tr.missLatency)
@@ -183,19 +184,19 @@ func TestTrackerSetScope(t *testing.T) {
 	// 85/page) = 118 pages. Full scope at 10% => 50 pages; network-only
 	// scope => 11 pages.
 	tr := NewTracker([]int{100000}, []int{10000}, 0.1, 0)
-	if got := tr.cache.Capacity(); got != 50 {
+	if got := tr.Pool().Capacity(); got != 50 {
 		t.Fatalf("full-scope capacity = %d", got)
 	}
-	tr.TouchBlock(0, 0)
+	tr.TouchBlock(0, 0, nil)
 	tr.SetScope(true)
-	if got := tr.cache.Capacity(); got != 11 {
+	if got := tr.Pool().Capacity(); got != 11 {
 		t.Fatalf("network-scope capacity = %d", got)
 	}
 	if s := tr.Stats(); s.Accesses() != 0 {
 		t.Fatalf("SetScope must start cold: %+v", s)
 	}
 	tr.SetScope(false)
-	if got := tr.cache.Capacity(); got != 50 {
+	if got := tr.Pool().Capacity(); got != 50 {
 		t.Fatalf("restored capacity = %d", got)
 	}
 	// Nil tracker: no-ops.
@@ -204,5 +205,114 @@ func TestTrackerSetScope(t *testing.T) {
 	nilTracker.ClearCache()
 	if nilTracker.MissLatency() != DefaultMissLatency {
 		t.Fatal("nil tracker MissLatency")
+	}
+}
+
+func TestPoolShardingAndCapacity(t *testing.T) {
+	p := NewPool(100, 8)
+	if p.NumShards() != 8 {
+		t.Fatalf("NumShards = %d", p.NumShards())
+	}
+	if p.Capacity() != 100 {
+		t.Fatalf("Capacity = %d", p.Capacity())
+	}
+	// Shard count shrinks until every shard holds at least one page.
+	small := NewPool(3, 64)
+	if small.NumShards() > 3 {
+		t.Fatalf("small pool shards = %d", small.NumShards())
+	}
+	if small.Capacity() != 3 {
+		t.Fatalf("small pool capacity = %d", small.Capacity())
+	}
+	// Non-power-of-two shard requests round down.
+	odd := NewPool(100, 7)
+	if n := odd.NumShards(); n != 4 {
+		t.Fatalf("odd shard request gave %d shards", n)
+	}
+}
+
+func TestPoolHitMissAndPerQueryAttribution(t *testing.T) {
+	p := NewPool(64, 4)
+	var q1, q2 Stats
+	p.Touch(1, &q1) // miss
+	p.Touch(1, &q1) // hit
+	p.Touch(1, &q2) // hit
+	p.Touch(2, &q2) // miss
+	p.Touch(3, nil) // miss, untracked
+	if q1.Hits != 1 || q1.Misses != 1 {
+		t.Fatalf("q1 = %+v", q1)
+	}
+	if q2.Hits != 1 || q2.Misses != 1 {
+		t.Fatalf("q2 = %+v", q2)
+	}
+	agg := p.Stats()
+	if agg.Hits != 2 || agg.Misses != 3 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	p.ResetStats()
+	if s := p.Stats(); s.Accesses() != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	if !p.Touch(1, nil) {
+		t.Fatal("page 1 should remain resident across ResetStats")
+	}
+	p.Clear()
+	if p.Len() != 0 || p.Touch(1, nil) {
+		t.Fatal("Clear should evict everything")
+	}
+}
+
+func TestPoolConcurrentTouches(t *testing.T) {
+	p := NewPool(256, 16)
+	const workers = 8
+	const touches = 2000
+	counters := make([]Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < touches; i++ {
+				p.Touch(PageID((w*touches+i)%500), &counters[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for w := range counters {
+		if got := counters[w].Accesses(); got != touches {
+			t.Fatalf("worker %d accesses = %d", w, got)
+		}
+		total += counters[w].Accesses()
+	}
+	if agg := p.Stats().Accesses(); agg != total {
+		t.Fatalf("aggregate %d != per-query sum %d", agg, total)
+	}
+}
+
+func TestTrackerConcurrentTouches(t *testing.T) {
+	tr := NewTracker([]int{100000, 100000}, []int{100, 100}, 0.1, 0)
+	var wg sync.WaitGroup
+	counters := make([]Stats, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.TouchBlock(w%2, i%1000, &counters[w])
+				tr.TouchAdjacency(w%2, &counters[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum int64
+	for w := range counters {
+		sum += counters[w].Accesses()
+	}
+	if got := tr.Stats().Accesses(); got != sum {
+		t.Fatalf("aggregate %d != per-query sum %d", got, sum)
 	}
 }

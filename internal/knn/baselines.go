@@ -14,7 +14,7 @@ import (
 // expansion frontier passes the kth-best distance. Its cost scales with the
 // number of edges closer than the kth neighbor.
 func INE(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
-	io := beginIO(ix)
+	clock := beginQuery(ix)
 	g := ix.Network()
 	tracker := ix.Tracker()
 	stats := Stats{Algorithm: "INE", K: k}
@@ -56,7 +56,7 @@ func INE(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
 				best.Push(d, nb)
 			}
 		}
-		tracker.TouchAdjacency(int(v))
+		tracker.TouchAdjacency(int(v), &clock.qc.IO)
 		targets, weights := g.Neighbors(v)
 		for i, t := range targets {
 			stats.Relaxed++
@@ -74,7 +74,7 @@ func INE(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
 	if n := len(res.Neighbors); n > 0 {
 		res.Stats.DkFinal = res.Neighbors[n-1].Dist
 	}
-	io.finish(&res.Stats)
+	clock.finish(&res.Stats)
 	return res
 }
 
@@ -96,7 +96,7 @@ func IERAStar(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
 }
 
 func ier(ix *core.Index, objs *Objects, q graph.VertexID, k int, astar bool, name string) Result {
-	io := beginIO(ix)
+	clock := beginQuery(ix)
 	g := ix.Network()
 	stats := Stats{Algorithm: name, K: k}
 
@@ -111,7 +111,7 @@ func ier(ix *core.Index, objs *Objects, q graph.VertexID, k int, astar bool, nam
 			if best.Len() == k && eucl >= best.TopKey() {
 				break
 			}
-			d := ierNetworkDistance(ix, q, o.Vertex, astar, &stats)
+			d := ierNetworkDistance(ix, clock.qc, q, o.Vertex, astar, &stats)
 			nb := Neighbor{
 				Object:   o,
 				Interval: core.Interval{Lo: d, Hi: d},
@@ -131,13 +131,13 @@ func ier(ix *core.Index, objs *Objects, q graph.VertexID, k int, astar bool, nam
 	if n := len(res.Neighbors); n > 0 {
 		res.Stats.DkFinal = res.Neighbors[n-1].Dist
 	}
-	io.finish(&res.Stats)
+	clock.finish(&res.Stats)
 	return res
 }
 
 // ierNetworkDistance runs a point-to-point search on the paged network,
-// charging adjacency-page accesses to the index's tracker.
-func ierNetworkDistance(ix *core.Index, s, t graph.VertexID, astar bool, stats *Stats) float64 {
+// charging adjacency-page accesses to the query's context.
+func ierNetworkDistance(ix *core.Index, qc *core.QueryContext, s, t graph.VertexID, astar bool, stats *Stats) float64 {
 	stats.AStarCalls++
 	if s == t {
 		return 0
@@ -171,7 +171,7 @@ func ierNetworkDistance(ix *core.Index, s, t graph.VertexID, astar bool, stats *
 		if v == t {
 			return dist[t]
 		}
-		tracker.TouchAdjacency(int(v))
+		tracker.TouchAdjacency(int(v), &qc.IO)
 		d := dist[v]
 		targets, weights := g.Neighbors(v)
 		for i, u := range targets {

@@ -63,11 +63,11 @@ var Variants = []Variant{VariantINN, VariantKNNI, VariantKNN, VariantKNNM}
 
 // Search runs the selected kNN variant from query vertex q.
 func Search(ix *core.Index, objs *Objects, q graph.VertexID, k int, variant Variant) Result {
-	io := beginIO(ix)
-	e := newEngine(ix, objs, q, k, variant)
+	clock := beginQuery(ix)
+	e := newEngine(ix, clock.qc, objs, q, k, variant)
 	e.run()
 	res := e.result()
-	io.finish(&res.Stats)
+	clock.finish(&res.Stats)
 	return res
 }
 
@@ -87,8 +87,12 @@ type objState struct {
 	reported bool
 }
 
+// engine holds all mutable state of one query: the queues, the per-object
+// refinement scratch, and the query context its I/O is charged to. Engines
+// never share state, so any number may run concurrently over one Index.
 type engine struct {
 	ix      *core.Index
+	qc      *core.QueryContext
 	objs    *Objects
 	q       graph.VertexID
 	k       int
@@ -106,9 +110,10 @@ type engine struct {
 	pqClock  time.Duration
 }
 
-func newEngine(ix *core.Index, objs *Objects, q graph.VertexID, k int, variant Variant) *engine {
+func newEngine(ix *core.Index, qc *core.QueryContext, objs *Objects, q graph.VertexID, k int, variant Variant) *engine {
 	e := &engine{
 		ix:      ix,
+		qc:      qc,
 		objs:    objs,
 		q:       q,
 		k:       k,
@@ -279,7 +284,7 @@ func (e *engine) expand(n *pmr.Node) {
 }
 
 func (e *engine) discover(o pmr.Object) {
-	st := &objState{id: o.ID, refiner: e.ix.NewRefiner(e.q, o.Vertex)}
+	st := &objState{id: o.ID, refiner: e.ix.NewRefinerCtx(e.qc, e.q, o.Vertex)}
 	st.iv = st.refiner.Interval()
 	e.states[o.ID] = st
 	e.stats.Lookups++
@@ -406,9 +411,11 @@ type Browser struct {
 	at int
 }
 
-// NewBrowser positions a cursor before the nearest object to q.
+// NewBrowser positions a cursor before the nearest object to q. Each cursor
+// owns its query context, so independent cursors — even over one shared
+// DiskResident index — browse concurrently, each accounting its own I/O.
 func NewBrowser(ix *core.Index, objs *Objects, q graph.VertexID) *Browser {
-	return &Browser{e: newEngine(ix, objs, q, objs.Len(), VariantINN)}
+	return &Browser{e: newEngine(ix, core.NewQueryContext(), objs, q, objs.Len(), VariantINN)}
 }
 
 // Next returns the next neighbor in increasing network distance; ok is false
@@ -427,9 +434,17 @@ func (b *Browser) Next() (Neighbor, bool) {
 // Query returns the cursor's query vertex.
 func (b *Browser) Query() graph.VertexID { return b.e.q }
 
-// Stats returns the cursor's accumulated statistics.
+// Context returns the cursor's query context, so follow-up work on behalf
+// of the same logical query (e.g. refining a reported neighbor to exact)
+// can charge the same counters.
+func (b *Browser) Context() *core.QueryContext { return b.e.qc }
+
+// Stats returns the cursor's accumulated statistics, including the I/O
+// traffic charged to its query context so far.
 func (b *Browser) Stats() Stats {
 	s := b.e.stats
 	s.PQTime = b.e.pqClock
+	s.IO = b.e.qc.IO
+	s.IOTime = s.IO.ModeledIOTime(b.e.ix.Tracker().MissLatency())
 	return s
 }

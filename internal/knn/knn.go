@@ -122,22 +122,25 @@ func (r Result) Distances() []float64 {
 	return out
 }
 
-// ioBracket snapshots tracker statistics around a query.
-type ioBracket struct {
-	tracker *diskio.Tracker
-	before  diskio.Stats
-	start   time.Time
+// queryClock pairs one query's wall clock with its own I/O counters. Every
+// page access the query performs is charged to qc, so concurrent queries on
+// one shared index each report exactly their own traffic (the previous
+// design diffed the index-global counters around the query, which
+// misattributes under concurrency).
+type queryClock struct {
+	ix    *core.Index
+	qc    *core.QueryContext
+	start time.Time
 }
 
-func beginIO(ix *core.Index) ioBracket {
-	return ioBracket{tracker: ix.Tracker(), before: ix.Tracker().Stats(), start: time.Now()}
+func beginQuery(ix *core.Index) queryClock {
+	return queryClock{ix: ix, qc: core.NewQueryContext(), start: time.Now()}
 }
 
-func (b ioBracket) finish(s *Stats) {
+func (b queryClock) finish(s *Stats) {
 	s.CPU = time.Since(b.start)
-	after := b.tracker.Stats()
-	s.IO = diskio.Stats{Hits: after.Hits - b.before.Hits, Misses: after.Misses - b.before.Misses}
-	s.IOTime = s.IO.ModeledIOTime(b.tracker.MissLatency())
+	s.IO = b.qc.IO
+	s.IOTime = s.IO.ModeledIOTime(b.ix.Tracker().MissLatency())
 }
 
 var inf = math.Inf(1)

@@ -14,7 +14,7 @@ import (
 // Results are unordered; distances are intervals refined just far enough to
 // decide membership.
 func RangeSearch(ix *core.Index, objs *Objects, q graph.VertexID, radius float64) Result {
-	io := beginIO(ix)
+	clock := beginQuery(ix)
 	stats := Stats{Algorithm: "RANGE"}
 	var res []Neighbor
 
@@ -31,7 +31,7 @@ func RangeSearch(ix *core.Index, objs *Objects, q graph.VertexID, radius float64
 			if el.node != nil {
 				if el.node.IsLeaf() {
 					for _, o := range el.node.Objects() {
-						st := &objState{id: o.ID, refiner: ix.NewRefiner(q, o.Vertex)}
+						st := &objState{id: o.ID, refiner: ix.NewRefinerCtx(clock.qc, q, o.Vertex)}
 						st.iv = st.refiner.Interval()
 						states[o.ID] = st
 						stats.Lookups++
@@ -76,7 +76,7 @@ func RangeSearch(ix *core.Index, objs *Objects, q graph.VertexID, radius float64
 	}
 
 	out := Result{Neighbors: res, Sorted: false, Stats: stats}
-	io.finish(&out.Stats)
+	clock.finish(&out.Stats)
 	return out
 }
 
@@ -84,7 +84,7 @@ func RangeSearch(ix *core.Index, objs *Objects, q graph.VertexID, radius float64
 // truncated at radius, collecting objects at settled vertices. Used for
 // cross-validation and as the comparison point in tests.
 func ObjectsInRange(ix *core.Index, objs *Objects, q graph.VertexID, radius float64) Result {
-	io := beginIO(ix)
+	clock := beginQuery(ix)
 	g := ix.Network()
 	tracker := ix.Tracker()
 	stats := Stats{Algorithm: "RANGE-INE"}
@@ -118,7 +118,7 @@ func ObjectsInRange(ix *core.Index, objs *Objects, q graph.VertexID, radius floa
 					Exact:    true,
 				})
 			}
-			tracker.TouchAdjacency(int(v))
+			tracker.TouchAdjacency(int(v), &clock.qc.IO)
 			targets, weights := g.Neighbors(v)
 			for i, t := range targets {
 				stats.Relaxed++
@@ -131,6 +131,6 @@ func ObjectsInRange(ix *core.Index, objs *Objects, q graph.VertexID, radius floa
 	}
 
 	out := Result{Neighbors: res, Sorted: false, Stats: stats}
-	io.finish(&out.Stats)
+	clock.finish(&out.Stats)
 	return out
 }

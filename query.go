@@ -3,6 +3,7 @@ package silc
 import (
 	"time"
 
+	"silc/internal/core"
 	"silc/internal/knn"
 )
 
@@ -136,16 +137,29 @@ type Result struct {
 // values. For algorithm selection and raw interval output use Query.
 func (ix *Index) NearestNeighbors(objs *ObjectSet, q VertexID, k int) Result {
 	res := ix.Query(objs, q, k, MethodKNN)
+	qc := core.NewQueryContext()
 	for i := range res.Neighbors {
 		n := &res.Neighbors[i]
 		if !n.Exact {
-			d := ix.Distance(q, n.Vertex)
+			d := ix.ix.DistanceCtx(qc, q, n.Vertex)
 			n.Dist = d
 			n.Interval = Interval{Lo: d, Hi: d}
 			n.Exact = true
 		}
 	}
+	addContextIO(ix, &res.Stats, qc)
 	return res
+}
+
+// addContextIO folds follow-up I/O (post-query exact refinement) into the
+// query's reported page traffic.
+func addContextIO(ix *Index, s *QueryStats, qc *core.QueryContext) {
+	if qc.IO.Hits == 0 && qc.IO.Misses == 0 {
+		return
+	}
+	s.PageHits += qc.IO.Hits
+	s.PageMisses += qc.IO.Misses
+	s.IOTime += qc.IO.ModeledIOTime(ix.ix.Tracker().MissLatency())
 }
 
 // Query runs the selected kNN method. Distances of reported neighbors are
@@ -209,7 +223,9 @@ func (ix *Index) WithinDistance(objs *ObjectSet, q VertexID, radius float64) Res
 // Browser is an incremental network-distance cursor over an object set —
 // the "distance browsing" of the paper's title. Neighbors stream out in
 // increasing network distance; state persists between calls, so the (k+1)st
-// neighbor costs only incremental work.
+// neighbor costs only incremental work. A single Browser is not safe for
+// concurrent use, but any number of independent Browsers may run
+// concurrently over one shared Index and ObjectSet.
 type Browser struct {
 	ix *Index
 	b  *knn.Browser
@@ -235,8 +251,25 @@ func (b *Browser) Next() (Neighbor, bool) {
 		Exact:    raw.Exact,
 	}
 	if !n.Exact {
-		d := b.ix.Distance(b.b.Query(), n.Vertex)
+		// Charge the exactness refinement to the cursor's own context, so
+		// concurrent browsers each account their own traffic.
+		d := b.ix.ix.DistanceCtx(b.b.Context(), b.b.Query(), n.Vertex)
 		n.Dist, n.Interval, n.Exact = d, Interval{Lo: d, Hi: d}, true
 	}
 	return n, true
+}
+
+// Stats returns the cursor's accumulated statistics (queue sizes,
+// refinements, and the buffer-pool traffic charged to this cursor).
+func (b *Browser) Stats() QueryStats {
+	s := b.b.Stats()
+	return QueryStats{
+		Method:      s.Algorithm,
+		MaxQueue:    s.MaxQueue,
+		Refinements: s.Refinements,
+		Lookups:     s.Lookups,
+		PageHits:    s.IO.Hits,
+		PageMisses:  s.IO.Misses,
+		IOTime:      s.IOTime,
+	}
 }
