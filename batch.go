@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"silc/internal/core"
 )
 
 // BatchStats aggregates one QueryBatch execution.
@@ -50,6 +52,12 @@ func (ix *Index) QueryBatch(objs *ObjectSet, queries []VertexID, k int, method M
 // batch size: a batch of a million queries still runs at most workers
 // queries at a time.
 func (ix *Index) QueryBatchWorkers(objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
+	return queryBatchWorkers(ix.ix, objs, queries, k, method, workers)
+}
+
+// queryBatchWorkers fans a batch over a bounded worker pool on any
+// QueryIndex — shared by the monolithic and sharded public types.
+func queryBatchWorkers(qx core.QueryIndex, objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -69,7 +77,7 @@ func (ix *Index) QueryBatchWorkers(objs *ObjectSet, queries []VertexID, k int, m
 				if i >= int64(len(queries)) {
 					return
 				}
-				results[i] = ix.Query(objs, queries[i], k, method)
+				results[i] = runQuery(qx, objs, queries[i], k, method)
 			}
 		}()
 	}

@@ -13,18 +13,27 @@
 //	F8  total and I/O time decomposition   (paper p.38)
 //	TP  parallel query throughput          (beyond the paper: QPS vs
 //	    goroutine count on one shared index, memory- and disk-resident)
+//	SH  sharded vs monolithic index        (beyond the paper: build time,
+//	    storage, and QPS of the partitioned index against the monolith)
 //
 // Usage:
 //
 //	experiments                 # full run (~minutes)
 //	experiments -quick          # reduced sizes and query counts (~seconds)
 //	experiments -only F3,F4     # subset
+//	experiments -json           # also write BENCH_<id>.json result files
+//
+// With -json every selected experiment additionally writes its raw
+// measurements as machine-readable BENCH_<id>.json (into -json-dir), so the
+// perf trajectory of the repo can be tracked without parsing tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -40,8 +49,18 @@ func main() {
 		cols    = flag.Int("cols", bench.DefaultCols, "evaluation lattice cols")
 		queries = flag.Int("queries", 50, "queries per sweep point (paper: >=50)")
 		seed    = flag.Int64("seed", bench.DefaultSeed, "master seed")
+		jsonOut = flag.Bool("json", false, "write machine-readable BENCH_<id>.json result files")
+		jsonDir = flag.String("json-dir", ".", "directory for -json result files")
 	)
 	flag.Parse()
+	record := func(id string, payload any) {
+		if !*jsonOut {
+			return
+		}
+		if err := writeJSON(*jsonDir, id, payload); err != nil {
+			check(err)
+		}
+	}
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -69,6 +88,7 @@ func main() {
 		rowsT1, err := bench.StorageModels(t1rows, t1cols, *seed, 0.25, 200)
 		check(err)
 		bench.RenderModels(out, rowsT1)
+		record("T1", map[string]any{"lattice": t1rows, "models": rowsT1})
 	}
 
 	if want("F1") {
@@ -79,6 +99,18 @@ func main() {
 		rowsF1, slope, err := bench.StorageGrowth(lattices, *seed)
 		check(err)
 		bench.RenderStorageGrowth(out, rowsF1, slope)
+		record("F1", map[string]any{"rows": rowsF1, "slope": slope})
+	}
+
+	if want("SH") {
+		shRows, shCols, shParts, shQueries := *rows, *cols, 8, 2000
+		if *quick {
+			shRows, shCols, shParts, shQueries = 32, 32, 4, 200
+		}
+		cmp, err := bench.CompareSharded(shRows, shCols, shParts, shQueries, *seed)
+		check(err)
+		bench.RenderSharded(out, cmp)
+		record("SH", cmp)
 	}
 
 	needEnv := want("F2") || want("F3") || want("F4") || want("F5") ||
@@ -98,6 +130,7 @@ func main() {
 	if want("F2") {
 		rowsF2, sum := env.DijkstraVsSILC(*queries, *seed+1)
 		bench.RenderVisitSummary(out, sum, rowsF2)
+		record("F2", map[string]any{"summary": sum, "queries": rowsF2})
 	}
 
 	needSweep := want("F3") || want("F4") || want("F5") || want("F6") || want("F7") || want("F8")
@@ -112,6 +145,12 @@ func main() {
 		}{
 			{"k=10 varying |S|", varyS},
 			{"|S|=0.07N varying k", varyK},
+		}
+		sweepPayload := map[string]any{"vary_s": varyS, "vary_k": varyK, "queries_per_point": *queries}
+		for _, id := range []string{"F3", "F4", "F5", "F6", "F7", "F8"} {
+			if want(id) {
+				record(id, sweepPayload)
+			}
 		}
 		for _, p := range panels {
 			if want("F3") {
@@ -142,17 +181,34 @@ func main() {
 			gcs, nq = []int{1, 2, 4}, 400
 		}
 		w := env.NewThroughputWorkload(nq, 0.05, 10, *seed+4)
+		diskPts := bench.ThroughputSweep(env.Ix, w, gcs)
 		fmt.Fprintln(out, bench.ThroughputTable(
 			fmt.Sprintf("TP: parallel kNN throughput, disk-resident (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
-			bench.ThroughputSweep(env.Ix, w, gcs)))
+			diskPts))
 		memEnv, err := bench.NewEnv(*rows, *cols, *seed, false)
 		check(err)
 		wm := memEnv.NewThroughputWorkload(nq, 0.05, 10, *seed+4)
+		memPts := bench.ThroughputSweep(memEnv.Ix, wm, gcs)
 		fmt.Fprintln(out, bench.ThroughputTable(
 			"TP: parallel kNN throughput, memory-resident",
-			bench.ThroughputSweep(memEnv.Ix, wm, gcs)))
+			memPts))
+		record("TP", map[string]any{"disk_resident": diskPts, "memory_resident": memPts})
 	}
 	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeJSON writes one experiment's payload as BENCH_<id>.json.
+func writeJSON(dir, id string, payload any) error {
+	data, err := json.MarshalIndent(map[string]any{"id": id, "result": payload}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func check(err error) {

@@ -5,6 +5,13 @@
 //
 //	silcbuild -net network.txt
 //	silcbuild -rows 96 -cols 96 -seed 2008   # generate, then build
+//	silcbuild -rows 256 -cols 256 -partitions 8 -o idx.shd   # sharded build
+//
+// With -partitions N > 1 the build is sharded: the network splits into N
+// spatial cells, each cell builds its own SILC index over only its
+// subnetwork (sum of cell builds runs far fewer Dijkstra-vertex pairs than
+// the monolithic build), and the boundary closure stitches cross-cell
+// queries back to exact answers.
 package main
 
 import (
@@ -12,18 +19,20 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"silc"
 )
 
 func main() {
 	var (
-		netFile  = flag.String("net", "", "network file (generated if empty)")
-		rows     = flag.Int("rows", 64, "generated lattice rows")
-		cols     = flag.Int("cols", 64, "generated lattice cols")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		parallel = flag.Int("p", 0, "build workers (0 = all CPUs)")
-		out      = flag.String("o", "", "write the built index to this file")
+		netFile    = flag.String("net", "", "network file (generated if empty)")
+		rows       = flag.Int("rows", 64, "generated lattice rows")
+		cols       = flag.Int("cols", 64, "generated lattice cols")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		parallel   = flag.Int("p", 0, "build workers (0 = all CPUs)")
+		partitions = flag.Int("partitions", 1, "spatial partitions (>1 builds the sharded index)")
+		out        = flag.String("o", "", "write the built index to this file")
 	)
 	flag.Parse()
 
@@ -31,6 +40,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silcbuild:", err)
 		os.Exit(1)
+	}
+	if *partitions > 1 {
+		buildSharded(net, *partitions, *parallel, *out)
+		return
 	}
 	ix, err := silc.BuildIndex(net, silc.BuildOptions{Parallelism: *parallel})
 	if err != nil {
@@ -48,21 +61,56 @@ func main() {
 	fmt.Printf("build time:      %v\n", s.BuildTime)
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "silcbuild:", err)
-			os.Exit(1)
-		}
-		written, err := ix.WriteTo(f)
-		if err == nil {
-			err = f.Close()
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "silcbuild:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("index written:   %s (%.2f MiB)\n", *out, float64(written)/(1<<20))
+		writeIndex(*out, func(f *os.File) (int64, error) { return ix.WriteTo(f) })
 	}
+}
+
+func buildSharded(net *silc.Network, partitions, parallel int, out string) {
+	ix, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{
+		Partitions:  partitions,
+		Parallelism: parallel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silcbuild:", err)
+		os.Exit(1)
+	}
+	s := ix.Stats()
+	n := float64(s.Vertices)
+	fmt.Printf("vertices:        %d\n", s.Vertices)
+	fmt.Printf("directed edges:  %d\n", s.Edges)
+	fmt.Printf("partitions:      %d (cells of %d..%d vertices, %d self-contained)\n",
+		s.Partitions, s.MinCellVertices, s.MaxCellVertices, s.SelfContained)
+	fmt.Printf("boundary:        %d vertices, %d cut edges\n", s.BoundaryVertices, s.CutEdges)
+	fmt.Printf("morton blocks:   %d (%.1f/vertex)\n", s.CellBlocks, float64(s.CellBlocks)/n)
+	fmt.Printf("c in c*n^1.5:    %.2f (monolithic-equivalent exponent base)\n",
+		float64(s.CellBlocks)/(n*math.Sqrt(n)))
+	fmt.Printf("cell bytes:      %.2f MiB\n", float64(s.CellBytes)/(1<<20))
+	fmt.Printf("closure bytes:   %.2f MiB\n", float64(s.ClosureBytes)/(1<<20))
+	fmt.Printf("total bytes:     %.2f MiB\n", float64(s.TotalBytes)/(1<<20))
+	fmt.Printf("build time:      %v (partition %v, cells %v, closure %v)\n",
+		s.BuildTime.Round(time.Millisecond), s.PartitionTime.Round(time.Millisecond),
+		s.CellBuildTime.Round(time.Millisecond), s.ClosureTime.Round(time.Millisecond))
+
+	if out != "" {
+		writeIndex(out, func(f *os.File) (int64, error) { return ix.WriteTo(f) })
+	}
+}
+
+func writeIndex(path string, write func(*os.File) (int64, error)) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silcbuild:", err)
+		os.Exit(1)
+	}
+	written, err := write(f)
+	if err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silcbuild:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("index written:   %s (%.2f MiB)\n", path, float64(written)/(1<<20))
 }
 
 func loadOrGenerate(file string, rows, cols int, seed int64) (*silc.Network, error) {

@@ -8,6 +8,11 @@
 //	silcquery -net network.txt -mode dist -q 17 -dest 423
 //	silcquery -net network.txt -mode path -q 17 -dest 423
 //	silcquery -net network.txt -mode refine -q 17 -dest 423
+//	silcquery -rows 64 -cols 64 -partitions 8 -mode dist -q 17 -dest 423
+//
+// -partitions N > 1 queries through the sharded index; -index accepts both
+// monolithic and sharded files (the format is sniffed). The refine trace
+// mode requires a monolithic index.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 		k       = flag.Int("k", 5, "neighbor count (knn)")
 		objFrac = flag.Float64("objects", 0.05, "object fraction of N (knn)")
 		method  = flag.String("method", "KNN", "algorithm: KNN, INN, KNN-I, KNN-M, INE, IER")
+		parts   = flag.Int("partitions", 1, "spatial partitions (>1 queries the sharded index)")
 	)
 	flag.Parse()
 
@@ -43,15 +49,19 @@ func main() {
 	if *q < 0 || *q >= net.NumVertices() || *dest < 0 || *dest >= net.NumVertices() {
 		fail(fmt.Errorf("vertex out of range [0,%d)", net.NumVertices()))
 	}
-	var ix *silc.Index
+	var ix silc.Engine
 	if *idxFile != "" {
 		f, err := os.Open(*idxFile)
 		if err != nil {
 			fail(err)
 		}
-		ix, err = silc.LoadIndex(f, net, silc.BuildOptions{})
+		ix, err = silc.LoadEngine(f, net, silc.BuildOptions{})
 		f.Close()
 		if err != nil {
+			fail(err)
+		}
+	} else if *parts > 1 {
+		if ix, err = silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: *parts}); err != nil {
 			fail(err)
 		}
 	} else if ix, err = silc.BuildIndex(net, silc.BuildOptions{}); err != nil {
@@ -75,7 +85,11 @@ func main() {
 			fmt.Printf("  %6d  (%.4f, %.4f)\n", v, p.X, p.Y)
 		}
 	case "refine":
-		r := ix.NewRefiner(src, dst)
+		mono, ok := ix.(*silc.Index)
+		if !ok {
+			fail(fmt.Errorf("the refine trace requires a monolithic index"))
+		}
+		r := mono.NewRefiner(src, dst)
 		iv := r.Interval()
 		fmt.Printf("step %2d: [%.6f, %.6f] width %.6f\n", 0, iv.Lo, iv.Hi, iv.Hi-iv.Lo)
 		for !r.Done() {
@@ -90,7 +104,7 @@ func main() {
 	}
 }
 
-func runKNN(net *silc.Network, ix *silc.Index, q silc.VertexID, k int, frac float64, methodName string, seed int64) {
+func runKNN(net *silc.Network, ix silc.Engine, q silc.VertexID, k int, frac float64, methodName string, seed int64) {
 	rng := rand.New(rand.NewSource(seed + 1))
 	m := int(frac * float64(net.NumVertices()))
 	if m < 1 {

@@ -4,18 +4,23 @@
 //
 //	GET  /knn?q=V&k=K[&method=KNN]   k nearest objects to vertex V
 //	POST /knn {"queries":[...],"k":K[,"method":"KNN"]}   batch kNN
+//	GET  /browse?src=V&n=N           stream the first N neighbors of V
+//	                                 incrementally (NDJSON, one line per
+//	                                 neighbor) — the paper's distance
+//	                                 browsing over HTTP
 //	GET  /distance?src=U&dst=V       exact network distance
 //	GET  /path?src=U&dst=V           exact shortest path
 //	GET  /range?q=V&radius=R         objects within network distance R
 //	GET  /stats                      build, buffer-pool, and server counters
 //	GET  /healthz                    liveness probe
 //
-// The index is either loaded (-network plus -index, produced by silcbuild)
-// or built at startup from a generated road network. The query-object set
-// defaults to a random sample of vertices (-object-fraction) or is read
-// from -objects, one vertex id per line. All queries run concurrently over
-// one shared index; batch requests additionally fan out over a bounded
-// worker pool.
+// The index is either loaded (-network plus -index, produced by silcbuild;
+// monolithic and sharded files are both accepted) or built at startup from
+// a generated road network — sharded when -partitions N > 1. The
+// query-object set defaults to a random sample of vertices
+// (-object-fraction) or is read from -objects, one vertex id per line. All
+// queries run concurrently over one shared index; batch requests
+// additionally fan out over a bounded worker pool.
 package main
 
 import (
@@ -53,12 +58,13 @@ func main() {
 		objectsPath = flag.String("objects", "", "object vertices file, one id per line; empty = random sample")
 		objectFrac  = flag.Float64("object-fraction", 0.05, "fraction of vertices carrying an object (when no -objects)")
 		objectSeed  = flag.Int64("object-seed", 2008, "object sample seed")
+		partitions  = flag.Int("partitions", 1, "spatial partitions (>1 builds/serves the sharded index)")
 		maxK        = flag.Int("max-k", 1000, "largest k a request may ask for")
 		maxBatch    = flag.Int("max-batch", 10000, "largest batch request size")
 	)
 	flag.Parse()
 
-	net, ix, err := loadOrBuild(*networkPath, *indexPath, *rows, *cols, *seed, silc.BuildOptions{
+	net, ix, err := loadOrBuild(*networkPath, *indexPath, *rows, *cols, *seed, *partitions, silc.BuildOptions{
 		DiskResident:  *disk,
 		CacheFraction: *cacheFrac,
 		MissLatency:   *missLatency,
@@ -70,9 +76,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("silcserve: %v", err)
 	}
-	st := ix.Stats()
-	log.Printf("serving %d vertices, %d edges, %d objects (%.1f blocks/vertex)",
-		st.Vertices, st.Edges, nObjs, st.BlocksPerVertex())
+	switch e := ix.(type) {
+	case *silc.ShardedIndex:
+		st := e.Stats()
+		log.Printf("serving %d vertices, %d edges, %d objects (%d partitions, %d boundary vertices)",
+			st.Vertices, st.Edges, nObjs, st.Partitions, st.BoundaryVertices)
+	case *silc.Index:
+		st := e.Stats()
+		log.Printf("serving %d vertices, %d edges, %d objects (%.1f blocks/vertex)",
+			st.Vertices, st.Edges, nObjs, st.BlocksPerVertex())
+	}
 
 	s := newServer(ix, objs, *maxK, *maxBatch)
 	httpServer := &http.Server{
@@ -100,7 +113,7 @@ func main() {
 	}
 }
 
-func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, opts silc.BuildOptions) (*silc.Network, *silc.Index, error) {
+func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, partitions int, opts silc.BuildOptions) (*silc.Network, silc.Engine, error) {
 	var net *silc.Network
 	var err error
 	if networkPath != "" {
@@ -128,9 +141,22 @@ func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, opts
 			return nil, nil, err
 		}
 		defer f.Close()
-		ix, err := silc.LoadIndex(f, net, opts)
+		ix, err := silc.LoadEngine(f, net, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("load index: %w", err)
+		}
+		return net, ix, nil
+	}
+	if partitions > 1 {
+		log.Printf("building sharded index over %d vertices (%d partitions)...", net.NumVertices(), partitions)
+		ix, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{
+			Partitions:    partitions,
+			DiskResident:  opts.DiskResident,
+			CacheFraction: opts.CacheFraction,
+			MissLatency:   opts.MissLatency,
+		})
+		if err != nil {
+			return nil, nil, err
 		}
 		return net, ix, nil
 	}
@@ -178,7 +204,7 @@ func loadObjects(net *silc.Network, path string, fraction float64, seed int64) (
 
 // server holds the shared read-only state plus request counters.
 type server struct {
-	ix       *silc.Index
+	ix       silc.Engine
 	objs     *silc.ObjectSet
 	maxK     int
 	maxBatch int
@@ -187,13 +213,14 @@ type server struct {
 	queries  atomic.Int64 // logical queries answered (a batch counts each)
 }
 
-func newServer(ix *silc.Index, objs *silc.ObjectSet, maxK, maxBatch int) *server {
+func newServer(ix silc.Engine, objs *silc.ObjectSet, maxK, maxBatch int) *server {
 	return &server{ix: ix, objs: objs, maxK: maxK, maxBatch: maxBatch, started: time.Now()}
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/knn", s.count(s.handleKNN))
+	mux.HandleFunc("/browse", s.count(s.handleBrowse))
 	mux.HandleFunc("/distance", s.count(s.handleDistance))
 	mux.HandleFunc("/path", s.count(s.handlePath))
 	mux.HandleFunc("/range", s.count(s.handleRange))
@@ -510,18 +537,38 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.ix.Stats()
-	io := s.ix.IOStats()
-	writeJSON(w, map[string]any{
-		"index": map[string]any{
+	var index map[string]any
+	switch e := s.ix.(type) {
+	case *silc.ShardedIndex:
+		st := e.Stats()
+		index = map[string]any{
+			"vertices":          st.Vertices,
+			"edges":             st.Edges,
+			"partitions":        st.Partitions,
+			"boundary_vertices": st.BoundaryVertices,
+			"cut_edges":         st.CutEdges,
+			"self_contained":    st.SelfContained,
+			"total_blocks":      st.CellBlocks,
+			"cell_bytes":        st.CellBytes,
+			"closure_bytes":     st.ClosureBytes,
+			"total_bytes":       st.TotalBytes,
+			"build_time_ms":     st.BuildTime.Milliseconds(),
+		}
+	case *silc.Index:
+		st := e.Stats()
+		index = map[string]any{
 			"vertices":          st.Vertices,
 			"edges":             st.Edges,
 			"total_blocks":      st.TotalBlocks,
 			"total_bytes":       st.TotalBytes,
 			"blocks_per_vertex": st.BlocksPerVertex(),
 			"build_time_ms":     st.BuildTime.Milliseconds(),
-			"radius":            s.ix.Radius(),
-		},
+			"radius":            e.Radius(),
+		}
+	}
+	io := s.ix.IOStats()
+	writeJSON(w, map[string]any{
+		"index":   index,
 		"objects": s.objs.Len(),
 		"pool": map[string]any{
 			"page_hits":          io.PageHits,
@@ -534,4 +581,63 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queries":  s.queries.Load(),
 		},
 	})
+}
+
+// handleBrowse streams incremental distance browsing — the paper's headline
+// operation — over HTTP: the first n neighbors of src, one NDJSON line per
+// neighbor, flushed as each is produced so clients consume the stream while
+// the cursor is still working. The (k+1)st line costs only the incremental
+// search the Browser performs.
+func (s *server) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	src, err := s.vertexParam(r, "src")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	n := 10
+	if n > s.maxK {
+		n = s.maxK // the -max-k cap applies to the default too
+	}
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		n, err = strconv.Atoi(raw)
+		if err != nil || n < 1 || n > s.maxK {
+			writeError(w, badRequest("parameter n must be in [1,%d]", s.maxK))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	br := s.ix.Browse(s.objs, src)
+	ctx := r.Context()
+	streamed := 0
+	for ; streamed < n; streamed++ {
+		if ctx.Err() != nil {
+			s.queries.Add(1)
+			return // client gone: stop browsing, the remaining work serves nobody
+		}
+		nb, ok := br.Next()
+		if !ok {
+			break // object set exhausted before n neighbors
+		}
+		if err := enc.Encode(map[string]any{
+			"rank":   streamed + 1,
+			"id":     nb.ID,
+			"vertex": int64(nb.Vertex),
+			"dist":   nb.Dist,
+		}); err != nil {
+			s.queries.Add(1)
+			return // write failed (disconnect): stop streaming
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	st := br.Stats()
+	enc.Encode(map[string]any{
+		"done":     true,
+		"streamed": streamed,
+		"stats":    toStats(st),
+	})
+	s.queries.Add(1)
 }

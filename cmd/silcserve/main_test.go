@@ -229,3 +229,118 @@ func TestServerConcurrentRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// testShardedServer builds a server over a sharded engine, exercising the
+// Engine-generic serving path.
+func testShardedServer(t *testing.T) *server {
+	t.Helper()
+	net, err := silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: 10, Cols: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: 4, DiskResident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]silc.VertexID, net.NumVertices())
+	for i := range vs {
+		vs[i] = silc.VertexID(i)
+	}
+	return newServer(ix, silc.NewObjectSet(net, vs), 100, 1000)
+}
+
+func decodeBrowseStream(t *testing.T, ts *httptest.Server, path string) (ranks []int, dists []float64, trailer map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("%s: content type %q", path, ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+		if done, _ := line["done"].(bool); done {
+			trailer = line
+			break
+		}
+		ranks = append(ranks, int(line["rank"].(float64)))
+		dists = append(dists, line["dist"].(float64))
+	}
+	return ranks, dists, trailer
+}
+
+func TestServerBrowseStreaming(t *testing.T) {
+	for name, srv := range map[string]*server{
+		"monolithic": testServer(t),
+		"sharded":    testShardedServer(t),
+	} {
+		ts := httptest.NewServer(srv.routes())
+		ranks, dists, trailer := decodeBrowseStream(t, ts, "/browse?src=0&n=7")
+		if len(ranks) != 7 {
+			t.Fatalf("%s: streamed %d neighbors, want 7", name, len(ranks))
+		}
+		for i := range ranks {
+			if ranks[i] != i+1 {
+				t.Fatalf("%s: rank %d at position %d", name, ranks[i], i)
+			}
+			if i > 0 && dists[i] < dists[i-1] {
+				t.Fatalf("%s: distances not ascending: %v", name, dists)
+			}
+		}
+		if trailer == nil || trailer["streamed"].(float64) != 7 {
+			t.Fatalf("%s: bad trailer %v", name, trailer)
+		}
+		// Exhausting the object set ends the stream early with the trailer.
+		nv := srv.ix.Network().NumVertices()
+		ranks, _, trailer = decodeBrowseStream(t, ts, "/browse?src=1&n=100")
+		if len(ranks) != nv || trailer == nil {
+			t.Fatalf("%s: exhausted stream returned %d of %d objects (trailer %v)", name, len(ranks), nv, trailer)
+		}
+		// Parameter validation.
+		if resp := getJSON(t, ts, "/browse?src=-1&n=3", nil); resp.StatusCode != 400 {
+			t.Fatalf("%s: bad src got status %d", name, resp.StatusCode)
+		}
+		if resp := getJSON(t, ts, "/browse?src=0&n=0", nil); resp.StatusCode != 400 {
+			t.Fatalf("%s: n=0 got status %d", name, resp.StatusCode)
+		}
+		ts.Close()
+	}
+}
+
+func TestServerShardedEndpoints(t *testing.T) {
+	ts := httptest.NewServer(testShardedServer(t).routes())
+	defer ts.Close()
+	var dist struct {
+		Reachable bool    `json:"reachable"`
+		Distance  float64 `json:"distance"`
+	}
+	if resp := getJSON(t, ts, "/distance?src=0&dst=50", &dist); resp.StatusCode != 200 || !dist.Reachable {
+		t.Fatalf("sharded /distance failed: %d %+v", resp.StatusCode, dist)
+	}
+	var stats struct {
+		Index map[string]any `json:"index"`
+	}
+	if resp := getJSON(t, ts, "/stats", &stats); resp.StatusCode != 200 {
+		t.Fatalf("sharded /stats status %d", resp.StatusCode)
+	}
+	if stats.Index["partitions"].(float64) != 4 {
+		t.Fatalf("sharded /stats reports %v partitions", stats.Index["partitions"])
+	}
+	var knn struct {
+		Neighbors []struct {
+			Dist float64 `json:"dist"`
+		} `json:"neighbors"`
+	}
+	if resp := getJSON(t, ts, "/knn?q=3&k=4", &knn); resp.StatusCode != 200 || len(knn.Neighbors) != 4 {
+		t.Fatalf("sharded /knn failed: %d %+v", resp.StatusCode, knn)
+	}
+}

@@ -127,8 +127,16 @@ func (ix *Index) NextHop(u, v VertexID) VertexID { return ix.ix.NextHop(u, v) }
 // On a proximity-bounded index two out-of-range destinations compare as
 // not-closer (both are beyond the radius).
 func (ix *Index) IsCloser(u, a, b VertexID) bool {
-	ra := ix.ix.NewRefiner(u, a)
-	rb := ix.ix.NewRefiner(u, b)
+	return isCloser(ix.ix, u, a, b)
+}
+
+// isCloser runs the comparison primitive on any QueryIndex; both refiners
+// share one query context, so on a sharded index the source's gateway
+// closure is computed once.
+func isCloser(qx core.QueryIndex, u, a, b VertexID) bool {
+	qc := core.NewQueryContext()
+	ra := qx.Refine(qc, u, a)
+	rb := qx.Refine(qc, u, b)
 	for {
 		ia, ib := ra.Interval(), rb.Interval()
 		if ia.Hi < ib.Lo {

@@ -95,7 +95,7 @@ func (e *Env) Query(rng *rand.Rand) graph.VertexID {
 type Algorithm struct {
 	Name     string
 	Baseline bool
-	Run      func(*core.Index, *knn.Objects, graph.VertexID, int) knn.Result
+	Run      func(core.QueryIndex, *knn.Objects, graph.VertexID, int) knn.Result
 }
 
 // Algorithms returns the full comparison set in the paper's order.
@@ -108,7 +108,7 @@ func Algorithms() []Algorithm {
 		v := v
 		algos = append(algos, Algorithm{
 			Name: v.String(),
-			Run: func(ix *core.Index, o *knn.Objects, q graph.VertexID, k int) knn.Result {
+			Run: func(ix core.QueryIndex, o *knn.Objects, q graph.VertexID, k int) knn.Result {
 				return knn.Search(ix, o, q, k, v)
 			},
 		})

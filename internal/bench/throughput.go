@@ -58,7 +58,7 @@ func (e *Env) NewThroughputWorkload(n int, fraction float64, k int, seed int64) 
 // identical queries with the paper's kNN algorithm over one shared index;
 // for disk-resident indexes each run starts from a cold buffer pool so
 // later runs don't ride pages faulted in by earlier ones.
-func ThroughputSweep(ix *core.Index, w ThroughputWorkload, goroutines []int) []ThroughputPoint {
+func ThroughputSweep(ix core.QueryIndex, w ThroughputWorkload, goroutines []int) []ThroughputPoint {
 	points := make([]ThroughputPoint, 0, len(goroutines))
 	var baseQPS float64
 	for _, gc := range goroutines {

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+
+	"silc/internal/diskio"
+	"silc/internal/geom"
+	"silc/internal/graph"
+)
+
+// DistanceRefiner is the progressive-refinement surface generic query
+// algorithms consume: a network-distance interval that tightens step by step
+// toward the exact value. *Refiner implements it for the monolithic index;
+// the partition subsystem implements it by racing candidate routes through
+// the boundary closure.
+type DistanceRefiner interface {
+	// Interval returns the current interval, guaranteed to contain the true
+	// network distance.
+	Interval() Interval
+	// Step refines once; it returns false when no further tightening is
+	// possible (exact, or out of range).
+	Step() bool
+	// Done reports whether the interval is exact.
+	Done() bool
+	// OutOfRange reports whether the destination is beyond reach (proximity
+	// bound, or unreachable on a lenient index); the interval then cannot
+	// improve.
+	OutOfRange() bool
+}
+
+// QueryIndex is the query-time surface the kNN algorithms (and every other
+// generic consumer) need from a network-distance index. Both the monolithic
+// *Index and the sharded partition index implement it, so one set of query
+// algorithms serves both.
+type QueryIndex interface {
+	// Network returns the indexed network (for the sharded index, the full
+	// global network).
+	Network() *graph.Network
+	// Tracker returns the paged-storage tracker, nil for memory-resident
+	// indexes. Sharded indexes expose one tracker shared by all cells.
+	Tracker() *diskio.Tracker
+	// Refine starts progressive refinement for (src, dst), charging every
+	// page access to qc (nil = untracked).
+	Refine(qc *QueryContext, src, dst graph.VertexID) DistanceRefiner
+	// RegionLowerBoundCtx returns a lower bound on the network distance from
+	// q to any vertex inside rect. qc carries per-query routing state for
+	// implementations that need it; the monolithic index ignores it.
+	RegionLowerBoundCtx(qc *QueryContext, q graph.VertexID, rect geom.Rect) float64
+}
+
+var _ QueryIndex = (*Index)(nil)
+var _ DistanceRefiner = (*Refiner)(nil)
+
+// Refine implements QueryIndex.
+func (ix *Index) Refine(qc *QueryContext, src, dst graph.VertexID) DistanceRefiner {
+	return ix.NewRefinerCtx(qc, src, dst)
+}
+
+// RegionLowerBoundCtx implements QueryIndex (region bounds walk the source's
+// quadtree without touching paged blocks, so qc is unused here).
+func (ix *Index) RegionLowerBoundCtx(qc *QueryContext, q graph.VertexID, rect geom.Rect) float64 {
+	return ix.RegionLowerBound(q, rect)
+}
+
+// ExactDistance fully refines (src, dst) on any QueryIndex and returns the
+// exact network distance (+Inf when dst is out of range or unreachable).
+func ExactDistance(ix QueryIndex, qc *QueryContext, src, dst graph.VertexID) float64 {
+	r := ix.Refine(qc, src, dst)
+	for !r.Done() {
+		if !r.Step() {
+			break
+		}
+	}
+	if r.OutOfRange() {
+		return math.Inf(1)
+	}
+	return r.Interval().Lo
+}

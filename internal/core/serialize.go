@@ -178,7 +178,7 @@ func Load(r io.Reader, g *graph.Network, opts BuildOptions) (*Index, error) {
 		return nil, fmt.Errorf("core: checksum mismatch: stored %08x computed %08x", stored, computed)
 	}
 
-	ix := &Index{g: g, trees: trees, radius: radius}
+	ix := &Index{g: g, trees: trees, radius: radius, lenient: opts.AllowUnreachable}
 	ix.stats = BuildStats{Vertices: n, Edges: g.NumEdges(), MinBlocks: math.MaxInt}
 	for v := 0; v < n; v++ {
 		b := trees[v].NumBlocks()
@@ -192,9 +192,10 @@ func Load(r io.Reader, g *graph.Network, opts BuildOptions) (*Index, error) {
 	}
 	ix.stats.TotalBytes = ix.stats.TotalBlocks * quadtree.EncodedSizeBytes
 	// Coverage check: every other vertex must fall inside some block of
-	// vertex 0's tree. Proximity-bounded indexes legitimately leave far
-	// vertices uncovered, so the check applies to unbounded indexes only.
-	if n > 1 && radius == 0 {
+	// vertex 0's tree. Proximity-bounded and lenient (AllowUnreachable)
+	// indexes legitimately leave vertices uncovered, so the check applies to
+	// strict unbounded indexes only.
+	if n > 1 && radius == 0 && !opts.AllowUnreachable {
 		for _, w := range g.MortonOrder() {
 			if w == 0 {
 				continue

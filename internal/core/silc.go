@@ -74,6 +74,14 @@ type BuildOptions struct {
 	// Distance returns +Inf and Path returns nil for them. Proximity-bounded
 	// builds accept disconnected networks (unreachable = out of range).
 	ProximityRadius float64
+	// AllowUnreachable accepts networks that are not strongly connected:
+	// unreachable destinations are colored out-of-range instead of failing
+	// the build, and queries against them report the interval [+Inf, +Inf]
+	// (Distance +Inf, Path nil). The partition subsystem builds its per-cell
+	// indexes this way — a cell's induced subgraph need not be strongly
+	// connected even when the full network is; cross-cell routing restores
+	// reachability through the boundary closure.
+	AllowUnreachable bool
 }
 
 // BuildStats describes a completed build.
@@ -105,6 +113,12 @@ func (s BuildStats) BlocksPerVertex() float64 {
 type QueryContext struct {
 	// IO counts the buffer-pool traffic this query caused.
 	IO diskio.Stats
+	// Route is a per-query cache slot owned by whichever index implementation
+	// the query runs against. The partition subsystem stores its per-source
+	// gateway closure here, so one kNN query amortizes the boundary-distance
+	// work across all the objects it inspects. Monolithic indexes leave it
+	// nil.
+	Route any
 }
 
 // NewQueryContext returns a fresh per-query context.
@@ -126,8 +140,12 @@ type Index struct {
 	g       *graph.Network
 	trees   []*quadtree.Tree // indexed by source vertex
 	tracker *diskio.Tracker
-	radius  float64 // 0 = unbounded
-	stats   BuildStats
+	// ownerBase offsets this index's vertex ids inside a shared tracker's
+	// block layout (see AttachSharedTracker); 0 for a private tracker.
+	ownerBase int
+	radius    float64 // 0 = unbounded
+	lenient   bool    // AllowUnreachable: misses mean unreachable, not corrupt
+	stats     BuildStats
 }
 
 // Build precomputes the SILC index for g. It returns an error if the network
@@ -186,6 +204,11 @@ func Build(g *graph.Network, opts BuildOptions) (*Index, error) {
 						continue
 					}
 					if math.IsInf(tree.Dist[v], 1) {
+						if opts.AllowUnreachable {
+							colors[i] = quadtree.OutOfRange
+							ratios[i] = 0
+							continue
+						}
 						errs[w] = fmt.Errorf("core: vertex %d unreachable from %d; SILC requires a strongly connected network", v, source)
 						return
 					}
@@ -203,7 +226,7 @@ func Build(g *graph.Network, opts BuildOptions) (*Index, error) {
 		}
 	}
 
-	ix := &Index{g: g, trees: trees, radius: opts.ProximityRadius}
+	ix := &Index{g: g, trees: trees, radius: opts.ProximityRadius, lenient: opts.AllowUnreachable}
 	ix.stats = BuildStats{
 		Vertices:  n,
 		Edges:     g.NumEdges(),
@@ -243,6 +266,17 @@ func (ix *Index) attachTracker(fraction float64, latency time.Duration) {
 	ix.tracker = diskio.NewTracker(blockCounts, degrees, fraction, latency)
 }
 
+// AttachSharedTracker binds the index to an externally built paged-storage
+// tracker whose block layout spans several indexes (the partition subsystem
+// keeps one global buffer pool across all cell indexes so the paper's 5%
+// cache fraction stays a property of the whole database). ownerBase is this
+// index's first owner slot in the shared block layout: local vertex v's
+// blocks live at owner ownerBase+v.
+func (ix *Index) AttachSharedTracker(t *diskio.Tracker, ownerBase int) {
+	ix.tracker = t
+	ix.ownerBase = ownerBase
+}
+
 // Network returns the indexed network.
 func (ix *Index) Network() *graph.Network { return ix.g }
 
@@ -266,7 +300,7 @@ func (ix *Index) lookup(qc *QueryContext, u, dst graph.VertexID) (quadtree.Block
 	if !ok {
 		return quadtree.Block{}, false
 	}
-	ix.tracker.TouchBlock(int(u), i, qc.ioCounter())
+	ix.tracker.TouchBlock(ix.ownerBase+int(u), i, qc.ioCounter())
 	return t.Blocks[i], true
 }
 
@@ -290,11 +324,16 @@ func (ix *Index) DistanceIntervalCtx(qc *QueryContext, u, v graph.VertexID) Inte
 }
 
 // missInterval handles a lookup miss: beyond the proximity radius the true
-// distance is known to exceed the radius; on an unbounded index a miss is a
+// distance is known to exceed the radius; on a lenient (AllowUnreachable)
+// index a miss means the destination is unreachable, so the interval is the
+// point [+Inf, +Inf]; on an unbounded strict index a miss is a
 // corrupted-index bug.
 func (ix *Index) missInterval(u, v graph.VertexID) Interval {
 	if ix.radius > 0 {
 		return Interval{Lo: ix.radius, Hi: math.Inf(1)}
+	}
+	if ix.lenient {
+		return Interval{Lo: math.Inf(1), Hi: math.Inf(1)}
 	}
 	panic(fmt.Sprintf("core: vertex %d not covered by quadtree of %d", v, u))
 }
@@ -312,7 +351,7 @@ func (ix *Index) NextHopCtx(qc *QueryContext, u, v graph.VertexID) graph.VertexI
 	}
 	b, ok := ix.lookup(qc, u, v)
 	if !ok {
-		ix.missInterval(u, v) // panics when the index is unbounded
+		ix.missInterval(u, v) // panics when the index is strict and unbounded
 		return graph.NoVertex
 	}
 	targets, _ := ix.g.Neighbors(u)

@@ -13,7 +13,7 @@ import (
 // objects at settled vertices into a buffer of the k best, halting once the
 // expansion frontier passes the kth-best distance. Its cost scales with the
 // number of edges closer than the kth neighbor.
-func INE(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
+func INE(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
 	clock := beginQuery(ix)
 	g := ix.Network()
 	tracker := ix.Tracker()
@@ -84,18 +84,18 @@ func INE(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
 // the stream stops once the next Euclidean distance exceeds the kth-best
 // network distance, which is sound because network distance dominates
 // Euclidean distance.
-func IER(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
+func IER(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
 	return ier(ix, objs, q, k, false, "IER")
 }
 
 // IERAStar is IER with the per-candidate Dijkstra replaced by A* under the
 // admissible Euclidean heuristic — an ablation showing how much of IER's
 // cost is the unguided per-candidate search.
-func IERAStar(ix *core.Index, objs *Objects, q graph.VertexID, k int) Result {
+func IERAStar(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
 	return ier(ix, objs, q, k, true, "IER-A*")
 }
 
-func ier(ix *core.Index, objs *Objects, q graph.VertexID, k int, astar bool, name string) Result {
+func ier(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int, astar bool, name string) Result {
 	clock := beginQuery(ix)
 	g := ix.Network()
 	stats := Stats{Algorithm: name, K: k}
@@ -137,7 +137,7 @@ func ier(ix *core.Index, objs *Objects, q graph.VertexID, k int, astar bool, nam
 
 // ierNetworkDistance runs a point-to-point search on the paged network,
 // charging adjacency-page accesses to the query's context.
-func ierNetworkDistance(ix *core.Index, qc *core.QueryContext, s, t graph.VertexID, astar bool, stats *Stats) float64 {
+func ierNetworkDistance(ix core.QueryIndex, qc *core.QueryContext, s, t graph.VertexID, astar bool, stats *Stats) float64 {
 	stats.AStarCalls++
 	if s == t {
 		return 0

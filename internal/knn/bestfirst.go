@@ -62,7 +62,7 @@ func (v Variant) String() string {
 var Variants = []Variant{VariantINN, VariantKNNI, VariantKNN, VariantKNNM}
 
 // Search runs the selected kNN variant from query vertex q.
-func Search(ix *core.Index, objs *Objects, q graph.VertexID, k int, variant Variant) Result {
+func Search(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int, variant Variant) Result {
 	clock := beginQuery(ix)
 	e := newEngine(ix, clock.qc, objs, q, k, variant)
 	e.run()
@@ -79,7 +79,7 @@ type qelem struct {
 
 type objState struct {
 	id       int32
-	refiner  *core.Refiner
+	refiner  core.DistanceRefiner
 	iv       core.Interval
 	seq      uint32
 	inL      bool
@@ -91,7 +91,7 @@ type objState struct {
 // refinement scratch, and the query context its I/O is charged to. Engines
 // never share state, so any number may run concurrently over one Index.
 type engine struct {
-	ix      *core.Index
+	ix      core.QueryIndex
 	qc      *core.QueryContext
 	objs    *Objects
 	q       graph.VertexID
@@ -110,7 +110,7 @@ type engine struct {
 	pqClock  time.Duration
 }
 
-func newEngine(ix *core.Index, qc *core.QueryContext, objs *Objects, q graph.VertexID, k int, variant Variant) *engine {
+func newEngine(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, k int, variant Variant) *engine {
 	e := &engine{
 		ix:      ix,
 		qc:      qc,
@@ -275,7 +275,7 @@ func (e *engine) expand(n *pmr.Node) {
 		if c == nil {
 			continue
 		}
-		lb := e.ix.RegionLowerBound(e.q, c.Rect())
+		lb := e.ix.RegionLowerBoundCtx(e.qc, e.q, c.Rect())
 		if e.admit(lb) {
 			e.queue.Push(lb, qelem{node: c})
 			e.noteQueue()
@@ -284,7 +284,7 @@ func (e *engine) expand(n *pmr.Node) {
 }
 
 func (e *engine) discover(o pmr.Object) {
-	st := &objState{id: o.ID, refiner: e.ix.NewRefinerCtx(e.qc, e.q, o.Vertex)}
+	st := &objState{id: o.ID, refiner: e.ix.Refine(e.qc, e.q, o.Vertex)}
 	st.iv = st.refiner.Interval()
 	e.states[o.ID] = st
 	e.stats.Lookups++
@@ -414,7 +414,7 @@ type Browser struct {
 // NewBrowser positions a cursor before the nearest object to q. Each cursor
 // owns its query context, so independent cursors — even over one shared
 // DiskResident index — browse concurrently, each accounting its own I/O.
-func NewBrowser(ix *core.Index, objs *Objects, q graph.VertexID) *Browser {
+func NewBrowser(ix core.QueryIndex, objs *Objects, q graph.VertexID) *Browser {
 	return &Browser{e: newEngine(ix, core.NewQueryContext(), objs, q, objs.Len(), VariantINN)}
 }
 

@@ -4,10 +4,11 @@
 // al. (VLDB 2003) — INE (incremental network expansion, i.e. Dijkstra with a
 // result buffer) and IER (incremental Euclidean restriction).
 //
-// All algorithms consume the same inputs — a core.Index, an object set S in
-// a PMR quadtree, a query vertex, and k — and report uniform statistics
-// (queue sizes, refinement counts, buffer-pool traffic) so the paper's
-// evaluation can be regenerated measure for measure.
+// All algorithms consume the same inputs — a core.QueryIndex (the monolithic
+// SILC index or the sharded partition index), an object set S in a PMR
+// quadtree, a query vertex, and k — and report uniform statistics (queue
+// sizes, refinement counts, buffer-pool traffic) so the paper's evaluation
+// can be regenerated measure for measure.
 package knn
 
 import (
@@ -128,12 +129,12 @@ func (r Result) Distances() []float64 {
 // design diffed the index-global counters around the query, which
 // misattributes under concurrency).
 type queryClock struct {
-	ix    *core.Index
+	ix    core.QueryIndex
 	qc    *core.QueryContext
 	start time.Time
 }
 
-func beginQuery(ix *core.Index) queryClock {
+func beginQuery(ix core.QueryIndex) queryClock {
 	return queryClock{ix: ix, qc: core.NewQueryContext(), start: time.Now()}
 }
 

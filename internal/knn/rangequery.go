@@ -13,7 +13,7 @@ import (
 // δ⁻ > radius, and refine only while their interval straddles the radius.
 // Results are unordered; distances are intervals refined just far enough to
 // decide membership.
-func RangeSearch(ix *core.Index, objs *Objects, q graph.VertexID, radius float64) Result {
+func RangeSearch(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius float64) Result {
 	clock := beginQuery(ix)
 	stats := Stats{Algorithm: "RANGE"}
 	var res []Neighbor
@@ -31,7 +31,7 @@ func RangeSearch(ix *core.Index, objs *Objects, q graph.VertexID, radius float64
 			if el.node != nil {
 				if el.node.IsLeaf() {
 					for _, o := range el.node.Objects() {
-						st := &objState{id: o.ID, refiner: ix.NewRefinerCtx(clock.qc, q, o.Vertex)}
+						st := &objState{id: o.ID, refiner: ix.Refine(clock.qc, q, o.Vertex)}
 						st.iv = st.refiner.Interval()
 						states[o.ID] = st
 						stats.Lookups++
@@ -44,7 +44,7 @@ func RangeSearch(ix *core.Index, objs *Objects, q graph.VertexID, radius float64
 						if c == nil {
 							continue
 						}
-						if lb := ix.RegionLowerBound(q, c.Rect()); lb <= radius {
+						if lb := ix.RegionLowerBoundCtx(clock.qc, q, c.Rect()); lb <= radius {
 							queue.Push(lb, qelem{node: c})
 						}
 					}
@@ -83,7 +83,7 @@ func RangeSearch(ix *core.Index, objs *Objects, q graph.VertexID, radius float64
 // ObjectsInRange is the INE-style baseline for range search: Dijkstra from q
 // truncated at radius, collecting objects at settled vertices. Used for
 // cross-validation and as the comparison point in tests.
-func ObjectsInRange(ix *core.Index, objs *Objects, q graph.VertexID, radius float64) Result {
+func ObjectsInRange(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius float64) Result {
 	clock := beginQuery(ix)
 	g := ix.Network()
 	tracker := ix.Tracker()

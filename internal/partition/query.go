@@ -1,0 +1,193 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"silc/internal/core"
+	"silc/internal/graph"
+)
+
+var _ core.QueryIndex = (*Sharded)(nil)
+
+// Distance fully refines and returns the exact global network distance.
+func (s *Sharded) Distance(u, v graph.VertexID) float64 {
+	return s.DistanceCtx(core.NewQueryContext(), u, v)
+}
+
+// DistanceCtx is Distance with per-query I/O attribution and router reuse.
+func (s *Sharded) DistanceCtx(qc *core.QueryContext, u, v graph.VertexID) float64 {
+	return core.ExactDistance(s, qc, u, v)
+}
+
+// DistanceInterval returns a zero-refinement interval on the global network
+// distance: intra-cell pairs in self-contained cells cost one quadtree
+// lookup, exactly like the monolithic index; cross-cell pairs combine the
+// cells' boundary intervals with the closure — |B_p|+|B_q| lookups plus an
+// O(|B_p|·|B_q|) closure scan, but no progressive refinement at all.
+func (s *Sharded) DistanceInterval(u, v graph.VertexID) core.Interval {
+	return s.DistanceIntervalCtx(core.NewQueryContext(), u, v)
+}
+
+// DistanceIntervalCtx is DistanceInterval with per-query I/O attribution.
+func (s *Sharded) DistanceIntervalCtx(qc *core.QueryContext, u, v graph.VertexID) core.Interval {
+	if u == v {
+		return core.Interval{}
+	}
+	p, q := s.asn.CellOf[u], s.asn.CellOf[v]
+	ul, vl := graph.VertexID(s.asn.LocalOf[u]), graph.VertexID(s.asn.LocalOf[v])
+	if p == q && s.selfContained[p] {
+		return s.cells[p].ix.DistanceIntervalCtx(qc, ul, vl)
+	}
+	lo, hi := math.Inf(1), math.Inf(1)
+	if p == q {
+		iv := s.cells[p].ix.DistanceIntervalCtx(qc, ul, vl)
+		lo, hi = iv.Lo, iv.Hi
+	}
+	// True distance = min over boundary pairs (b1 ∈ B_p, b2 ∈ B_q) of
+	// d_p(u,b1) + D(b1,b2) + d_q(b2,v) (and the direct route when p == q),
+	// so the min of the pairs' lower bounds / upper bounds bounds it from
+	// both sides.
+	plo, phi := s.cl.Rows(p)
+	qlo, qhi := s.cl.Rows(q)
+	nb := s.cl.NB()
+	ivV := make([]core.Interval, qhi-qlo)
+	for j := qlo; j < qhi; j++ {
+		bl := graph.VertexID(s.asn.LocalOf[s.cl.B[j]])
+		ivV[j-qlo] = s.cells[q].ix.DistanceIntervalCtx(qc, bl, vl)
+	}
+	for i := plo; i < phi; i++ {
+		bl := graph.VertexID(s.asn.LocalOf[s.cl.B[i]])
+		ivU := s.cells[p].ix.DistanceIntervalCtx(qc, ul, bl)
+		if math.IsInf(ivU.Lo, 1) {
+			continue
+		}
+		row := s.cl.D[int(i)*nb : (int(i)+1)*nb]
+		for j := qlo; j < qhi; j++ {
+			d := row[j]
+			if l := ivU.Lo + d + ivV[j-qlo].Lo; l < lo {
+				lo = l
+			}
+			if h := ivU.Hi + d + ivV[j-qlo].Hi; h < hi {
+				hi = h
+			}
+		}
+	}
+	return core.Interval{Lo: lo, Hi: hi}
+}
+
+// Path retrieves an exact shortest path from u to v across cells: the
+// within-cell prefix to the best exit gateway, the closure's hop chain
+// (each hop either a within-cell segment or a single cross-cell edge), and
+// the within-cell suffix from the best entry gateway.
+func (s *Sharded) Path(u, v graph.VertexID) []graph.VertexID {
+	return s.PathCtx(core.NewQueryContext(), u, v)
+}
+
+// PathCtx is Path with per-query I/O attribution and router reuse.
+func (s *Sharded) PathCtx(qc *core.QueryContext, u, v graph.VertexID) []graph.VertexID {
+	if u == v {
+		return []graph.VertexID{u}
+	}
+	p, q := s.asn.CellOf[u], s.asn.CellOf[v]
+	ul, vl := graph.VertexID(s.asn.LocalOf[u]), graph.VertexID(s.asn.LocalOf[v])
+	if p == q && s.selfContained[p] {
+		return s.globalPath(p, s.cells[p].ix.PathCtx(qc, ul, vl))
+	}
+	rt := s.routerFor(qc, u)
+	a, arg := rt.gateways(q)
+	qlo, _ := s.cl.Rows(q)
+
+	best := math.Inf(1)
+	direct := false
+	if p == q {
+		if d := core.ExactDistance(s.cells[p].ix, qc, ul, vl); d < best {
+			best = d
+			direct = true
+		}
+	}
+	// Race the entry gateways on their zero-refinement intervals and fully
+	// refine in ascending lower-bound order, so candidates that cannot beat
+	// the best route found so far cost one lookup instead of a complete
+	// progressive refinement.
+	type gateCand struct {
+		row int32
+		lo  float64
+	}
+	cands := make([]gateCand, 0, len(a))
+	for j, av := range a {
+		if math.IsInf(av, 1) {
+			continue
+		}
+		bl := graph.VertexID(s.asn.LocalOf[s.cl.B[qlo+int32(j)]])
+		civ := s.cells[q].ix.DistanceIntervalCtx(qc, bl, vl)
+		cands = append(cands, gateCand{row: qlo + int32(j), lo: av + civ.Lo})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lo < cands[j].lo })
+	bestEntry := int32(-1)
+	for _, c := range cands {
+		if c.lo >= best {
+			break // sorted: no remaining candidate can be strictly shorter
+		}
+		av := a[c.row-qlo]
+		bl := graph.VertexID(s.asn.LocalOf[s.cl.B[c.row]])
+		dq := core.ExactDistance(s.cells[q].ix, qc, bl, vl)
+		if t := av + dq; t < best {
+			best = t
+			bestEntry = c.row
+			direct = false
+		}
+	}
+	switch {
+	case direct:
+		return s.globalPath(p, s.cells[p].ix.PathCtx(qc, ul, vl))
+	case bestEntry < 0:
+		return nil // unreachable (prevented at build time by validation)
+	}
+	exit := arg[bestEntry-qlo] // own-cell gateway row achieving A[bestEntry]
+	path := s.globalPath(p, s.cells[p].ix.PathCtx(qc, ul, graph.VertexID(s.asn.LocalOf[s.cl.B[exit]])))
+	path = s.closureWalk(qc, path, exit, bestEntry)
+	entryLocal := graph.VertexID(s.asn.LocalOf[s.cl.B[bestEntry]])
+	suffix := s.globalPath(q, s.cells[q].ix.PathCtx(qc, entryLocal, vl))
+	return append(path, suffix[1:]...)
+}
+
+// closureWalk appends the boundary-to-boundary portion of a shortest path
+// (rows from → to, exclusive of from's vertex which path already ends with)
+// by following the closure's hop chain.
+func (s *Sharded) closureWalk(qc *core.QueryContext, path []graph.VertexID, from, to int32) []graph.VertexID {
+	nb := s.cl.NB()
+	cur := from
+	for steps := 0; cur != to; steps++ {
+		if steps > nb {
+			panic(fmt.Sprintf("partition: closure hop chain from %d to %d does not terminate", from, to))
+		}
+		nxt := s.cl.Hop[int(cur)*nb+int(to)]
+		cv, nv := s.cl.B[cur], s.cl.B[nxt]
+		if c := s.asn.CellOf[cv]; c == s.asn.CellOf[nv] {
+			// Consecutive boundary vertices in one cell: the segment between
+			// them stays inside that cell, and the cell's own shortest path
+			// has exactly the segment's cost.
+			seg := s.globalPath(c, s.cells[c].ix.PathCtx(qc,
+				graph.VertexID(s.asn.LocalOf[cv]), graph.VertexID(s.asn.LocalOf[nv])))
+			path = append(path, seg[1:]...)
+		} else {
+			// Different cells: consecutive boundary vertices with no interior
+			// segment are joined by a single cross-cell edge.
+			path = append(path, nv)
+		}
+		cur = nxt
+	}
+	return path
+}
+
+// globalPath maps a cell-local path onto global vertex ids in place of a
+// fresh slice.
+func (s *Sharded) globalPath(c int32, local []graph.VertexID) []graph.VertexID {
+	out := make([]graph.VertexID, len(local))
+	for i, lv := range local {
+		out[i] = s.cells[c].toGlobal[lv]
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+package partition
+
+import (
+	"math"
+
+	"silc/internal/core"
+	"silc/internal/geom"
+	"silc/internal/graph"
+)
+
+// router is the per-query routing state for one source vertex: the exact
+// within-cell distances from the source to its own cell's boundary (du),
+// and — lazily per destination cell — the "gateway closure" A, the exact
+// global distance from the source to every boundary vertex of that cell
+// (A[b] = min over own-cell gateways b1 of du[b1] + D(b1, b)). One router is
+// built per (QueryContext, source) and cached on the context, so a kNN
+// query amortizes the boundary work across every object it inspects.
+// Routers are owned by one goroutine, like the context that carries them.
+type router struct {
+	s   *Sharded
+	qc  *core.QueryContext
+	src graph.VertexID
+	p   int32 // cell of src
+
+	duReady bool
+	du      []float64 // exact d_p(src, b) per own-cell boundary row (offset from row lo)
+
+	gw    [][]float64 // per cell: A values per row offset; nil until computed
+	gwArg [][]int32   // per cell: argmin own-cell row (global row id) behind each A value
+	minA  []float64   // per cell: min over gw; NaN until computed
+}
+
+// routerFor returns the context's cached router for src, building one on
+// first use. A nil context gets a fresh uncached router.
+func (s *Sharded) routerFor(qc *core.QueryContext, src graph.VertexID) *router {
+	if qc != nil {
+		if rt, ok := qc.Route.(*router); ok && rt.s == s && rt.src == src {
+			return rt
+		}
+	}
+	rt := &router{
+		s:     s,
+		qc:    qc,
+		src:   src,
+		p:     s.asn.CellOf[src],
+		gw:    make([][]float64, s.asn.P),
+		gwArg: make([][]int32, s.asn.P),
+		minA:  make([]float64, s.asn.P),
+	}
+	for i := range rt.minA {
+		rt.minA[i] = math.NaN()
+	}
+	if qc != nil {
+		qc.Route = rt
+	}
+	return rt
+}
+
+// ensureDU refines the source's distance to each of its own cell's boundary
+// vertices to exact. This is the one-time per-query cost of cross-cell
+// routing: |B_p| progressive refinements on the source's cell index.
+func (rt *router) ensureDU() {
+	if rt.duReady {
+		return
+	}
+	s := rt.s
+	lo, hi := s.cl.Rows(rt.p)
+	rt.du = make([]float64, hi-lo)
+	cx := s.cells[rt.p]
+	srcLocal := graph.VertexID(s.asn.LocalOf[rt.src])
+	for r := lo; r < hi; r++ {
+		bLocal := graph.VertexID(s.asn.LocalOf[s.cl.B[r]])
+		rt.du[r-lo] = core.ExactDistance(cx.ix, rt.qc, srcLocal, bLocal)
+	}
+	rt.duReady = true
+}
+
+// gateways returns A (and the argmin own-cell gateway behind each entry) for
+// destination cell c, computing and caching it on first use: an
+// O(|B_p|·|B_c|) scan over the closure.
+func (rt *router) gateways(c int32) ([]float64, []int32) {
+	if rt.gw[c] != nil {
+		return rt.gw[c], rt.gwArg[c]
+	}
+	rt.ensureDU()
+	s := rt.s
+	plo, phi := s.cl.Rows(rt.p)
+	clo, chi := s.cl.Rows(c)
+	nb := s.cl.NB()
+	a := make([]float64, chi-clo)
+	arg := make([]int32, chi-clo)
+	for j := range a {
+		a[j] = math.Inf(1)
+		arg[j] = -1
+	}
+	for i := plo; i < phi; i++ {
+		d := rt.du[i-plo]
+		if math.IsInf(d, 1) {
+			continue
+		}
+		row := s.cl.D[int(i)*nb : (int(i)+1)*nb]
+		for j := clo; j < chi; j++ {
+			if v := d + row[j]; v < a[j-clo] {
+				a[j-clo] = v
+				arg[j-clo] = i
+			}
+		}
+	}
+	m := math.Inf(1)
+	for _, v := range a {
+		if v < m {
+			m = v
+		}
+	}
+	rt.gw[c] = a
+	rt.gwArg[c] = arg
+	rt.minA[c] = m
+	return a, arg
+}
+
+// minInto returns a lower bound on the global distance from the source to
+// any vertex of cell c routed through c's boundary.
+func (rt *router) minInto(c int32) float64 {
+	if math.IsNaN(rt.minA[c]) {
+		rt.gateways(c)
+	}
+	return rt.minA[c]
+}
+
+// Refine implements core.QueryIndex: progressive refinement of the global
+// network distance (src, dst). Intra-cell pairs in self-contained cells
+// delegate straight to the cell index — a single quadtree lookup, exactly
+// the monolithic cost. Everything else races candidate routes: the direct
+// within-cell route (same cell only) against one gateway route per boundary
+// vertex of dst's cell, each bounded by the exact gateway closure plus the
+// cell index's interval, refined where the aggregate interval demands.
+func (s *Sharded) Refine(qc *core.QueryContext, src, dst graph.VertexID) core.DistanceRefiner {
+	p, q := s.asn.CellOf[src], s.asn.CellOf[dst]
+	if p == q && s.selfContained[p] {
+		return s.cells[p].ix.Refine(qc,
+			graph.VertexID(s.asn.LocalOf[src]), graph.VertexID(s.asn.LocalOf[dst]))
+	}
+	return s.newRouteRefiner(qc, src, dst)
+}
+
+// gate is one candidate route into the destination cell: the exact distance
+// a to a boundary vertex of that cell plus the cell index's evolving
+// interval for boundary→destination.
+type gate struct {
+	a      float64
+	bLocal graph.VertexID
+	civ    core.Interval
+	r      core.DistanceRefiner // nil until first stepped
+	exact  bool
+}
+
+func (g *gate) lo() float64 { return g.a + g.civ.Lo }
+func (g *gate) hi() float64 { return g.a + g.civ.Hi }
+
+// routeRefiner races the candidate routes for one (src, dst) pair. Its
+// interval is [min over routes of route.lo, min over routes of route.hi] —
+// both valid because the true distance is the min over routes of each
+// route's exact value.
+type routeRefiner struct {
+	s        *Sharded
+	qc       *core.QueryContext
+	q        int32 // destination cell
+	dstLocal graph.VertexID
+
+	direct      core.DistanceRefiner // same-cell route; nil cross-cell
+	directIv    core.Interval
+	directExact bool
+
+	gates []gate
+	iv    core.Interval
+	done  bool
+	oor   bool
+}
+
+func (s *Sharded) newRouteRefiner(qc *core.QueryContext, src, dst graph.VertexID) *routeRefiner {
+	r := &routeRefiner{s: s, qc: qc, q: s.asn.CellOf[dst]}
+	if src == dst {
+		r.done = true
+		return r
+	}
+	r.dstLocal = graph.VertexID(s.asn.LocalOf[dst])
+	p := s.asn.CellOf[src]
+	if p == r.q {
+		r.direct = s.cells[p].ix.Refine(qc, graph.VertexID(s.asn.LocalOf[src]), r.dstLocal)
+		r.directIv = r.direct.Interval()
+		r.directExact = r.direct.Done() || r.direct.OutOfRange()
+	}
+	rt := s.routerFor(qc, src)
+	a, _ := rt.gateways(r.q)
+	lo, _ := s.cl.Rows(r.q)
+	cx := s.cells[r.q]
+	r.gates = make([]gate, 0, len(a))
+	for j, av := range a {
+		if math.IsInf(av, 1) {
+			continue
+		}
+		bLocal := graph.VertexID(s.asn.LocalOf[s.cl.B[lo+int32(j)]])
+		civ := cx.ix.DistanceIntervalCtx(qc, bLocal, r.dstLocal)
+		g := gate{a: av, bLocal: bLocal, civ: civ}
+		g.exact = civ.Lo >= civ.Hi || math.IsInf(civ.Lo, 1)
+		r.gates = append(r.gates, g)
+	}
+	r.recompute()
+	return r
+}
+
+// recompute refreshes the aggregate interval, prunes gates that can no
+// longer define the minimum, and decides completion (every surviving route
+// exact ⇒ the aggregate has collapsed to the true distance).
+func (r *routeRefiner) recompute() {
+	lo, hi := math.Inf(1), math.Inf(1)
+	if r.direct != nil {
+		lo, hi = r.directIv.Lo, r.directIv.Hi
+	}
+	for i := range r.gates {
+		g := &r.gates[i]
+		if g.lo() < lo {
+			lo = g.lo()
+		}
+		if g.hi() < hi {
+			hi = g.hi()
+		}
+	}
+	r.iv = core.Interval{Lo: lo, Hi: hi}
+	kept := r.gates[:0]
+	allExact := r.direct == nil || r.directExact || r.directIv.Lo > hi
+	for i := range r.gates {
+		g := r.gates[i]
+		if g.lo() > hi {
+			continue // cannot be the minimum: its value is at least lo > hi ≥ true distance
+		}
+		if !g.exact {
+			allExact = false
+		}
+		kept = append(kept, g)
+	}
+	r.gates = kept
+	if allExact {
+		r.done = true
+		if math.IsInf(lo, 1) {
+			r.oor = true
+		}
+	}
+}
+
+func (r *routeRefiner) Interval() core.Interval { return r.iv }
+func (r *routeRefiner) Done() bool              { return r.done }
+func (r *routeRefiner) OutOfRange() bool        { return r.oor }
+
+// Step refines the route currently defining the aggregate lower bound by
+// one hop and returns false once the aggregate is exact.
+func (r *routeRefiner) Step() bool {
+	if r.done {
+		return false
+	}
+	// Pick the non-exact route with the smallest lower bound — the route
+	// holding the aggregate open.
+	bestLo := math.Inf(1)
+	bestGate := -1
+	stepDirect := false
+	if r.direct != nil && !r.directExact && !(r.directIv.Lo > r.iv.Hi) {
+		bestLo = r.directIv.Lo
+		stepDirect = true
+	}
+	for i := range r.gates {
+		g := &r.gates[i]
+		if g.exact {
+			continue
+		}
+		if g.lo() < bestLo {
+			bestLo = g.lo()
+			bestGate = i
+			stepDirect = false
+		}
+	}
+	switch {
+	case bestGate >= 0:
+		g := &r.gates[bestGate]
+		if g.r == nil {
+			g.r = r.s.cells[r.q].ix.Refine(r.qc, g.bLocal, r.dstLocal)
+		}
+		g.r.Step()
+		g.civ = g.r.Interval()
+		g.exact = g.r.Done() || g.r.OutOfRange()
+	case stepDirect:
+		r.direct.Step()
+		r.directIv = r.direct.Interval()
+		r.directExact = r.direct.Done() || r.direct.OutOfRange()
+	default:
+		// Nothing steppable: every surviving route is exact.
+		r.done = true
+		if math.IsInf(r.iv.Lo, 1) {
+			r.oor = true
+		}
+		return false
+	}
+	r.recompute()
+	return !r.done
+}
+
+// RegionLowerBoundCtx implements core.QueryIndex: a lower bound on the
+// global distance from q to any vertex inside rect. The source's own cell
+// contributes its quadtree's region bound; any other cell intersecting the
+// rectangle contributes the distance to its nearest gateway.
+func (s *Sharded) RegionLowerBoundCtx(qc *core.QueryContext, q graph.VertexID, rect geom.Rect) float64 {
+	p := s.asn.CellOf[q]
+	var rt *router
+	best := math.Inf(1)
+	for c := int32(0); c < int32(s.asn.P); c++ {
+		if !s.asn.Boxes[c].Intersects(rect) {
+			continue
+		}
+		var m float64
+		if c == p {
+			m = s.cells[p].ix.RegionLowerBound(graph.VertexID(s.asn.LocalOf[q]), rect)
+			if !s.selfContained[p] {
+				if rt == nil {
+					rt = s.routerFor(qc, q)
+				}
+				if re := rt.minInto(p); re < m {
+					m = re
+				}
+			}
+		} else {
+			if rt == nil {
+				rt = s.routerFor(qc, q)
+			}
+			m = rt.minInto(c)
+		}
+		if m < best {
+			best = m
+		}
+	}
+	return best
+}

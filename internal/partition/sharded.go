@@ -1,0 +1,245 @@
+package partition
+
+import (
+	"fmt"
+	"time"
+
+	"silc/internal/core"
+	"silc/internal/diskio"
+	"silc/internal/graph"
+)
+
+// Options configures Build.
+type Options struct {
+	// Partitions is the cell count P (1 degenerates to a monolithic build
+	// behind the sharded interface).
+	Partitions int
+	// Parallelism bounds the build workers (0 = all CPUs); it applies to the
+	// per-cell Dijkstra sweeps and the closure computation alike.
+	Parallelism int
+	// DiskResident attaches ONE paged-storage tracker spanning every cell
+	// index plus the network, so the cache fraction stays a property of the
+	// whole database rather than of each shard.
+	DiskResident bool
+	// CacheFraction sizes the shared LRU pool (default 0.05).
+	CacheFraction float64
+	// MissLatency is the modeled cost per page miss (0 = default).
+	MissLatency time.Duration
+}
+
+// Stats describes a completed sharded build.
+type Stats struct {
+	Partitions       int
+	Vertices         int
+	Edges            int
+	BoundaryVertices int
+	CutEdges         int
+	MinCellVertices  int
+	MaxCellVertices  int
+	// SelfContained counts cells where no boundary pair has a shorter path
+	// through the outside; intra-cell queries there delegate straight to the
+	// cell index with no closure work.
+	SelfContained int
+	// CellBlocks/CellBytes total the Morton-block storage across cells —
+	// Θ(n^1.5/√P) versus the monolithic Θ(n^1.5).
+	CellBlocks int64
+	CellBytes  int64
+	// ClosureBytes is the boundary distance+hop matrix footprint.
+	ClosureBytes  int64
+	TotalBytes    int64
+	PartitionTime time.Duration
+	CellBuildTime time.Duration
+	ClosureTime   time.Duration
+	BuildTime     time.Duration
+	// Cells holds each cell index's own build statistics.
+	Cells []core.BuildStats
+}
+
+// cell is one shard: the induced subnetwork and its SILC index, plus the
+// local↔global vertex-id mapping.
+type cell struct {
+	id       int32
+	sub      *graph.Network
+	ix       *core.Index
+	toGlobal []graph.VertexID
+}
+
+// Sharded is a partitioned SILC index over one network: P per-cell indexes
+// plus the boundary closure. Like the monolithic index it is read-only on
+// the query path — per-query state (including the gateway-closure cache)
+// lives in core.QueryContext — so any number of goroutines may query one
+// shared Sharded concurrently.
+type Sharded struct {
+	g             *graph.Network
+	asn           *Assignment
+	cells         []*cell
+	cl            *Closure
+	selfContained []bool
+	tracker       *diskio.Tracker
+	stats         Stats
+}
+
+// Build partitions g into opt.Partitions cells, builds one SILC index per
+// cell (each cell runs one Dijkstra per cell vertex over the cell subgraph
+// only), computes the boundary closure, and validates that the network is
+// strongly connected. The per-cell builds use AllowUnreachable — a cell's
+// induced subgraph may legitimately be disconnected — and the closure
+// restores global reachability.
+func Build(g *graph.Network, opt Options) (*Sharded, error) {
+	start := time.Now()
+	p := opt.Partitions
+	if p == 0 {
+		p = 1
+	}
+	asn, err := KDCut(g, p)
+	if err != nil {
+		return nil, err
+	}
+	partitionTime := time.Since(start)
+
+	cellStart := time.Now()
+	cells := make([]*cell, p)
+	for c := 0; c < p; c++ {
+		sub, err := subnetwork(g, asn, c)
+		if err != nil {
+			return nil, fmt.Errorf("partition: cell %d subnetwork: %w", c, err)
+		}
+		ix, err := core.Build(sub, core.BuildOptions{
+			Parallelism:      opt.Parallelism,
+			AllowUnreachable: p > 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("partition: cell %d index: %w", c, err)
+		}
+		cells[c] = &cell{id: int32(c), sub: sub, ix: ix, toGlobal: asn.Verts[c]}
+	}
+	cellBuildTime := time.Since(cellStart)
+
+	closureStart := time.Now()
+	cl, err := buildClosure(g, asn, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateCoverage(g, asn, cl, cells); err != nil {
+		return nil, err
+	}
+	s := &Sharded{g: g, asn: asn, cells: cells, cl: cl}
+	s.selfContained = s.computeSelfContained()
+	closureTime := time.Since(closureStart)
+
+	if opt.DiskResident {
+		s.attachTracker(opt.CacheFraction, opt.MissLatency)
+	}
+	s.stats = s.computeStats()
+	s.stats.PartitionTime = partitionTime
+	s.stats.CellBuildTime = cellBuildTime
+	s.stats.ClosureTime = closureTime
+	s.stats.BuildTime = time.Since(start)
+	return s, nil
+}
+
+// computeSelfContained flags cells where every boundary pair's within-cell
+// distance already equals the global closure distance — no shortcut through
+// the outside exists, so intra-cell queries can bypass the closure entirely.
+func (s *Sharded) computeSelfContained() []bool {
+	out := make([]bool, s.asn.P)
+	for c := range out {
+		out[c] = true
+		lo, hi := s.cl.Rows(int32(c))
+		cx := s.cells[c]
+	pairs:
+		for i := lo; i < hi; i++ {
+			bi := graph.VertexID(s.asn.LocalOf[s.cl.B[i]])
+			for j := lo; j < hi; j++ {
+				if i == j {
+					continue
+				}
+				bj := graph.VertexID(s.asn.LocalOf[s.cl.B[j]])
+				if s.cl.At(int(i), int(j)) < core.ExactDistance(cx.ix, nil, bi, bj) {
+					out[c] = false
+					break pairs
+				}
+			}
+		}
+	}
+	return out
+}
+
+// attachTracker builds the one shared paged-storage tracker: block owners
+// are laid out cell-major (cell c's local vertex v at owner cellBase[c]+v),
+// adjacency owners are the global network's vertices, and every cell index
+// charges the same pool.
+func (s *Sharded) attachTracker(fraction float64, latency time.Duration) {
+	if fraction <= 0 {
+		fraction = 0.05
+	}
+	n := s.g.NumVertices()
+	blockCounts := make([]int, n)
+	base := 0
+	bases := make([]int, s.asn.P)
+	for c, cx := range s.cells {
+		bases[c] = base
+		for lv := 0; lv < cx.sub.NumVertices(); lv++ {
+			blockCounts[base+lv] = cx.ix.BlockCount(graph.VertexID(lv))
+		}
+		base += cx.sub.NumVertices()
+	}
+	degrees := make([]int, n)
+	for v := 0; v < n; v++ {
+		degrees[v] = s.g.Degree(graph.VertexID(v))
+	}
+	s.tracker = diskio.NewTracker(blockCounts, degrees, fraction, latency)
+	for c, cx := range s.cells {
+		cx.ix.AttachSharedTracker(s.tracker, bases[c])
+	}
+}
+
+func (s *Sharded) computeStats() Stats {
+	st := Stats{
+		Partitions:       s.asn.P,
+		Vertices:         s.g.NumVertices(),
+		Edges:            s.g.NumEdges(),
+		BoundaryVertices: s.cl.NB(),
+		CutEdges:         s.asn.CutEdges,
+		MinCellVertices:  s.g.NumVertices(),
+		ClosureBytes:     s.cl.SizeBytes(),
+		Cells:            make([]core.BuildStats, len(s.cells)),
+	}
+	for c, cx := range s.cells {
+		cs := cx.ix.Stats()
+		st.Cells[c] = cs
+		st.CellBlocks += cs.TotalBlocks
+		st.CellBytes += cs.TotalBytes
+		if nv := cs.Vertices; nv < st.MinCellVertices {
+			st.MinCellVertices = nv
+		}
+		if nv := cs.Vertices; nv > st.MaxCellVertices {
+			st.MaxCellVertices = nv
+		}
+	}
+	for _, sc := range s.selfContained {
+		if sc {
+			st.SelfContained++
+		}
+	}
+	st.TotalBytes = st.CellBytes + st.ClosureBytes
+	return st
+}
+
+// Network returns the full indexed network.
+func (s *Sharded) Network() *graph.Network { return s.g }
+
+// Tracker returns the shared paged-storage tracker, nil when memory-resident.
+func (s *Sharded) Tracker() *diskio.Tracker { return s.tracker }
+
+// Stats returns the sharded build statistics.
+func (s *Sharded) Stats() Stats { return s.stats }
+
+// NumPartitions returns P.
+func (s *Sharded) NumPartitions() int { return s.asn.P }
+
+// CellOf returns the cell holding vertex v.
+func (s *Sharded) CellOf(v graph.VertexID) int { return int(s.asn.CellOf[v]) }
+
+// Closure returns the boundary closure (read-only).
+func (s *Sharded) Closure() *Closure { return s.cl }

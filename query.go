@@ -136,50 +136,60 @@ type Result struct {
 // using the paper's kNN algorithm, with distances fully refined to exact
 // values. For algorithm selection and raw interval output use Query.
 func (ix *Index) NearestNeighbors(objs *ObjectSet, q VertexID, k int) Result {
-	res := ix.Query(objs, q, k, MethodKNN)
+	return nearestNeighbors(ix.ix, objs, q, k)
+}
+
+func nearestNeighbors(qx core.QueryIndex, objs *ObjectSet, q VertexID, k int) Result {
+	res := runQuery(qx, objs, q, k, MethodKNN)
 	qc := core.NewQueryContext()
 	for i := range res.Neighbors {
 		n := &res.Neighbors[i]
 		if !n.Exact {
-			d := ix.ix.DistanceCtx(qc, q, n.Vertex)
+			d := core.ExactDistance(qx, qc, q, n.Vertex)
 			n.Dist = d
 			n.Interval = Interval{Lo: d, Hi: d}
 			n.Exact = true
 		}
 	}
-	addContextIO(ix, &res.Stats, qc)
+	addContextIO(qx, &res.Stats, qc)
 	return res
 }
 
 // addContextIO folds follow-up I/O (post-query exact refinement) into the
 // query's reported page traffic.
-func addContextIO(ix *Index, s *QueryStats, qc *core.QueryContext) {
+func addContextIO(qx core.QueryIndex, s *QueryStats, qc *core.QueryContext) {
 	if qc.IO.Hits == 0 && qc.IO.Misses == 0 {
 		return
 	}
 	s.PageHits += qc.IO.Hits
 	s.PageMisses += qc.IO.Misses
-	s.IOTime += qc.IO.ModeledIOTime(ix.ix.Tracker().MissLatency())
+	s.IOTime += qc.IO.ModeledIOTime(qx.Tracker().MissLatency())
 }
 
 // Query runs the selected kNN method. Distances of reported neighbors are
 // exact only where Exact is set: the algorithms refine intervals just far
 // enough to certify the ranking, which is the paper's contract.
 func (ix *Index) Query(objs *ObjectSet, q VertexID, k int, method Method) Result {
+	return runQuery(ix.ix, objs, q, k, method)
+}
+
+// runQuery dispatches one kNN query on any QueryIndex — the monolithic
+// index or the sharded one; the algorithms are generic over both.
+func runQuery(qx core.QueryIndex, objs *ObjectSet, q VertexID, k int, method Method) Result {
 	var raw knn.Result
 	switch method {
 	case MethodINE:
-		raw = knn.INE(ix.ix, objs.objs, q, k)
+		raw = knn.INE(qx, objs.objs, q, k)
 	case MethodIER:
-		raw = knn.IER(ix.ix, objs.objs, q, k)
+		raw = knn.IER(qx, objs.objs, q, k)
 	case MethodINN:
-		raw = knn.Search(ix.ix, objs.objs, q, k, knn.VariantINN)
+		raw = knn.Search(qx, objs.objs, q, k, knn.VariantINN)
 	case MethodKNNI:
-		raw = knn.Search(ix.ix, objs.objs, q, k, knn.VariantKNNI)
+		raw = knn.Search(qx, objs.objs, q, k, knn.VariantKNNI)
 	case MethodKNNM:
-		raw = knn.Search(ix.ix, objs.objs, q, k, knn.VariantKNNM)
+		raw = knn.Search(qx, objs.objs, q, k, knn.VariantKNNM)
 	default:
-		raw = knn.Search(ix.ix, objs.objs, q, k, knn.VariantKNN)
+		raw = knn.Search(qx, objs.objs, q, k, knn.VariantKNN)
 	}
 	return convertResult(raw)
 }
@@ -225,15 +235,19 @@ func (ix *Index) WithinDistance(objs *ObjectSet, q VertexID, radius float64) Res
 // increasing network distance; state persists between calls, so the (k+1)st
 // neighbor costs only incremental work. A single Browser is not safe for
 // concurrent use, but any number of independent Browsers may run
-// concurrently over one shared Index and ObjectSet.
+// concurrently over one shared Index (or ShardedIndex) and ObjectSet.
 type Browser struct {
-	ix *Index
+	qx core.QueryIndex
 	b  *knn.Browser
 }
 
 // Browse positions a cursor at query vertex q over objs.
 func (ix *Index) Browse(objs *ObjectSet, q VertexID) *Browser {
-	return &Browser{ix: ix, b: knn.NewBrowser(ix.ix, objs.objs, q)}
+	return browse(ix.ix, objs, q)
+}
+
+func browse(qx core.QueryIndex, objs *ObjectSet, q VertexID) *Browser {
+	return &Browser{qx: qx, b: knn.NewBrowser(qx, objs.objs, q)}
 }
 
 // Next returns the next-nearest object; ok is false when S is exhausted.
@@ -253,7 +267,7 @@ func (b *Browser) Next() (Neighbor, bool) {
 	if !n.Exact {
 		// Charge the exactness refinement to the cursor's own context, so
 		// concurrent browsers each account their own traffic.
-		d := b.ix.ix.DistanceCtx(b.b.Context(), b.b.Query(), n.Vertex)
+		d := core.ExactDistance(b.qx, b.b.Context(), b.b.Query(), n.Vertex)
 		n.Dist, n.Interval, n.Exact = d, Interval{Lo: d, Hi: d}, true
 	}
 	return n, true

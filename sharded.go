@@ -1,0 +1,215 @@
+package silc
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"time"
+
+	"silc/internal/knn"
+	"silc/internal/partition"
+)
+
+// ShardedBuildOptions configures BuildShardedIndex.
+type ShardedBuildOptions struct {
+	// Partitions is the cell count P. Each cell builds an independent SILC
+	// index over its induced subnetwork — O(n/P) Dijkstra sources per cell
+	// instead of O(n) overall, and Θ(n^1.5/√P) Morton blocks in total — and
+	// a one-time boundary closure stitches cross-cell queries back to exact
+	// answers. 0 and 1 both mean a single cell.
+	Partitions int
+	// Parallelism bounds the build workers (0 = all CPUs).
+	Parallelism int
+	// DiskResident attaches one paged-storage tracker shared by every cell
+	// index and the network, so CacheFraction stays a property of the whole
+	// database (the paper's 5% setting), not of each shard.
+	DiskResident bool
+	// CacheFraction sizes the shared LRU buffer pool (default 0.05).
+	CacheFraction float64
+	// MissLatency is the modeled cost of one page miss (0 = the 200µs
+	// default).
+	MissLatency time.Duration
+}
+
+// ShardedStats describes a completed sharded build: per-cell index
+// statistics plus the partitioner's and closure's own accounting.
+type ShardedStats = partition.Stats
+
+// ShardedIndex is a partitioned SILC index: P per-cell shortest-path
+// quadtree indexes plus an exact boundary-vertex distance closure. It
+// answers the same query surface as Index — Distance, DistanceInterval,
+// ShortestPath, NearestNeighbors, Query/QueryBatch, WithinDistance,
+// IsCloser, Browse — with identical (exact) results: intra-cell queries in
+// self-contained cells delegate straight to the cell index, and cross-cell
+// queries route through the closure. Like Index, a ShardedIndex is
+// read-only on the query path and safe for unlimited concurrent readers.
+type ShardedIndex struct {
+	net *Network
+	sx  *partition.Sharded
+}
+
+func shardedOptions(opts ShardedBuildOptions) partition.Options {
+	return partition.Options{
+		Partitions:    opts.Partitions,
+		Parallelism:   opts.Parallelism,
+		DiskResident:  opts.DiskResident,
+		CacheFraction: opts.CacheFraction,
+		MissLatency:   opts.MissLatency,
+	}
+}
+
+// BuildShardedIndex partitions net into opts.Partitions spatial cells
+// (kd-cut over vertex coordinates), builds one SILC index per cell, and
+// computes the boundary closure. The network must be strongly connected —
+// validated during the build even though individual cells may be internally
+// disconnected.
+func BuildShardedIndex(net *Network, opts ShardedBuildOptions) (*ShardedIndex, error) {
+	if net == nil {
+		return nil, errors.New("silc: nil network")
+	}
+	sx, err := partition.Build(net.g, shardedOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{net: net, sx: sx}, nil
+}
+
+// WriteTo serializes the sharded index — partition labels, every cell
+// index, and the boundary closure — so the precomputation is reusable
+// across processes, mirroring Index.WriteTo.
+func (sx *ShardedIndex) WriteTo(w io.Writer) (int64, error) { return sx.sx.WriteTo(w) }
+
+// LoadShardedIndex deserializes a sharded index produced by
+// ShardedIndex.WriteTo and binds it to net, which must be the network it
+// was built from. Partitions in opts is ignored (the file records P).
+func LoadShardedIndex(r io.Reader, net *Network, opts ShardedBuildOptions) (*ShardedIndex, error) {
+	if net == nil {
+		return nil, errors.New("silc: nil network")
+	}
+	sx, err := partition.Load(r, net.g, shardedOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{net: net, sx: sx}, nil
+}
+
+// Network returns the indexed network.
+func (sx *ShardedIndex) Network() *Network { return sx.net }
+
+// Stats returns the sharded build statistics.
+func (sx *ShardedIndex) Stats() ShardedStats { return sx.sx.Stats() }
+
+// NumPartitions returns the cell count P.
+func (sx *ShardedIndex) NumPartitions() int { return sx.sx.NumPartitions() }
+
+// PartitionOf returns the cell holding vertex v.
+func (sx *ShardedIndex) PartitionOf(v VertexID) int { return sx.sx.CellOf(v) }
+
+// Distance returns the exact global network distance from u to v.
+func (sx *ShardedIndex) Distance(u, v VertexID) float64 { return sx.sx.Distance(u, v) }
+
+// DistanceInterval returns a refinement-free interval guaranteed to contain
+// the exact network distance: one quadtree lookup for intra-cell pairs in
+// self-contained cells, boundary-interval × closure bounds otherwise.
+func (sx *ShardedIndex) DistanceInterval(u, v VertexID) Interval {
+	return sx.sx.DistanceInterval(u, v)
+}
+
+// ShortestPath retrieves an exact shortest path from u to v, inclusive of
+// both endpoints, stitched across cells through the closure's hop chains.
+func (sx *ShardedIndex) ShortestPath(u, v VertexID) []VertexID { return sx.sx.Path(u, v) }
+
+// IsCloser reports whether u is strictly closer to a than to b by network
+// distance, refining only as far as the comparison requires.
+func (sx *ShardedIndex) IsCloser(u, a, b VertexID) bool { return isCloser(sx.sx, u, a, b) }
+
+// NearestNeighbors returns the k nearest objects to q by exact network
+// distance (the paper's kNN algorithm, fully refined).
+func (sx *ShardedIndex) NearestNeighbors(objs *ObjectSet, q VertexID, k int) Result {
+	return nearestNeighbors(sx.sx, objs, q, k)
+}
+
+// Query runs the selected kNN method over the sharded index; all methods —
+// including the INE/IER graph-expansion baselines — are supported.
+func (sx *ShardedIndex) Query(objs *ObjectSet, q VertexID, k int, method Method) Result {
+	return runQuery(sx.sx, objs, q, k, method)
+}
+
+// QueryBatch answers one kNN query per vertex over a bounded worker pool,
+// exactly like Index.QueryBatch.
+func (sx *ShardedIndex) QueryBatch(objs *ObjectSet, queries []VertexID, k int, method Method) BatchResult {
+	return queryBatchWorkers(sx.sx, objs, queries, k, method, 0)
+}
+
+// QueryBatchWorkers is QueryBatch with an explicit worker-pool bound.
+func (sx *ShardedIndex) QueryBatchWorkers(objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
+	return queryBatchWorkers(sx.sx, objs, queries, k, method, workers)
+}
+
+// WithinDistance returns every object within network distance radius of q.
+func (sx *ShardedIndex) WithinDistance(objs *ObjectSet, q VertexID, radius float64) Result {
+	return convertResult(knn.RangeSearch(sx.sx, objs.objs, q, radius))
+}
+
+// Browse positions an incremental distance-browsing cursor at q over objs.
+func (sx *ShardedIndex) Browse(objs *ObjectSet, q VertexID) *Browser {
+	return browse(sx.sx, objs, q)
+}
+
+// IOStats returns cumulative traffic of the shared buffer pool (zeros when
+// memory-resident).
+func (sx *ShardedIndex) IOStats() IOStats {
+	t := sx.sx.Tracker()
+	s := t.Stats()
+	return IOStats{PageHits: s.Hits, PageMisses: s.Misses, ModeledIOTime: t.ModeledIOTime()}
+}
+
+// ResetIOStats zeroes the shared pool's counters, keeping cache contents
+// warm.
+func (sx *ShardedIndex) ResetIOStats() {
+	if t := sx.sx.Tracker(); t != nil {
+		t.ResetStats()
+	}
+}
+
+// LoadEngine sniffs the index file format and loads either a monolithic
+// Index or a ShardedIndex as an Engine — the loader the CLI tools use so
+// one -index flag accepts both formats.
+func LoadEngine(r io.Reader, net *Network, opts BuildOptions) (Engine, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(partition.MagicString))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) == partition.MagicString {
+		return LoadShardedIndex(br, net, ShardedBuildOptions{
+			Parallelism:   opts.Parallelism,
+			DiskResident:  opts.DiskResident,
+			CacheFraction: opts.CacheFraction,
+			MissLatency:   opts.MissLatency,
+		})
+	}
+	return LoadIndex(br, net, opts)
+}
+
+// Engine is the query surface shared by Index and ShardedIndex: everything
+// a serving layer needs, independent of whether the index is monolithic or
+// partitioned. cmd/silcserve serves either through this interface.
+type Engine interface {
+	Network() *Network
+	Distance(u, v VertexID) float64
+	DistanceInterval(u, v VertexID) Interval
+	ShortestPath(u, v VertexID) []VertexID
+	IsCloser(u, a, b VertexID) bool
+	NearestNeighbors(objs *ObjectSet, q VertexID, k int) Result
+	Query(objs *ObjectSet, q VertexID, k int, method Method) Result
+	QueryBatch(objs *ObjectSet, queries []VertexID, k int, method Method) BatchResult
+	QueryBatchWorkers(objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult
+	WithinDistance(objs *ObjectSet, q VertexID, radius float64) Result
+	Browse(objs *ObjectSet, q VertexID) *Browser
+	IOStats() IOStats
+	ResetIOStats()
+}
+
+var _ Engine = (*Index)(nil)
+var _ Engine = (*ShardedIndex)(nil)

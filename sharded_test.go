@@ -1,0 +1,152 @@
+package silc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildShardedPair(t *testing.T) (*Network, *Index, *ShardedIndex) {
+	t.Helper()
+	net, err := GenerateRoadNetwork(RoadNetworkOptions{Rows: 16, Cols: 16, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := BuildIndex(net, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := BuildShardedIndex(net, ShardedBuildOptions{Partitions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, mono, sharded
+}
+
+// TestShardedIndexMatchesMonolithic checks the public sharded surface
+// end to end against the monolithic index (the exhaustive ground-truth
+// property test lives in internal/partition).
+func TestShardedIndexMatchesMonolithic(t *testing.T) {
+	net, mono, sharded := buildShardedPair(t)
+	n := net.NumVertices()
+	if got := sharded.NumPartitions(); got != 5 {
+		t.Fatalf("NumPartitions = %d, want 5", got)
+	}
+	st := sharded.Stats()
+	if st.BoundaryVertices == 0 || st.CellBlocks == 0 {
+		t.Fatalf("implausible sharded stats: %+v", st)
+	}
+	if st.CellBlocks >= mono.Stats().TotalBlocks {
+		t.Fatalf("sharded holds %d Morton blocks, monolithic only %d — sharding should shrink block storage",
+			st.CellBlocks, mono.Stats().TotalBlocks)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		md := mono.Distance(u, v)
+		sd := sharded.Distance(u, v)
+		if math.Abs(md-sd) > 1e-9*(1+md) {
+			t.Fatalf("Distance(%d,%d): mono %v sharded %v", u, v, md, sd)
+		}
+		iv := sharded.DistanceInterval(u, v)
+		if iv.Lo > md+1e-9 || iv.Hi < md-1e-9 {
+			t.Fatalf("interval [%v,%v] of (%d,%d) excludes %v", iv.Lo, iv.Hi, u, v, md)
+		}
+		a, b := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+		if mono.IsCloser(u, a, b) != sharded.IsCloser(u, a, b) {
+			// Legitimate only on a distance tie.
+			da, db := mono.Distance(u, a), mono.Distance(u, b)
+			if math.Abs(da-db) > 1e-9*(1+da) {
+				t.Fatalf("IsCloser(%d,%d,%d) differs without a tie (%v vs %v)", u, a, b, da, db)
+			}
+		}
+	}
+
+	objs := NewObjectSet(net, randomVertices(rng, n, n/10))
+	for i := 0; i < 10; i++ {
+		q := VertexID(rng.Intn(n))
+		mr := mono.NearestNeighbors(objs, q, 5)
+		sr := sharded.NearestNeighbors(objs, q, 5)
+		if len(mr.Neighbors) != len(sr.Neighbors) {
+			t.Fatalf("kNN sizes differ at q=%d", q)
+		}
+		for j := range mr.Neighbors {
+			if math.Abs(mr.Neighbors[j].Dist-sr.Neighbors[j].Dist) > 1e-9*(1+mr.Neighbors[j].Dist) {
+				t.Fatalf("q=%d neighbor %d: mono %v sharded %v", q, j,
+					mr.Neighbors[j].Dist, sr.Neighbors[j].Dist)
+			}
+			if !sr.Neighbors[j].Exact {
+				t.Fatalf("NearestNeighbors left an inexact distance at q=%d", q)
+			}
+		}
+		// Browsing streams the same distances incrementally.
+		br := sharded.Browse(objs, q)
+		for j := 0; j < 5; j++ {
+			nb, ok := br.Next()
+			if !ok {
+				t.Fatalf("browser exhausted at %d", j)
+			}
+			if math.Abs(nb.Dist-mr.Neighbors[j].Dist) > 1e-9*(1+nb.Dist) {
+				t.Fatalf("browser q=%d rank %d: %v, kNN says %v", q, j, nb.Dist, mr.Neighbors[j].Dist)
+			}
+		}
+	}
+
+	queries := randomVertices(rng, n, 40)
+	batch := sharded.QueryBatch(objs, queries, 3, MethodKNN)
+	if len(batch.Results) != len(queries) || batch.Stats.Queries != len(queries) {
+		t.Fatalf("batch shape wrong: %+v", batch.Stats)
+	}
+
+	radius := mono.Distance(VertexID(0), VertexID(n/2)) / 2
+	mres := mono.WithinDistance(objs, VertexID(0), radius)
+	sres := sharded.WithinDistance(objs, VertexID(0), radius)
+	if len(mres.Neighbors) != len(sres.Neighbors) {
+		t.Fatalf("range sizes differ: mono %d sharded %d", len(mres.Neighbors), len(sres.Neighbors))
+	}
+
+	// Both engines satisfy the serving interface.
+	for _, e := range []Engine{mono, sharded} {
+		if e.Network().NumVertices() != n {
+			t.Fatal("Engine.Network mismatch")
+		}
+	}
+}
+
+func TestShardedIndexPersistence(t *testing.T) {
+	net, _, sharded := buildShardedPair(t)
+	var buf bytes.Buffer
+	if _, err := sharded.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadShardedIndex(bytes.NewReader(buf.Bytes()), net, ShardedBuildOptions{DiskResident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		u := VertexID(rng.Intn(net.NumVertices()))
+		v := VertexID(rng.Intn(net.NumVertices()))
+		if a, b := sharded.Distance(u, v), loaded.Distance(u, v); a != b {
+			t.Fatalf("Distance(%d,%d) differs after reload: %v vs %v", u, v, a, b)
+		}
+	}
+	if io := loaded.IOStats(); io.PageHits+io.PageMisses == 0 {
+		t.Fatal("disk-resident reload recorded no page traffic")
+	}
+	loaded.ResetIOStats()
+	if io := loaded.IOStats(); io.PageHits+io.PageMisses != 0 {
+		t.Fatal("ResetIOStats left counters non-zero")
+	}
+}
+
+func randomVertices(rng *rand.Rand, n, k int) []VertexID {
+	out := make([]VertexID, k)
+	for i := range out {
+		out[i] = VertexID(rng.Intn(n))
+	}
+	return out
+}
