@@ -1,6 +1,8 @@
 package silc
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,26 +40,41 @@ type BatchResult struct {
 }
 
 // QueryBatch answers one kNN query per vertex in queries over a shared
-// object set, using a bounded worker pool of GOMAXPROCS goroutines. Every
+// object set, fanned out over a bounded worker pool (WithWorkers; default
+// GOMAXPROCS). The pool is bounded regardless of batch size: a batch of a
+// million queries still runs at most workers queries at a time. Every
 // index — including DiskResident ones — supports this: queries share the
 // sharded buffer pool and each carries its own statistics context, so
 // Results[i].Stats reports exactly query i's traffic. Results are in input
-// order.
-func (ix *Index) QueryBatch(objs *ObjectSet, queries []VertexID, k int, method Method) BatchResult {
-	return ix.QueryBatchWorkers(objs, queries, k, method, 0)
-}
+// order. WithMethod, WithEpsilon, WithMaxDistance, and WithExactDistances
+// apply to every query in the batch.
+//
+// All query vertices are validated up front. Cancelling ctx stops the
+// in-flight queries within one refinement step and abandons the unstarted
+// remainder; the partial BatchResult is returned alongside ctx's error
+// (unfinished slots hold zero Results).
+func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []VertexID, k int, opts ...Option) (BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if err := checkObjects(objs); err != nil {
+		return BatchResult{}, err
+	}
+	if err := checkK(k); err != nil {
+		return BatchResult{}, err
+	}
+	n := e.net.NumVertices()
+	for i, q := range queries {
+		if q < 0 || int(q) >= n {
+			return BatchResult{}, fmt.Errorf("%w: queries[%d]=%d, want [0,%d)", ErrVertexRange, i, q, n)
+		}
+	}
 
-// QueryBatchWorkers is QueryBatch with an explicit worker-pool bound
-// (workers <= 0 selects GOMAXPROCS). The pool is bounded regardless of
-// batch size: a batch of a million queries still runs at most workers
-// queries at a time.
-func (ix *Index) QueryBatchWorkers(objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
-	return queryBatchWorkers(ix.ix, objs, queries, k, method, workers)
-}
-
-// queryBatchWorkers fans a batch over a bounded worker pool on any
-// QueryIndex — shared by the monolithic and sharded public types.
-func queryBatchWorkers(qx core.QueryIndex, objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
+	workers := o.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -72,12 +89,21 @@ func queryBatchWorkers(qx core.QueryIndex, objs *ObjectSet, queries []VertexID, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := next.Add(1) - 1
 				if i >= int64(len(queries)) {
 					return
 				}
-				results[i] = runQuery(qx, objs, queries[i], k, method)
+				qc := core.NewQueryContextFor(ctx)
+				res, err := e.runSpec(qc, objs, queries[i], k, o)
+				if err == nil && o.exact {
+					err = e.exactify(qc, queries[i], &res)
+				}
+				if err != nil {
+					return // cancelled: leave this and later slots zero
+				}
+				e.foldIO(qc, &res.Stats)
+				results[i] = res
 			}
 		}()
 	}
@@ -94,5 +120,35 @@ func queryBatchWorkers(qx core.QueryIndex, objs *ObjectSet, queries []VertexID, 
 	if agg.Wall > 0 {
 		agg.QPS = float64(agg.Queries) / agg.Wall.Seconds()
 	}
-	return BatchResult{Results: results, Stats: agg}
+	return BatchResult{Results: results, Stats: agg}, ctx.Err()
+}
+
+// legacyBatch adapts the pre-Engine batch convention (k ≤ 0 or an empty
+// query list yields an empty batch; invalid vertices panic at this edge).
+func legacyBatch(e *Engine, objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
+	if k <= 0 || len(queries) == 0 {
+		return BatchResult{Results: make([]Result, len(queries))}
+	}
+	br, err := e.QueryBatch(context.Background(), objs, queries, k,
+		WithMethod(method), WithWorkers(workers))
+	if err != nil {
+		panic(err)
+	}
+	return br
+}
+
+// QueryBatch answers one kNN query per vertex in queries over a bounded
+// worker pool of GOMAXPROCS goroutines.
+//
+// Deprecated: use Engine.QueryBatch for cancellation and error returns.
+func (ix *Index) QueryBatch(objs *ObjectSet, queries []VertexID, k int, method Method) BatchResult {
+	return legacyBatch(ix.eng, objs, queries, k, method, 0)
+}
+
+// QueryBatchWorkers is QueryBatch with an explicit worker-pool bound
+// (workers <= 0 selects GOMAXPROCS).
+//
+// Deprecated: use Engine.QueryBatch with WithWorkers.
+func (ix *Index) QueryBatchWorkers(objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
+	return legacyBatch(ix.eng, objs, queries, k, method, workers)
 }

@@ -436,7 +436,7 @@ func BenchmarkQueryBatch(b *testing.B) {
 	for i := range vertices {
 		vertices[i] = VertexID(perm[i])
 	}
-	objs := NewObjectSet(net, vertices)
+	objs := mustObjects(b, net, vertices)
 	queries := make([]VertexID, 64)
 	for i := range queries {
 		queries[i] = VertexID(rng.Intn(net.NumVertices()))

@@ -5,22 +5,26 @@
 // Usage:
 //
 //	silcquery -rows 48 -cols 48 -mode knn -q 17 -k 5 -objects 0.05 -method KNN
+//	silcquery -rows 48 -cols 48 -mode knn -q 17 -k 5 -eps 0.25 -max-dist 0.8
 //	silcquery -net network.txt -mode dist -q 17 -dest 423
 //	silcquery -net network.txt -mode path -q 17 -dest 423
 //	silcquery -net network.txt -mode refine -q 17 -dest 423
 //	silcquery -rows 64 -cols 64 -partitions 8 -mode dist -q 17 -dest 423
 //
 // -partitions N > 1 queries through the sharded index; -index accepts both
-// monolithic and sharded files (the format is sniffed). The refine trace
-// mode requires a monolithic index.
+// monolithic and sharded files (the format is sniffed). -eps asks for
+// ε-approximate ranking (fewer refinements, distances certified within
+// (1+ε)×); -max-dist bounds results to a radius. -timeout aborts a query
+// through context cancellation. The refine trace mode requires a monolithic
+// index.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
 
 	"silc"
 )
@@ -38,6 +42,9 @@ func main() {
 		k       = flag.Int("k", 5, "neighbor count (knn)")
 		objFrac = flag.Float64("objects", 0.05, "object fraction of N (knn)")
 		method  = flag.String("method", "KNN", "algorithm: KNN, INN, KNN-I, KNN-M, INE, IER")
+		eps     = flag.Float64("eps", 0, "ε-approximate ranking (knn; 0 = exact)")
+		maxDist = flag.Float64("max-dist", 0, "bound results to network distance ≤ d (knn; 0 = unbounded)")
+		timeout = flag.Duration("timeout", 0, "per-query timeout (0 = none)")
 		parts   = flag.Int("partitions", 1, "spatial partitions (>1 queries the sharded index)")
 	)
 	flag.Parse()
@@ -46,48 +53,71 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if *q < 0 || *q >= net.NumVertices() || *dest < 0 || *dest >= net.NumVertices() {
-		fail(fmt.Errorf("vertex out of range [0,%d)", net.NumVertices()))
-	}
-	var ix silc.Engine
+	var eng *silc.Engine
 	if *idxFile != "" {
 		f, err := os.Open(*idxFile)
 		if err != nil {
 			fail(err)
 		}
-		ix, err = silc.LoadEngine(f, net, silc.BuildOptions{})
+		eng, err = silc.LoadEngine(f, net, silc.BuildOptions{})
 		f.Close()
 		if err != nil {
 			fail(err)
 		}
 	} else if *parts > 1 {
-		if ix, err = silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: *parts}); err != nil {
+		sx, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: *parts})
+		if err != nil {
 			fail(err)
 		}
-	} else if ix, err = silc.BuildIndex(net, silc.BuildOptions{}); err != nil {
-		fail(err)
+		eng = sx.Engine()
+	} else {
+		ix, err := silc.BuildIndex(net, silc.BuildOptions{})
+		if err != nil {
+			fail(err)
+		}
+		eng = ix.Engine()
 	}
 	src, dst := silc.VertexID(*q), silc.VertexID(*dest)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch *mode {
 	case "knn":
-		runKNN(net, ix, src, *k, *objFrac, *method, *seed)
+		runKNN(ctx, net, eng, src, *k, *objFrac, *method, *eps, *maxDist, *seed)
 	case "dist":
-		iv := ix.DistanceInterval(src, dst)
+		iv, err := eng.DistanceInterval(ctx, src, dst)
+		if err != nil {
+			fail(err)
+		}
+		d, err := eng.Distance(ctx, src, dst)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("interval (no refinement): [%.6f, %.6f]\n", iv.Lo, iv.Hi)
-		fmt.Printf("exact network distance:   %.6f\n", ix.Distance(src, dst))
+		fmt.Printf("exact network distance:   %.6f\n", d)
 		fmt.Printf("euclidean distance:       %.6f\n", net.Euclid(src, dst))
 	case "path":
-		path := ix.ShortestPath(src, dst)
+		path, err := eng.ShortestPath(ctx, src, dst)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("shortest path, %d hops:\n", len(path)-1)
 		for _, v := range path {
 			p := net.Point(v)
 			fmt.Printf("  %6d  (%.4f, %.4f)\n", v, p.X, p.Y)
 		}
 	case "refine":
-		mono, ok := ix.(*silc.Index)
+		mono, ok := eng.Monolithic()
 		if !ok {
 			fail(fmt.Errorf("the refine trace requires a monolithic index"))
+		}
+		if *q < 0 || *q >= net.NumVertices() || *dest < 0 || *dest >= net.NumVertices() {
+			fail(fmt.Errorf("vertex out of range [0,%d)", net.NumVertices()))
 		}
 		r := mono.NewRefiner(src, dst)
 		iv := r.Interval()
@@ -104,7 +134,7 @@ func main() {
 	}
 }
 
-func runKNN(net *silc.Network, ix silc.Engine, q silc.VertexID, k int, frac float64, methodName string, seed int64) {
+func runKNN(ctx context.Context, net *silc.Network, eng *silc.Engine, q silc.VertexID, k int, frac float64, methodName string, eps, maxDist float64, seed int64) {
 	rng := rand.New(rand.NewSource(seed + 1))
 	m := int(frac * float64(net.NumVertices()))
 	if m < 1 {
@@ -115,13 +145,26 @@ func runKNN(net *silc.Network, ix silc.Engine, q silc.VertexID, k int, frac floa
 	for i := 0; i < m; i++ {
 		vertices[i] = silc.VertexID(perm[i])
 	}
-	objs := silc.NewObjectSet(net, vertices)
-
-	method, err := parseMethod(methodName)
+	objs, err := silc.NewObjectSet(net, vertices)
 	if err != nil {
 		fail(err)
 	}
-	res := ix.Query(objs, q, k, method)
+
+	method, err := silc.ParseMethod(methodName)
+	if err != nil {
+		fail(err)
+	}
+	opts := []silc.Option{silc.WithMethod(method)}
+	if eps > 0 {
+		opts = append(opts, silc.WithEpsilon(eps))
+	}
+	if maxDist > 0 {
+		opts = append(opts, silc.WithMaxDistance(maxDist))
+	}
+	res, err := eng.Query(ctx, objs, q, k, opts...)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("%s: %d neighbors of vertex %d over |S|=%d (sorted=%v)\n",
 		method, len(res.Neighbors), q, objs.Len(), res.Sorted)
 	for i, n := range res.Neighbors {
@@ -135,25 +178,6 @@ func runKNN(net *silc.Network, ix silc.Engine, q silc.VertexID, k int, frac floa
 	s := res.Stats
 	fmt.Printf("stats: maxQueue=%d refinements=%d lookups=%d settled=%d cpu=%v\n",
 		s.MaxQueue, s.Refinements, s.Lookups, s.Settled, s.CPUTime)
-}
-
-func parseMethod(s string) (silc.Method, error) {
-	switch strings.ToUpper(s) {
-	case "KNN":
-		return silc.MethodKNN, nil
-	case "INN":
-		return silc.MethodINN, nil
-	case "KNN-I", "KNNI":
-		return silc.MethodKNNI, nil
-	case "KNN-M", "KNNM":
-		return silc.MethodKNNM, nil
-	case "INE":
-		return silc.MethodINE, nil
-	case "IER":
-		return silc.MethodIER, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q", s)
-	}
 }
 
 func loadOrGenerate(file string, rows, cols int, seed int64) (*silc.Network, error) {

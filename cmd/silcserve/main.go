@@ -2,9 +2,13 @@
 // shared SILC index — the "heavy traffic" deployment the concurrent query
 // engine enables. Endpoints:
 //
-//	GET  /knn?q=V&k=K[&method=KNN]   k nearest objects to vertex V
-//	POST /knn {"queries":[...],"k":K[,"method":"KNN"]}   batch kNN
-//	GET  /browse?src=V&n=N           stream the first N neighbors of V
+//	GET  /knn?q=V&k=K[&method=KNN][&eps=E][&max_dist=D]
+//	                                 k nearest objects to vertex V; eps asks
+//	                                 for ε-approximate ranking, max_dist for
+//	                                 the hybrid kNN∩range query
+//	POST /knn {"queries":[...],"k":K[,"method":"KNN","eps":E,"max_dist":D]}
+//	                                 batch kNN over a bounded worker pool
+//	GET  /browse?src=V&n=N[&eps=E]   stream the first N neighbors of V
 //	                                 incrementally (NDJSON, one line per
 //	                                 neighbor) — the paper's distance
 //	                                 browsing over HTTP
@@ -13,6 +17,11 @@
 //	GET  /range?q=V&radius=R         objects within network distance R
 //	GET  /stats                      build, buffer-pool, and server counters
 //	GET  /healthz                    liveness probe
+//
+// Every handler threads its request context into the query engine, so a
+// client disconnect or the -request-timeout deadline cancels the in-flight
+// search itself — refinement stops within one step — not just the response
+// writes.
 //
 // The index is either loaded (-network plus -index, produced by silcbuild;
 // monolithic and sharded files are both accepted) or built at startup from
@@ -61,10 +70,11 @@ func main() {
 		partitions  = flag.Int("partitions", 1, "spatial partitions (>1 builds/serves the sharded index)")
 		maxK        = flag.Int("max-k", 1000, "largest k a request may ask for")
 		maxBatch    = flag.Int("max-batch", 10000, "largest batch request size")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline cancelling in-flight queries (0 = none)")
 	)
 	flag.Parse()
 
-	net, ix, err := loadOrBuild(*networkPath, *indexPath, *rows, *cols, *seed, *partitions, silc.BuildOptions{
+	net, eng, err := loadOrBuild(*networkPath, *indexPath, *rows, *cols, *seed, *partitions, silc.BuildOptions{
 		DiskResident:  *disk,
 		CacheFraction: *cacheFrac,
 		MissLatency:   *missLatency,
@@ -76,18 +86,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("silcserve: %v", err)
 	}
-	switch e := ix.(type) {
-	case *silc.ShardedIndex:
-		st := e.Stats()
+	if sx, ok := eng.Sharded(); ok {
+		st := sx.Stats()
 		log.Printf("serving %d vertices, %d edges, %d objects (%d partitions, %d boundary vertices)",
 			st.Vertices, st.Edges, nObjs, st.Partitions, st.BoundaryVertices)
-	case *silc.Index:
-		st := e.Stats()
+	} else if mono, ok := eng.Monolithic(); ok {
+		st := mono.Stats()
 		log.Printf("serving %d vertices, %d edges, %d objects (%.1f blocks/vertex)",
 			st.Vertices, st.Edges, nObjs, st.BlocksPerVertex())
 	}
 
-	s := newServer(ix, objs, *maxK, *maxBatch)
+	s := newServer(eng, objs, *maxK, *maxBatch)
+	s.timeout = *reqTimeout
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
@@ -113,7 +123,7 @@ func main() {
 	}
 }
 
-func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, partitions int, opts silc.BuildOptions) (*silc.Network, silc.Engine, error) {
+func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, partitions int, opts silc.BuildOptions) (*silc.Network, *silc.Engine, error) {
 	var net *silc.Network
 	var err error
 	if networkPath != "" {
@@ -141,15 +151,15 @@ func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, part
 			return nil, nil, err
 		}
 		defer f.Close()
-		ix, err := silc.LoadEngine(f, net, opts)
+		eng, err := silc.LoadEngine(f, net, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("load index: %w", err)
 		}
-		return net, ix, nil
+		return net, eng, nil
 	}
 	if partitions > 1 {
 		log.Printf("building sharded index over %d vertices (%d partitions)...", net.NumVertices(), partitions)
-		ix, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{
+		sx, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{
 			Partitions:    partitions,
 			DiskResident:  opts.DiskResident,
 			CacheFraction: opts.CacheFraction,
@@ -158,14 +168,14 @@ func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, part
 		if err != nil {
 			return nil, nil, err
 		}
-		return net, ix, nil
+		return net, sx.Engine(), nil
 	}
 	log.Printf("building index over %d vertices...", net.NumVertices())
 	ix, err := silc.BuildIndex(net, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return net, ix, nil
+	return net, ix.Engine(), nil
 }
 
 func loadObjects(net *silc.Network, path string, fraction float64, seed int64) (*silc.ObjectSet, int, error) {
@@ -196,25 +206,27 @@ func loadObjects(net *silc.Network, path string, fraction float64, seed int64) (
 			vs = append(vs, silc.VertexID(v))
 		}
 	}
-	if len(vs) == 0 {
-		return nil, 0, errors.New("empty object set")
+	objs, err := silc.NewObjectSet(net, vs)
+	if err != nil {
+		return nil, 0, err
 	}
-	return silc.NewObjectSet(net, vs), len(vs), nil
+	return objs, len(vs), nil
 }
 
 // server holds the shared read-only state plus request counters.
 type server struct {
-	ix       silc.Engine
+	eng      *silc.Engine
 	objs     *silc.ObjectSet
 	maxK     int
 	maxBatch int
+	timeout  time.Duration // per-request deadline (0 = none)
 	started  time.Time
 	requests atomic.Int64
 	queries  atomic.Int64 // logical queries answered (a batch counts each)
 }
 
-func newServer(ix silc.Engine, objs *silc.ObjectSet, maxK, maxBatch int) *server {
-	return &server{ix: ix, objs: objs, maxK: maxK, maxBatch: maxBatch, started: time.Now()}
+func newServer(eng *silc.Engine, objs *silc.ObjectSet, maxK, maxBatch int) *server {
+	return &server{eng: eng, objs: objs, maxK: maxK, maxBatch: maxBatch, started: time.Now()}
 }
 
 func (s *server) routes() http.Handler {
@@ -231,9 +243,19 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
+// count is the request middleware: it bumps the counters and applies the
+// -request-timeout deadline to the request context, so a slow query is
+// cancelled inside the engine rather than left running after the client
+// gave up. (http.TimeoutHandler is unsuitable here: it buffers responses,
+// which would break /browse streaming.)
 func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		h(w, r)
 	}
 }
@@ -256,11 +278,28 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// writeError maps an error to its HTTP status: the engine's typed
+// validation errors and explicit httpErrors are 400s, a request-timeout
+// deadline is 503, a client disconnect (context.Canceled) gets no response
+// at all — nobody is listening.
 func writeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) {
+		return
+	}
 	status := http.StatusInternalServerError
 	var he httpError
-	if errors.As(err, &he) {
+	switch {
+	case errors.As(err, &he):
 		status = he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, silc.ErrVertexRange),
+		errors.Is(err, silc.ErrBadK),
+		errors.Is(err, silc.ErrBadRadius),
+		errors.Is(err, silc.ErrBadEpsilon),
+		errors.Is(err, silc.ErrNilObjects),
+		errors.Is(err, silc.ErrEmptyObjects):
+		status = http.StatusBadRequest
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -273,29 +312,34 @@ func (s *server) vertexParam(r *http.Request, name string) (silc.VertexID, error
 		return 0, badRequest("missing parameter %q", name)
 	}
 	id, err := strconv.Atoi(raw)
-	if err != nil || id < 0 || id >= s.ix.Network().NumVertices() {
-		return 0, badRequest("parameter %q: not a vertex id in [0,%d)", name, s.ix.Network().NumVertices())
+	if err != nil || id < 0 || id >= s.eng.Network().NumVertices() {
+		return 0, badRequest("parameter %q: not a vertex id in [0,%d)", name, s.eng.Network().NumVertices())
 	}
 	return silc.VertexID(id), nil
 }
 
-func parseMethod(name string) (silc.Method, error) {
-	switch strings.ToUpper(name) {
-	case "", "KNN":
-		return silc.MethodKNN, nil
-	case "INN":
-		return silc.MethodINN, nil
-	case "KNN-I", "KNNI":
-		return silc.MethodKNNI, nil
-	case "KNN-M", "KNNM":
-		return silc.MethodKNNM, nil
-	case "INE":
-		return silc.MethodINE, nil
-	case "IER":
-		return silc.MethodIER, nil
-	default:
-		return 0, badRequest("unknown method %q", name)
+// epsParam parses the optional ε-approximation parameter.
+func epsParam(raw string) (float64, error) {
+	if raw == "" {
+		return 0, nil
 	}
+	eps, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 0 {
+		return 0, badRequest("parameter eps must be a finite non-negative number")
+	}
+	return eps, nil
+}
+
+// maxDistParam parses the optional hybrid-query distance bound.
+func maxDistParam(raw string) (float64, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(d) || d < 0 {
+		return 0, badRequest("parameter max_dist must be a non-negative number")
+	}
+	return d, nil
 }
 
 type neighborJSON struct {
@@ -337,6 +381,18 @@ func toStats(st silc.QueryStats) queryStatsJSON {
 	}
 }
 
+// knnOptions assembles the query options shared by the GET and POST forms.
+func knnOptions(method silc.Method, eps, maxDist float64) []silc.Option {
+	opts := []silc.Option{silc.WithMethod(method)}
+	if eps > 0 {
+		opts = append(opts, silc.WithEpsilon(eps))
+	}
+	if maxDist > 0 {
+		opts = append(opts, silc.WithMaxDistance(maxDist))
+	}
+	return opts
+}
+
 func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost {
 		s.handleKNNBatch(w, r)
@@ -352,12 +408,26 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	method, err := parseMethod(r.URL.Query().Get("method"))
+	method, err := silc.ParseMethod(r.URL.Query().Get("method"))
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	eps, err := epsParam(r.URL.Query().Get("eps"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	res := s.ix.Query(s.objs, q, k, method)
+	maxDist, err := maxDistParam(r.URL.Query().Get("max_dist"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.eng.Query(r.Context(), s.objs, q, k, knnOptions(method, eps, maxDist)...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	s.queries.Add(1)
 	writeJSON(w, map[string]any{
 		"query":     int64(q),
@@ -383,6 +453,8 @@ type batchRequest struct {
 	Queries []int64 `json:"queries"`
 	K       int     `json:"k"`
 	Method  string  `json:"method"`
+	Eps     float64 `json:"eps"`
+	MaxDist float64 `json:"max_dist"`
 }
 
 func (s *server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
@@ -402,21 +474,29 @@ func (s *server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("k must be in [1,%d]", s.maxK))
 		return
 	}
-	method, err := parseMethod(req.Method)
+	method, err := silc.ParseMethod(req.Method)
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	if math.IsNaN(req.Eps) || math.IsInf(req.Eps, 0) || req.Eps < 0 {
+		writeError(w, badRequest("eps must be a finite non-negative number"))
+		return
+	}
+	if math.IsNaN(req.MaxDist) || req.MaxDist < 0 {
+		writeError(w, badRequest("max_dist must be a non-negative number"))
+		return
+	}
+	queries := make([]silc.VertexID, len(req.Queries))
+	for i, v := range req.Queries {
+		queries[i] = silc.VertexID(v)
+	}
+	batch, err := s.eng.QueryBatch(r.Context(), s.objs, queries, req.K,
+		knnOptions(method, req.Eps, req.MaxDist)...)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	n := s.ix.Network().NumVertices()
-	queries := make([]silc.VertexID, len(req.Queries))
-	for i, v := range req.Queries {
-		if v < 0 || v >= int64(n) {
-			writeError(w, badRequest("queries[%d]: not a vertex id in [0,%d)", i, n))
-			return
-		}
-		queries[i] = silc.VertexID(v)
-	}
-	batch := s.ix.QueryBatch(s.objs, queries, req.K, method)
 	s.queries.Add(int64(len(queries)))
 	results := make([]map[string]any, len(batch.Results))
 	for i, res := range batch.Results {
@@ -454,7 +534,11 @@ func (s *server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	d := s.ix.Distance(src, dst)
+	d, err := s.eng.Distance(r.Context(), src, dst)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	s.queries.Add(1)
 	resp := map[string]any{
 		"src":       int64(src),
@@ -478,7 +562,11 @@ func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	path := s.ix.ShortestPath(src, dst)
+	path, err := s.eng.ShortestPath(r.Context(), src, dst)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	s.queries.Add(1)
 	if path == nil {
 		writeJSON(w, map[string]any{"src": int64(src), "dst": int64(dst), "reachable": false})
@@ -492,7 +580,7 @@ func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
 		"src":       int64(src),
 		"dst":       int64(dst),
 		"reachable": true,
-		"distance":  pathCost(s.ix.Network(), path),
+		"distance":  pathCost(s.eng.Network(), path),
 		"path":      ids,
 	})
 }
@@ -525,7 +613,11 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("parameter radius must be a non-negative number"))
 		return
 	}
-	res := s.ix.WithinDistance(s.objs, q, radius)
+	res, err := s.eng.WithinDistance(r.Context(), s.objs, q, radius)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	s.queries.Add(1)
 	writeJSON(w, map[string]any{
 		"query":     int64(q),
@@ -538,9 +630,8 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var index map[string]any
-	switch e := s.ix.(type) {
-	case *silc.ShardedIndex:
-		st := e.Stats()
+	if sx, ok := s.eng.Sharded(); ok {
+		st := sx.Stats()
 		index = map[string]any{
 			"vertices":          st.Vertices,
 			"edges":             st.Edges,
@@ -554,8 +645,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"total_bytes":       st.TotalBytes,
 			"build_time_ms":     st.BuildTime.Milliseconds(),
 		}
-	case *silc.Index:
-		st := e.Stats()
+	} else if mono, ok := s.eng.Monolithic(); ok {
+		st := mono.Stats()
 		index = map[string]any{
 			"vertices":          st.Vertices,
 			"edges":             st.Edges,
@@ -563,10 +654,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"total_bytes":       st.TotalBytes,
 			"blocks_per_vertex": st.BlocksPerVertex(),
 			"build_time_ms":     st.BuildTime.Milliseconds(),
-			"radius":            e.Radius(),
+			"radius":            mono.Radius(),
 		}
 	}
-	io := s.ix.IOStats()
+	io := s.eng.IOStats()
 	writeJSON(w, map[string]any{
 		"index":   index,
 		"objects": s.objs.Len(),
@@ -584,10 +675,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleBrowse streams incremental distance browsing — the paper's headline
-// operation — over HTTP: the first n neighbors of src, one NDJSON line per
-// neighbor, flushed as each is produced so clients consume the stream while
-// the cursor is still working. The (k+1)st line costs only the incremental
-// search the Browser performs.
+// operation — over HTTP, directly from the Engine.Neighbors iterator: the
+// first n neighbors of src, one NDJSON line per neighbor, flushed as each
+// is produced so clients consume the stream while the cursor is still
+// working. The (k+1)st line costs only the incremental search. A client
+// disconnect (or the request timeout) cancels the in-flight search itself,
+// not just the writes.
 func (s *server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	src, err := s.vertexParam(r, "src")
 	if err != nil {
@@ -605,26 +698,34 @@ func (s *server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	eps, err := epsParam(r.URL.Query().Get("eps"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var st silc.QueryStats
+	opts := []silc.Option{silc.WithStats(&st)}
+	if eps > 0 {
+		opts = append(opts, silc.WithEpsilon(eps))
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	br := s.ix.Browse(s.objs, src)
-	ctx := r.Context()
 	streamed := 0
-	for ; streamed < n; streamed++ {
-		if ctx.Err() != nil {
+	for nb, err := range s.eng.Neighbors(r.Context(), s.objs, src, opts...) {
+		if err != nil {
+			// Disconnect, timeout, or bad argument: the search is already
+			// cancelled; tell anyone still listening why the stream ended.
 			s.queries.Add(1)
-			return // client gone: stop browsing, the remaining work serves nobody
-		}
-		nb, ok := br.Next()
-		if !ok {
-			break // object set exhausted before n neighbors
+			enc.Encode(map[string]any{"error": err.Error(), "streamed": streamed})
+			return
 		}
 		if err := enc.Encode(map[string]any{
 			"rank":   streamed + 1,
 			"id":     nb.ID,
 			"vertex": int64(nb.Vertex),
 			"dist":   nb.Dist,
+			"exact":  nb.Exact,
 		}); err != nil {
 			s.queries.Add(1)
 			return // write failed (disconnect): stop streaming
@@ -632,8 +733,10 @@ func (s *server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		if streamed++; streamed >= n {
+			break
+		}
 	}
-	st := br.Stats()
 	enc.Encode(map[string]any{
 		"done":     true,
 		"streamed": streamed,

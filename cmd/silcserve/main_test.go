@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"silc"
 )
@@ -25,7 +26,16 @@ func testServer(t *testing.T) *server {
 	for i := range vs {
 		vs[i] = silc.VertexID(i)
 	}
-	return newServer(ix, silc.NewObjectSet(net, vs), 100, 1000)
+	return newServer(ix.Engine(), mustObjects(t, net, vs), 100, 1000)
+}
+
+func mustObjects(t *testing.T, net *silc.Network, vs []silc.VertexID) *silc.ObjectSet {
+	t.Helper()
+	objs, err := silc.NewObjectSet(net, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return objs
 }
 
 func getJSON(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
@@ -246,7 +256,7 @@ func testShardedServer(t *testing.T) *server {
 	for i := range vs {
 		vs[i] = silc.VertexID(i)
 	}
-	return newServer(ix, silc.NewObjectSet(net, vs), 100, 1000)
+	return newServer(ix.Engine(), mustObjects(t, net, vs), 100, 1000)
 }
 
 func decodeBrowseStream(t *testing.T, ts *httptest.Server, path string) (ranks []int, dists []float64, trailer map[string]any) {
@@ -299,8 +309,11 @@ func TestServerBrowseStreaming(t *testing.T) {
 		if trailer == nil || trailer["streamed"].(float64) != 7 {
 			t.Fatalf("%s: bad trailer %v", name, trailer)
 		}
+		if st, ok := trailer["stats"].(map[string]any); !ok || st["lookups"].(float64) == 0 {
+			t.Fatalf("%s: trailer missing cursor stats: %v", name, trailer)
+		}
 		// Exhausting the object set ends the stream early with the trailer.
-		nv := srv.ix.Network().NumVertices()
+		nv := srv.eng.Network().NumVertices()
 		ranks, _, trailer = decodeBrowseStream(t, ts, "/browse?src=1&n=100")
 		if len(ranks) != nv || trailer == nil {
 			t.Fatalf("%s: exhausted stream returned %d of %d objects (trailer %v)", name, len(ranks), nv, trailer)
@@ -313,6 +326,69 @@ func TestServerBrowseStreaming(t *testing.T) {
 			t.Fatalf("%s: n=0 got status %d", name, resp.StatusCode)
 		}
 		ts.Close()
+	}
+}
+
+// TestServerEpsilonParam exercises the ε-approximate knob over HTTP: valid
+// values answer with certified-approximate distances, bad values are 400s.
+func TestServerEpsilonParam(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).routes())
+	defer ts.Close()
+
+	var knn struct {
+		Neighbors []struct {
+			Dist  float64 `json:"dist"`
+			Exact bool    `json:"exact"`
+		} `json:"neighbors"`
+	}
+	if resp := getJSON(t, ts, "/knn?q=5&k=4&eps=0.5", &knn); resp.StatusCode != 200 {
+		t.Fatalf("/knn eps status %d", resp.StatusCode)
+	}
+	if len(knn.Neighbors) != 4 {
+		t.Fatalf("eps knn: %+v", knn)
+	}
+	for _, path := range []string{"/knn?q=5&k=4&eps=-1", "/knn?q=5&k=4&eps=nope", "/browse?src=0&eps=-2"} {
+		if resp := getJSON(t, ts, path, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	ranks, _, trailer := decodeBrowseStream(t, ts, "/browse?src=0&n=5&eps=0.5")
+	if len(ranks) != 5 || trailer == nil {
+		t.Fatalf("eps browse: %d ranks, trailer %v", len(ranks), trailer)
+	}
+}
+
+// TestServerRequestTimeout sets a deadline that has to fire before any
+// query completes: handlers must answer 503 (and /browse must end its
+// stream) rather than hang or serve a stale result.
+func TestServerRequestTimeout(t *testing.T) {
+	srv := testServer(t)
+	srv.timeout = time.Nanosecond
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	for _, path := range []string{"/knn?q=5&k=4", "/distance?src=0&dst=63", "/range?q=0&radius=0.4"} {
+		resp := getJSON(t, ts, path, nil)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+	// The browse stream reports the deadline as its terminating line.
+	resp, err := ts.Client().Get(ts.URL + "/browse?src=0&n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var last map[string]any
+	for dec.More() {
+		last = nil
+		if err := dec.Decode(&last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last == nil || last["error"] == nil {
+		t.Fatalf("browse under timeout ended with %v, want error line", last)
 	}
 }
 

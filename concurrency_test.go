@@ -26,7 +26,7 @@ func concurrencyFixture(t *testing.T, diskResident bool) (*Index, *ObjectSet, []
 	for i := range queries {
 		queries[i] = VertexID(rng.Intn(net.NumVertices()))
 	}
-	return ix, NewObjectSet(net, vertices), queries
+	return ix, mustObjects(t, net, vertices), queries
 }
 
 func neighborsEqual(t *testing.T, tag string, got, want []Neighbor) {

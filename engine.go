@@ -1,0 +1,388 @@
+package silc
+
+import (
+	"context"
+	"iter"
+
+	"silc/internal/core"
+	"silc/internal/graph"
+	"silc/internal/knn"
+)
+
+// queryBackend is what the unified Engine needs from an index
+// implementation: the generic query surface the kNN family consumes plus
+// context-attributed interval and path retrieval. Both the monolithic
+// core.Index and the sharded partition index satisfy it, which is what lets
+// one generic code path answer every query on both.
+type queryBackend interface {
+	core.QueryIndex
+	DistanceIntervalCtx(qc *core.QueryContext, u, v graph.VertexID) core.Interval
+	PathCtx(qc *core.QueryContext, u, v graph.VertexID) []graph.VertexID
+}
+
+// Engine is the primary query handle of the package: one request-scoped,
+// context-aware query surface shared by the monolithic Index and the
+// partitioned ShardedIndex. Obtain one with Index.Engine,
+// ShardedIndex.Engine, or LoadEngine; the zero value is not usable.
+//
+// Every entry point takes a context.Context — cancellation and deadlines
+// are checked inside the best-first search loop and the progressive
+// refiners, so cancelling a request stops the in-flight work within one
+// refinement step — validates its arguments at the API edge (typed errors:
+// ErrVertexRange, ErrBadK, ErrNilObjects, ErrBadRadius, ErrBadEpsilon), and
+// accepts functional options (WithMethod, WithEpsilon, WithMaxDistance,
+// WithWorkers, WithExactDistances) in place of the old positional-argument
+// combinatorics.
+//
+// An Engine is read-only and safe for unlimited concurrent use, exactly
+// like the index it wraps.
+type Engine struct {
+	net   *Network
+	qx    queryBackend
+	mono  *Index
+	shard *ShardedIndex
+}
+
+// Network returns the indexed network.
+func (e *Engine) Network() *Network { return e.net }
+
+// Monolithic returns the underlying monolithic index, when the engine wraps
+// one (build/format statistics live on the concrete types).
+func (e *Engine) Monolithic() (*Index, bool) { return e.mono, e.mono != nil }
+
+// Sharded returns the underlying partitioned index, when the engine wraps
+// one.
+func (e *Engine) Sharded() (*ShardedIndex, bool) { return e.shard, e.shard != nil }
+
+// IOStats returns cumulative pool-wide buffer-pool statistics (zeros for
+// memory-resident indexes). Per-query traffic is on each Result's Stats.
+func (e *Engine) IOStats() IOStats {
+	t := e.qx.Tracker()
+	s := t.Stats()
+	return IOStats{PageHits: s.Hits, PageMisses: s.Misses, ModeledIOTime: t.ModeledIOTime()}
+}
+
+// ResetIOStats zeroes the buffer-pool counters, keeping cache contents warm.
+func (e *Engine) ResetIOStats() {
+	if t := e.qx.Tracker(); t != nil {
+		t.ResetStats()
+	}
+}
+
+// Distance returns the exact network distance from u to v by full
+// progressive refinement (+Inf when v is unreachable or beyond a
+// proximity-bounded index's radius). Cancelling ctx stops the refinement
+// and returns ctx's error.
+func (e *Engine) Distance(ctx context.Context, u, v VertexID) (float64, error) {
+	if err := checkVertex(e.net, "src", u); err != nil {
+		return 0, err
+	}
+	if err := checkVertex(e.net, "dst", v); err != nil {
+		return 0, err
+	}
+	qc := core.NewQueryContextFor(ctx)
+	d := core.ExactDistance(e.qx, qc, u, v)
+	if err := qc.Err(); err != nil {
+		return 0, err
+	}
+	return d, nil
+}
+
+// DistanceInterval returns the zero-refinement network-distance interval
+// between u and v: a bounded number of lookups, no graph search.
+func (e *Engine) DistanceInterval(ctx context.Context, u, v VertexID) (Interval, error) {
+	if err := checkVertex(e.net, "src", u); err != nil {
+		return Interval{}, err
+	}
+	if err := checkVertex(e.net, "dst", v); err != nil {
+		return Interval{}, err
+	}
+	qc := core.NewQueryContextFor(ctx)
+	iv := e.qx.DistanceIntervalCtx(qc, u, v)
+	if err := qc.Err(); err != nil {
+		return Interval{}, err
+	}
+	return iv, nil
+}
+
+// ShortestPath retrieves the exact shortest path from u to v, inclusive of
+// both endpoints (nil when v is unreachable). Cancelling ctx abandons the
+// retrieval and returns ctx's error.
+func (e *Engine) ShortestPath(ctx context.Context, u, v VertexID) ([]VertexID, error) {
+	if err := checkVertex(e.net, "src", u); err != nil {
+		return nil, err
+	}
+	if err := checkVertex(e.net, "dst", v); err != nil {
+		return nil, err
+	}
+	qc := core.NewQueryContextFor(ctx)
+	path := e.qx.PathCtx(qc, u, v)
+	if err := qc.Err(); err != nil {
+		return nil, err
+	}
+	return path, nil
+}
+
+// IsCloser reports whether u is strictly closer to a than to b by network
+// distance, refining both intervals only as far as the comparison requires.
+func (e *Engine) IsCloser(ctx context.Context, u, a, b VertexID) (bool, error) {
+	if err := checkVertex(e.net, "src", u); err != nil {
+		return false, err
+	}
+	if err := checkVertex(e.net, "a", a); err != nil {
+		return false, err
+	}
+	if err := checkVertex(e.net, "b", b); err != nil {
+		return false, err
+	}
+	qc := core.NewQueryContextFor(ctx)
+	ra := e.qx.Refine(qc, u, a)
+	rb := e.qx.Refine(qc, u, b)
+	for {
+		if err := qc.Err(); err != nil {
+			return false, err
+		}
+		ia, ib := ra.Interval(), rb.Interval()
+		if ia.Hi < ib.Lo {
+			return true, nil
+		}
+		if ib.Hi <= ia.Lo {
+			return false, nil
+		}
+		// Intervals collide: refine the wider one first; a stuck refiner
+		// (exact, or out of range) cedes to the other.
+		aStuck := ra.Done() || ra.OutOfRange()
+		bStuck := rb.Done() || rb.OutOfRange()
+		switch {
+		case aStuck && bStuck:
+			return ia.Lo < ib.Lo, nil
+		case aStuck:
+			rb.Step()
+		case bStuck:
+			ra.Step()
+		case ia.Hi-ia.Lo >= ib.Hi-ib.Lo:
+			ra.Step()
+		default:
+			rb.Step()
+		}
+	}
+}
+
+// Query returns up to k objects of objs nearest to q by network distance.
+// Options: WithMethod selects the algorithm (default MethodKNN), WithEpsilon
+// relaxes ranking to ε-approximate, WithMaxDistance bounds results to a
+// radius (the hybrid kNN∩range query), WithExactDistances refines every
+// reported distance to exact. Distances are otherwise refined only as far
+// as the ranking requires — exact only where Neighbor.Exact is set.
+//
+// Cancelling ctx stops the search within one refinement step; the neighbors
+// certified so far are returned alongside ctx's error.
+func (e *Engine) Query(ctx context.Context, objs *ObjectSet, q VertexID, k int, opts ...Option) (Result, error) {
+	o, err := e.checkQuery(objs, q, k, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	qc := core.NewQueryContextFor(ctx)
+	res, err := e.runSpec(qc, objs, q, k, o)
+	if err != nil {
+		return res, err
+	}
+	if o.exact {
+		if err := e.exactify(qc, q, &res); err != nil {
+			return res, err
+		}
+	}
+	e.foldIO(qc, &res.Stats)
+	return res, nil
+}
+
+// checkQuery validates the shared (objs, q, k, opts) prefix of the kNN
+// entry points.
+func (e *Engine) checkQuery(objs *ObjectSet, q VertexID, k int, opts []Option) (queryOptions, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return o, err
+	}
+	if err := checkObjects(objs); err != nil {
+		return o, err
+	}
+	if err := checkVertex(e.net, "q", q); err != nil {
+		return o, err
+	}
+	if err := checkK(k); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// runSpec dispatches one kNN query to the selected algorithm — the single
+// generic code path behind both engines and every public entry point.
+func (e *Engine) runSpec(qc *core.QueryContext, objs *ObjectSet, q VertexID, k int, o queryOptions) (Result, error) {
+	spec := knn.Spec{K: k, Epsilon: o.epsilon, MaxDist: o.maxDist}
+	var raw knn.Result
+	switch o.method {
+	case MethodINE:
+		raw = knn.INESpec(e.qx, qc, objs.objs, q, spec)
+	case MethodIER:
+		raw = knn.IERSpec(e.qx, qc, objs.objs, q, spec)
+	case MethodINN:
+		spec.Variant = knn.VariantINN
+		raw = knn.SearchSpec(e.qx, qc, objs.objs, q, spec)
+	case MethodKNNI:
+		spec.Variant = knn.VariantKNNI
+		raw = knn.SearchSpec(e.qx, qc, objs.objs, q, spec)
+	case MethodKNNM:
+		spec.Variant = knn.VariantKNNM
+		raw = knn.SearchSpec(e.qx, qc, objs.objs, q, spec)
+	default:
+		spec.Variant = knn.VariantKNN
+		raw = knn.SearchSpec(e.qx, qc, objs.objs, q, spec)
+	}
+	return convertResult(raw), raw.Err
+}
+
+// exactify refines every reported neighbor's distance to exact, charging
+// the work to the query's own context.
+func (e *Engine) exactify(qc *core.QueryContext, q VertexID, res *Result) error {
+	for i := range res.Neighbors {
+		n := &res.Neighbors[i]
+		if n.Exact {
+			continue
+		}
+		d := core.ExactDistance(e.qx, qc, q, n.Vertex)
+		if err := qc.Err(); err != nil {
+			return err
+		}
+		n.Dist = d
+		n.Interval = Interval{Lo: d, Hi: d}
+		n.Exact = true
+	}
+	return nil
+}
+
+// foldIO re-reads the query context's accumulated buffer-pool traffic into
+// the result statistics, covering follow-up work (exactification) performed
+// after the algorithm's own clock stopped.
+func (e *Engine) foldIO(qc *core.QueryContext, s *QueryStats) {
+	s.PageHits = qc.IO.Hits
+	s.PageMisses = qc.IO.Misses
+	s.IOTime = qc.IO.ModeledIOTime(e.qx.Tracker().MissLatency())
+}
+
+// WithinDistance returns every object whose network distance from q is at
+// most radius — the network-distance range query. Results are unordered;
+// intervals are refined exactly far enough to decide membership, so Dist is
+// exact only where Exact is set (WithExactDistances refines the rest).
+func (e *Engine) WithinDistance(ctx context.Context, objs *ObjectSet, q VertexID, radius float64, opts ...Option) (Result, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := checkObjects(objs); err != nil {
+		return Result{}, err
+	}
+	if err := checkVertex(e.net, "q", q); err != nil {
+		return Result{}, err
+	}
+	if err := checkRadius(radius); err != nil {
+		return Result{}, err
+	}
+	qc := core.NewQueryContextFor(ctx)
+	raw := knn.RangeSearchCtx(e.qx, qc, objs.objs, q, radius)
+	res := convertResult(raw)
+	if raw.Err != nil {
+		return res, raw.Err
+	}
+	if o.exact {
+		if err := e.exactify(qc, q, &res); err != nil {
+			return res, err
+		}
+	}
+	e.foldIO(qc, &res.Stats)
+	return res, nil
+}
+
+// Neighbors streams the objects of objs in increasing network distance from
+// q — the paper's incremental "distance browsing" as a Go iterator. The
+// (k+1)st neighbor costs only incremental search; breaking out of the range
+// loop abandons the remaining work, and cancelling ctx ends the stream with
+// ctx's error within one refinement step.
+//
+// Options: WithEpsilon streams ε-approximate neighbors (distances then
+// carry their certifying interval, Exact false, and are NOT post-refined);
+// WithMaxDistance ends the stream at the distance bound. Without epsilon
+// every yielded distance is refined to exact, like the classic Browser.
+//
+// A yielded non-nil error (argument validation, or ctx cancellation) is the
+// final element of the sequence.
+func (e *Engine) Neighbors(ctx context.Context, objs *ObjectSet, q VertexID, opts ...Option) iter.Seq2[Neighbor, error] {
+	return func(yield func(Neighbor, error) bool) {
+		o, err := resolveOptions(opts)
+		if err == nil {
+			if err = checkObjects(objs); err == nil {
+				err = checkVertex(e.net, "q", q)
+			}
+		}
+		if err != nil {
+			yield(Neighbor{}, err)
+			return
+		}
+		qc := core.NewQueryContextFor(ctx)
+		br := knn.NewBrowserSpec(e.qx, qc, objs.objs, q, knn.Spec{Epsilon: o.epsilon, MaxDist: o.maxDist})
+		flushStats := func() {
+			if o.statsInto != nil {
+				*o.statsInto = convertBrowserStats(br.Stats())
+			}
+		}
+		defer flushStats()
+		for {
+			raw, ok := br.Next()
+			if !ok {
+				if err := br.Err(); err != nil {
+					yield(Neighbor{}, err)
+				}
+				return
+			}
+			n := Neighbor{
+				ID:       raw.Object.ID,
+				Vertex:   raw.Object.Vertex,
+				Dist:     raw.Dist,
+				Interval: raw.Interval,
+				Exact:    raw.Exact,
+			}
+			if !n.Exact && o.epsilon == 0 {
+				// Exact-mode browsing refines each reported neighbor fully,
+				// charging the cursor's own context.
+				d := core.ExactDistance(e.qx, qc, q, n.Vertex)
+				if err := qc.Err(); err != nil {
+					yield(Neighbor{}, err)
+					return
+				}
+				n.Dist, n.Interval, n.Exact = d, Interval{Lo: d, Hi: d}, true
+			}
+			if !yield(n, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Browse positions a classic incremental cursor at q over objs, bound to
+// ctx: Next returns false once ctx is cancelled (inspect Browser.Err).
+// Most callers want the Neighbors iterator instead; Browse remains for
+// cursor-style consumers that interleave Next with other work.
+func (e *Engine) Browse(ctx context.Context, objs *ObjectSet, q VertexID, opts ...Option) (*Browser, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkObjects(objs); err != nil {
+		return nil, err
+	}
+	if err := checkVertex(e.net, "q", q); err != nil {
+		return nil, err
+	}
+	qc := core.NewQueryContextFor(ctx)
+	b := knn.NewBrowserSpec(e.qx, qc, objs.objs, q, knn.Spec{Epsilon: o.epsilon, MaxDist: o.maxDist})
+	return &Browser{qx: e.qx, b: b, eps: o.epsilon}, nil
+}

@@ -1,12 +1,15 @@
-// Distance browsing: the paper's headline capability. A cursor streams
-// objects in increasing network distance, paying only incremental cost per
-// additional neighbor — the pattern behind "show me more results" in a
-// mapping service. The example also traces progressive refinement, the
-// mechanism that lets the cursor rank objects without computing exact
+// Distance browsing: the paper's headline capability. The Engine.Neighbors
+// iterator streams objects in increasing network distance, paying only
+// incremental cost per additional neighbor — the pattern behind "show me
+// more results" in a mapping service; breaking out of the loop abandons the
+// remaining work, and an ε option trades rank exactness for fewer
+// refinements. The example also traces progressive refinement, the
+// mechanism that lets the stream rank objects without computing exact
 // distances it never needs.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -31,29 +34,47 @@ func main() {
 	for i := range restaurants {
 		restaurants[i] = silc.VertexID(rng.Intn(net.NumVertices()))
 	}
-	objs := silc.NewObjectSet(net, restaurants)
+	objs, err := silc.NewObjectSet(net, restaurants)
+	if err != nil {
+		log.Fatal(err)
+	}
 	q := silc.VertexID(rng.Intn(net.NumVertices()))
+	eng := ix.Engine()
+	ctx := context.Background()
 
-	// Page 1: the first five restaurants.
+	// The first ten restaurants, streamed lazily: the iterator performs
+	// only the incremental search each additional neighbor needs, and
+	// breaking out of the loop abandons the rest.
 	fmt.Printf("browsing restaurants from intersection %d:\n", q)
-	cursor := ix.Browse(objs, q)
-	for i := 0; i < 5; i++ {
-		n, ok := cursor.Next()
-		if !ok {
+	shown := 0
+	for n, err := range eng.Neighbors(ctx, objs, q) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if shown == 5 {
+			// The user clicked "more": the stream continues where it
+			// stopped — no recomputation of the first page.
+			fmt.Println("  --- more ---")
+		}
+		fmt.Printf("  %2d. restaurant #%2d  %.4f away\n", shown+1, n.ID, n.Dist)
+		if shown++; shown == 10 {
 			break
 		}
-		fmt.Printf("  %2d. restaurant #%2d  %.4f away\n", i+1, n.ID, n.Dist)
 	}
 
-	// The user clicks "more": the cursor continues where it stopped —
-	// no recomputation of the first page.
-	fmt.Println("  --- more ---")
-	for i := 5; i < 10; i++ {
-		n, ok := cursor.Next()
-		if !ok {
+	// ε-approximate browsing: certify each rank only to within (1+ε),
+	// trading a bounded distance error for fewer refinements.
+	fmt.Println("\nsame stream with ε = 0.25 (distances certified within 1.25×):")
+	shown = 0
+	for n, err := range eng.Neighbors(ctx, objs, q, silc.WithEpsilon(0.25)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d. restaurant #%2d  ~%.4f away  [%.4f, %.4f]\n",
+			shown+1, n.ID, n.Dist, n.Interval.Lo, n.Interval.Hi)
+		if shown++; shown == 5 {
 			break
 		}
-		fmt.Printf("  %2d. restaurant #%2d  %.4f away\n", i+1, n.ID, n.Dist)
 	}
 
 	// Under the hood: progressive refinement. Watch an interval tighten
@@ -76,6 +97,12 @@ func main() {
 	// Distance comparison without exact distances: most comparisons
 	// resolve after a handful of refinements.
 	a, b := restaurants[1], restaurants[2]
+	closer, err := eng.IsCloser(ctx, q, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	da, _ := eng.Distance(ctx, q, a)
+	db, _ := eng.Distance(ctx, q, b)
 	fmt.Printf("\nis #1 closer than #2 from %d? %v (exact: %.4f vs %.4f)\n",
-		q, ix.IsCloser(q, a, b), ix.Distance(q, a), ix.Distance(q, b))
+		q, closer, da, db)
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -86,7 +87,19 @@ func main() {
 		at(1, 2, 3), // Greentree: east bank, south — near the bridge
 		at(0, 0, 0), // Monroeville: same bank, far south-west corner
 	}
-	objs := silc.NewObjectSet(net, shopVertices)
+	objs, err := silc.NewObjectSet(net, shopVertices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := ix.Engine()
+	ctx := context.Background()
+	roadDist := func(v silc.VertexID) float64 {
+		d, err := eng.Distance(ctx, piano, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d
+	}
 
 	fmt.Printf("river town: %d intersections, one bridge; query: piano store at %d\n\n",
 		net.NumVertices(), piano)
@@ -97,11 +110,14 @@ func main() {
 	for i, id := range geo {
 		v := objs.Vertex(id)
 		fmt.Printf("  %d. %-12s %.3f straight-line, %.3f by road\n",
-			i+1, names[id], net.Point(piano).Dist(net.Point(v)), ix.Distance(piano, v))
+			i+1, names[id], net.Point(piano).Dist(net.Point(v)), roadDist(v))
 	}
 
 	// Network ranking (exact, via the SILC index).
-	res := ix.NearestNeighbors(objs, piano, len(names))
+	res, err := eng.Query(ctx, objs, piano, len(names), silc.WithExactDistances())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nranking by network distance (SILC):")
 	for i, n := range res.Neighbors {
 		fmt.Printf("  %d. %-12s %.3f by road\n", i+1, names[n.ID], n.Dist)
@@ -110,19 +126,25 @@ func main() {
 	geoBest := objs.Vertex(geo[0])
 	netBest := res.Neighbors[0]
 	if geoBest != netBest.Vertex {
-		extra := ix.Distance(piano, geoBest) - netBest.Dist
+		extra := roadDist(geoBest) - netBest.Dist
 		fmt.Printf("\nthe geodesic ranking sends the customer to %s; the true closest is %s.\n",
 			names[geo[0]], names[netBest.ID])
 		fmt.Printf("extra driving distance: %.3f (%.0fx the best route — the paper's \"+26 miles\")\n",
-			extra, ix.Distance(piano, geoBest)/netBest.Dist)
+			extra, roadDist(geoBest)/netBest.Dist)
 	}
 
 	// The route across the bridge, retrieved hop by hop from the quadtrees.
-	path := ix.ShortestPath(piano, objs.Vertex(0))
+	path, err := eng.ShortestPath(ctx, piano, objs.Vertex(0))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nroute to Oakland crosses the bridge: %d hops for a %.3f crow-fly gap\n",
 		len(path)-1, net.Point(piano).Dist(net.Point(objs.Vertex(0))))
 
 	// The paper's comparison primitive, answered by progressive refinement.
-	fmt.Printf("IsCloser(Downtown vs Oakland): %v\n",
-		ix.IsCloser(piano, shopVertices[1], shopVertices[0]))
+	closer, err := eng.IsCloser(ctx, piano, shopVertices[1], shopVertices[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IsCloser(Downtown vs Oakland): %v\n", closer)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,16 +36,26 @@ func main() {
 
 	// 3. Scatter some points of interest (say, coffee shops) and a query
 	// location. Object sets are independent of the index: swap them freely.
+	// The constructor validates every vertex id at the API edge.
 	rng := rand.New(rand.NewSource(42))
 	shops := make([]silc.VertexID, 30)
 	for i := range shops {
 		shops[i] = silc.VertexID(rng.Intn(net.NumVertices()))
 	}
-	objs := silc.NewObjectSet(net, shops)
+	objs, err := silc.NewObjectSet(net, shops)
+	if err != nil {
+		log.Fatal(err)
+	}
 	home := silc.VertexID(rng.Intn(net.NumVertices()))
 
-	// 4. The five nearest shops by driving distance, exact.
-	res := ix.NearestNeighbors(objs, home, 5)
+	// 4. The five nearest shops by driving distance, exact. All queries go
+	// through the Engine handle: context-aware, error-returning, optioned.
+	eng := ix.Engine()
+	ctx := context.Background()
+	res, err := eng.Query(ctx, objs, home, 5, silc.WithExactDistances())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("5 nearest shops to intersection %d (by network distance):\n", home)
 	for i, n := range res.Neighbors {
 		fmt.Printf("  %d. shop #%d at intersection %d — %.4f network, %.4f straight-line\n",
@@ -55,7 +66,14 @@ func main() {
 
 	// 5. Exact distance and turn-by-turn path to the winner.
 	best := res.Neighbors[0].Vertex
-	fmt.Printf("distance home -> shop: %.4f\n", ix.Distance(home, best))
-	path := ix.ShortestPath(home, best)
+	d, err := eng.Distance(ctx, home, best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distance home -> shop: %.4f\n", d)
+	path, err := eng.ShortestPath(ctx, home, best)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("route (%d hops): %v\n", len(path)-1, path)
 }

@@ -1,7 +1,7 @@
 package silc
 
 import (
-	"errors"
+	"context"
 	"io"
 	"time"
 
@@ -47,16 +47,31 @@ type Interval = core.Interval
 // distances, and path retrieval. Every Index — including DiskResident ones —
 // is safe for unlimited concurrent readers: the buffer pool is sharded and
 // per-query statistics live in query-owned contexts, never on the Index.
+//
+// Queries run through the unified Engine handle (Index.Engine); the methods
+// on Index itself are thin deprecated shims kept for pre-Engine callers.
 type Index struct {
 	net *Network
 	ix  *core.Index
+	eng *Engine
 }
+
+// newIndex wires a built core index to its unified query engine.
+func newIndex(net *Network, cx *core.Index) *Index {
+	ix := &Index{net: net, ix: cx}
+	ix.eng = &Engine{net: net, qx: cx, mono: ix}
+	return ix
+}
+
+// Engine returns the unified context-aware query handle over this index —
+// the primary query surface of the package.
+func (ix *Index) Engine() *Engine { return ix.eng }
 
 // BuildIndex precomputes the SILC index for net. The network must be
 // strongly connected (use the generators, or validate custom networks).
 func BuildIndex(net *Network, opts BuildOptions) (*Index, error) {
 	if net == nil {
-		return nil, errors.New("silc: nil network")
+		return nil, ErrNilNetwork
 	}
 	ix, err := core.Build(net.g, core.BuildOptions{
 		Parallelism:     opts.Parallelism,
@@ -68,7 +83,7 @@ func BuildIndex(net *Network, opts BuildOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{net: net, ix: ix}, nil
+	return newIndex(net, ix), nil
 }
 
 // Radius returns the proximity bound the index was built with (0 when
@@ -86,7 +101,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.ix.WriteTo(w) }
 // corruption are rejected).
 func LoadIndex(r io.Reader, net *Network, opts BuildOptions) (*Index, error) {
 	if net == nil {
-		return nil, errors.New("silc: nil network")
+		return nil, ErrNilNetwork
 	}
 	ix, err := core.Load(r, net.g, core.BuildOptions{
 		Parallelism:   opts.Parallelism,
@@ -97,7 +112,7 @@ func LoadIndex(r io.Reader, net *Network, opts BuildOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{net: net, ix: ix}, nil
+	return newIndex(net, ix), nil
 }
 
 // Network returns the indexed network.
@@ -108,15 +123,21 @@ func (ix *Index) Stats() BuildStats { return ix.ix.Stats() }
 
 // Distance returns the exact network distance from u to v by full
 // progressive refinement (at most path-length block lookups).
-func (ix *Index) Distance(u, v VertexID) float64 { return ix.ix.Distance(u, v) }
+//
+// Deprecated: use Engine.Distance for cancellation and error returns.
+func (ix *Index) Distance(u, v VertexID) float64 { return legacyDistance(ix.eng, u, v) }
 
 // DistanceInterval returns the zero-refinement network-distance interval
 // between u and v: a single quadtree lookup, no graph access.
-func (ix *Index) DistanceInterval(u, v VertexID) Interval { return ix.ix.DistanceInterval(u, v) }
+//
+// Deprecated: use Engine.DistanceInterval.
+func (ix *Index) DistanceInterval(u, v VertexID) Interval { return legacyInterval(ix.eng, u, v) }
 
 // ShortestPath retrieves the exact shortest path from u to v, inclusive of
 // both endpoints, one quadtree lookup per hop.
-func (ix *Index) ShortestPath(u, v VertexID) []VertexID { return ix.ix.Path(u, v) }
+//
+// Deprecated: use Engine.ShortestPath for cancellation and error returns.
+func (ix *Index) ShortestPath(u, v VertexID) []VertexID { return legacyPath(ix.eng, u, v) }
 
 // NextHop returns the first vertex after u on the shortest path toward v.
 func (ix *Index) NextHop(u, v VertexID) VertexID { return ix.ix.NextHop(u, v) }
@@ -126,42 +147,44 @@ func (ix *Index) NextHop(u, v VertexID) VertexID { return ix.ix.NextHop(u, v) }
 // the paper's "is Munich closer to Mainz than to Bremen?" primitive.
 // On a proximity-bounded index two out-of-range destinations compare as
 // not-closer (both are beyond the radius).
-func (ix *Index) IsCloser(u, a, b VertexID) bool {
-	return isCloser(ix.ix, u, a, b)
+//
+// Deprecated: use Engine.IsCloser for cancellation and error returns.
+func (ix *Index) IsCloser(u, a, b VertexID) bool { return legacyIsCloser(ix.eng, u, a, b) }
+
+// The legacy* adapters back the deprecated pre-Engine methods of Index and
+// ShardedIndex: same generic code path as the Engine API, with invalid
+// vertices panicking at this edge (the old surface had no error returns).
+
+func legacyDistance(e *Engine, u, v VertexID) float64 {
+	d, err := e.Distance(context.Background(), u, v)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
-// isCloser runs the comparison primitive on any QueryIndex; both refiners
-// share one query context, so on a sharded index the source's gateway
-// closure is computed once.
-func isCloser(qx core.QueryIndex, u, a, b VertexID) bool {
-	qc := core.NewQueryContext()
-	ra := qx.Refine(qc, u, a)
-	rb := qx.Refine(qc, u, b)
-	for {
-		ia, ib := ra.Interval(), rb.Interval()
-		if ia.Hi < ib.Lo {
-			return true
-		}
-		if ib.Hi <= ia.Lo {
-			return false
-		}
-		// Intervals collide: refine the wider one first; a stuck refiner
-		// (exact, or out of range) cedes to the other.
-		aStuck := ra.Done() || ra.OutOfRange()
-		bStuck := rb.Done() || rb.OutOfRange()
-		switch {
-		case aStuck && bStuck:
-			return ia.Lo < ib.Lo
-		case aStuck:
-			rb.Step()
-		case bStuck:
-			ra.Step()
-		case ia.Hi-ia.Lo >= ib.Hi-ib.Lo:
-			ra.Step()
-		default:
-			rb.Step()
-		}
+func legacyInterval(e *Engine, u, v VertexID) Interval {
+	iv, err := e.DistanceInterval(context.Background(), u, v)
+	if err != nil {
+		panic(err)
 	}
+	return iv
+}
+
+func legacyPath(e *Engine, u, v VertexID) []VertexID {
+	p, err := e.ShortestPath(context.Background(), u, v)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func legacyIsCloser(e *Engine, u, a, b VertexID) bool {
+	c, err := e.IsCloser(context.Background(), u, a, b)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // Refiner exposes progressive refinement directly: each Step tightens the

@@ -64,9 +64,14 @@ func (ix *Index) RegionLowerBoundCtx(qc *QueryContext, q graph.VertexID, rect ge
 
 // ExactDistance fully refines (src, dst) on any QueryIndex and returns the
 // exact network distance (+Inf when dst is out of range or unreachable).
+// When qc carries a cancelled context the loop stops early and the current
+// lower bound is returned; callers surfacing errors check qc.Err after.
 func ExactDistance(ix QueryIndex, qc *QueryContext, src, dst graph.VertexID) float64 {
 	r := ix.Refine(qc, src, dst)
 	for !r.Done() {
+		if qc.Err() != nil {
+			break
+		}
 		if !r.Step() {
 			break
 		}

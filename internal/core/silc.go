@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -104,12 +105,13 @@ func (s BuildStats) BlocksPerVertex() float64 {
 }
 
 // QueryContext carries the per-query mutable state of one logical query:
-// today the buffer-pool traffic counter, tomorrow whatever else a query
-// accumulates. Each context is owned by exactly one goroutine; the index
-// itself stays read-only on the query path, which is what makes every
-// Index — including DiskResident ones — safe for unlimited concurrent
-// readers. A nil *QueryContext is valid everywhere and means "untracked":
-// the shared pool is still charged, but no per-query attribution happens.
+// the buffer-pool traffic counter, the cancellation signal, and whatever
+// else a query accumulates. Each context is owned by exactly one goroutine;
+// the index itself stays read-only on the query path, which is what makes
+// every Index — including DiskResident ones — safe for unlimited concurrent
+// readers. A nil *QueryContext is valid everywhere and means "untracked,
+// uncancellable": the shared pool is still charged, but no per-query
+// attribution happens.
 type QueryContext struct {
 	// IO counts the buffer-pool traffic this query caused.
 	IO diskio.Stats
@@ -119,10 +121,34 @@ type QueryContext struct {
 	// work across all the objects it inspects. Monolithic indexes leave it
 	// nil.
 	Route any
+	// ctx carries the request's cancellation/deadline signal; nil means the
+	// query is uncancellable (background work, legacy call sites).
+	ctx context.Context
 }
 
-// NewQueryContext returns a fresh per-query context.
+// NewQueryContext returns a fresh, uncancellable per-query context.
 func NewQueryContext() *QueryContext { return &QueryContext{} }
+
+// NewQueryContextFor returns a per-query context bound to ctx: the query
+// algorithms check Err at every refinement step, so cancelling ctx stops an
+// in-flight query within one step. context.Background() (or nil) yields an
+// uncancellable context identical to NewQueryContext.
+func NewQueryContextFor(ctx context.Context) *QueryContext {
+	qc := &QueryContext{}
+	if ctx != nil && ctx != context.Background() {
+		qc.ctx = ctx
+	}
+	return qc
+}
+
+// Err reports the bound context's cancellation error, nil while the query
+// may continue. It is nil-safe: a nil or unbound QueryContext never cancels.
+func (qc *QueryContext) Err() error {
+	if qc == nil || qc.ctx == nil {
+		return nil
+	}
+	return qc.ctx.Err()
+}
 
 // ioCounter returns the per-query counter to charge, nil when untracked.
 func (qc *QueryContext) ioCounter() *diskio.Stats {

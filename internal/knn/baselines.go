@@ -14,10 +14,20 @@ import (
 // expansion frontier passes the kth-best distance. Its cost scales with the
 // number of edges closer than the kth neighbor.
 func INE(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
-	clock := beginQuery(ix)
+	return INESpec(ix, core.NewQueryContext(), objs, q, UnboundedSpec(k, VariantKNN))
+}
+
+// INESpec is INE under a caller-supplied query context (cancellation + I/O
+// attribution) and Spec. The expansion truncates at Spec.MaxDist; Epsilon is
+// ignored (the baseline is exact, which satisfies every ε).
+func INESpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec) Result {
+	clock := beginQueryWith(ix, qc)
+	k := spec.K
+	maxDist := spec.MaxDist
 	g := ix.Network()
 	tracker := ix.Tracker()
 	stats := Stats{Algorithm: "INE", K: k}
+	var cancelErr error
 
 	n := g.NumVertices()
 	dist := make([]float64, n)
@@ -33,9 +43,15 @@ func INE(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
 		frontier.Push(0, q)
 	}
 	for frontier.Len() > 0 {
+		if cancelErr = clock.qc.Err(); cancelErr != nil {
+			break
+		}
 		d, v := frontier.Pop()
 		if settled[v] || d > dist[v] {
 			continue
+		}
+		if d > maxDist {
+			break // distance-bounded expansion is complete
 		}
 		if best.Len() == k && d > best.TopKey() {
 			break // every remaining vertex is farther than the kth neighbor
@@ -70,7 +86,7 @@ func INE(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
 		}
 	}
 
-	res := Result{Neighbors: drainAscending(best), Sorted: true, Stats: stats}
+	res := Result{Neighbors: drainAscending(best), Sorted: true, Stats: stats, Err: cancelErr}
 	if n := len(res.Neighbors); n > 0 {
 		res.Stats.DkFinal = res.Neighbors[n-1].Dist
 	}
@@ -85,33 +101,53 @@ func INE(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
 // network distance, which is sound because network distance dominates
 // Euclidean distance.
 func IER(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
-	return ier(ix, objs, q, k, false, "IER")
+	return IERSpec(ix, core.NewQueryContext(), objs, q, UnboundedSpec(k, VariantKNN))
+}
+
+// IERSpec is IER under a caller-supplied query context (cancellation + I/O
+// attribution) and Spec; candidates beyond Spec.MaxDist are discarded and
+// the Euclidean stream stops at the bound (sound because network distance
+// dominates Euclidean distance). Epsilon is ignored (the baseline is exact).
+func IERSpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec) Result {
+	return ier(ix, qc, objs, q, spec, false, "IER")
 }
 
 // IERAStar is IER with the per-candidate Dijkstra replaced by A* under the
 // admissible Euclidean heuristic — an ablation showing how much of IER's
 // cost is the unguided per-candidate search.
 func IERAStar(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
-	return ier(ix, objs, q, k, true, "IER-A*")
+	return ier(ix, core.NewQueryContext(), objs, q, UnboundedSpec(k, VariantKNN), true, "IER-A*")
 }
 
-func ier(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int, astar bool, name string) Result {
-	clock := beginQuery(ix)
+func ier(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec, astar bool, name string) Result {
+	clock := beginQueryWith(ix, qc)
+	k := spec.K
+	maxDist := spec.MaxDist
 	g := ix.Network()
 	stats := Stats{Algorithm: name, K: k}
+	var cancelErr error
 
 	best := pqueue.NewIndexedMax[Neighbor]()
 	if k > 0 {
 		cursor := objs.Tree().EuclideanBrowser(g.Point(q))
 		for {
+			if cancelErr = clock.qc.Err(); cancelErr != nil {
+				break
+			}
 			o, eucl, ok := cursor.Next()
 			if !ok {
 				break
+			}
+			if eucl > maxDist {
+				break // network distance ≥ Euclidean: nothing ahead qualifies
 			}
 			if best.Len() == k && eucl >= best.TopKey() {
 				break
 			}
 			d := ierNetworkDistance(ix, clock.qc, q, o.Vertex, astar, &stats)
+			if d > maxDist {
+				continue
+			}
 			nb := Neighbor{
 				Object:   o,
 				Interval: core.Interval{Lo: d, Hi: d},
@@ -127,7 +163,7 @@ func ier(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int, astar bool,
 		}
 	}
 
-	res := Result{Neighbors: drainAscending(best), Sorted: true, Stats: stats}
+	res := Result{Neighbors: drainAscending(best), Sorted: true, Stats: stats, Err: cancelErr}
 	if n := len(res.Neighbors); n > 0 {
 		res.Stats.DkFinal = res.Neighbors[n-1].Dist
 	}
@@ -162,6 +198,9 @@ func ierNetworkDistance(ix core.QueryIndex, qc *core.QueryContext, s, t graph.Ve
 	dist[s] = 0
 	open.Push(h(s), s)
 	for open.Len() > 0 {
+		if qc.Err() != nil {
+			return inf // cancelled mid-search; the caller surfaces the error
+		}
 		_, v := open.Pop()
 		if settled[v] {
 			continue

@@ -1,6 +1,7 @@
 package knn
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -61,10 +62,20 @@ func (v Variant) String() string {
 // Variants lists the family in the paper's order.
 var Variants = []Variant{VariantINN, VariantKNNI, VariantKNN, VariantKNNM}
 
-// Search runs the selected kNN variant from query vertex q.
+// Search runs the selected kNN variant from query vertex q with the exact,
+// unbounded, uncancellable defaults.
 func Search(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int, variant Variant) Result {
-	clock := beginQuery(ix)
-	e := newEngine(ix, clock.qc, objs, q, k, variant)
+	return SearchSpec(ix, core.NewQueryContext(), objs, q, UnboundedSpec(k, variant))
+}
+
+// SearchSpec runs the best-first kNN family under a caller-supplied query
+// context (cancellation + I/O attribution) and Spec (ε-approximation,
+// distance bound).
+func SearchSpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec) Result {
+	clock := beginQueryWith(ix, qc)
+	e := newEngine(ix, clock.qc, objs, q, spec.K, spec.Variant)
+	e.eps = spec.Epsilon
+	e.maxDist = spec.MaxDist
 	e.run()
 	res := e.result()
 	clock.finish(&res.Stats)
@@ -108,6 +119,14 @@ type engine struct {
 	d0kFixed bool
 	frozen   bool // kNN-I: stop maintaining L once D0k is fixed
 	pqClock  time.Duration
+
+	// eps relaxes rank certification: report once δ⁺ ≤ (1+eps)·δ⁻.
+	eps float64
+	// maxDist excludes objects farther than this bound (+Inf = unbounded).
+	maxDist float64
+	// err records mid-search cancellation; the loop stops and the partial
+	// results stand.
+	err error
 }
 
 func newEngine(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, k int, variant Variant) *engine {
@@ -121,6 +140,7 @@ func newEngine(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph
 		l:       pqueue.NewIndexedMax[int32](),
 		states:  make([]*objState, objs.Len()),
 		d0k:     inf,
+		maxDist: inf,
 	}
 	e.stats.Algorithm = variant.String()
 	e.stats.K = k
@@ -145,7 +165,11 @@ func (e *engine) dk() float64 {
 // evolving Dk (boundary cases are completed from L by drainL); kNN-I admits
 // up to its static D⁰k inclusively, because after freezing there is no L to
 // fall back on and D⁰k itself is attainable by a legitimate kth neighbor.
+// A finite maxDist additionally excludes anything provably beyond the bound.
 func (e *engine) admit(lo float64) bool {
+	if lo > e.maxDist {
+		return false
+	}
 	switch e.variant {
 	case VariantKNN, VariantKNNM:
 		return lo < e.dk()
@@ -160,6 +184,9 @@ func (e *engine) admit(lo float64) bool {
 // the search complete: the queue is min-ordered, so every remaining element
 // is at least this far.
 func (e *engine) halted(key float64) bool {
+	if key > e.maxDist {
+		return true
+	}
 	switch e.variant {
 	case VariantKNN, VariantKNNM:
 		return key >= e.dk()
@@ -182,7 +209,7 @@ func (e *engine) run() {
 			break
 		}
 	}
-	if len(e.results) < e.k && (e.variant == VariantKNN || e.variant == VariantKNNM) {
+	if e.err == nil && len(e.results) < e.k && (e.variant == VariantKNN || e.variant == VariantKNNM) {
 		e.drainL()
 	}
 	e.stats.PQTime = e.pqClock
@@ -200,8 +227,17 @@ func (e *engine) run() {
 }
 
 // step processes one queue element. It returns false when the search is
-// finished (queue exhausted or pruning proves completeness).
+// finished (queue exhausted, pruning proves completeness, or the query's
+// context was cancelled — checked here so cancellation takes effect within
+// one refinement step).
 func (e *engine) step() bool {
+	if e.err != nil {
+		return false
+	}
+	if err := e.qc.Err(); err != nil {
+		e.err = err
+		return false
+	}
 	if e.queue.Len() == 0 {
 		return false
 	}
@@ -236,19 +272,40 @@ func (e *engine) step() bool {
 	// without refining p any further (paper p.36).
 	if e.variant == VariantKNNM && e.l.Len() == e.k {
 		kmin := e.states[topOf(e.l)].iv.Lo
-		if st.iv.Hi <= kmin {
+		if st.iv.Hi <= kmin && st.iv.Hi <= e.maxDist &&
+			(e.eps == 0 || st.iv.Hi <= (1+e.eps)*st.iv.Lo) {
 			e.stats.KMinDistAccepts++
 			e.report(st)
 			return true
 		}
 	}
 
-	// Collision test against the new top of Q. Block tops carry the
+	// Rank certification against the new top of Q. Block tops carry the
 	// interval [key, +Inf); object tops' lower bound is their key; in both
-	// cases the intervals intersect iff top's key <= p's upper bound.
-	if st.refiner.Done() || e.queue.Len() == 0 || st.iv.Hi < e.queue.PeekKey() {
-		e.report(st)
-		return true
+	// cases the intervals intersect iff top's key <= p's upper bound. With
+	// ε > 0 a self-certified interval (δ⁺ ≤ (1+ε)·δ⁻) also suffices: every
+	// remaining element has true distance ≥ δ⁻, so p's true distance is
+	// within (1+ε)× of the true distance at this rank.
+	selfCert := st.iv.Hi <= (1+e.eps)*st.iv.Lo
+	rankCert := st.refiner.Done() || e.queue.Len() == 0 ||
+		st.iv.Hi < e.queue.PeekKey() || selfCert
+	// Distance certification: ε = 0 reports the classic loose-interval
+	// lower bound (exact ranking is the contract, not exact distances); an
+	// ε > 0 query additionally promises every reported distance within
+	// (1+ε)× of true, so a separation-certified object keeps refining
+	// until its own interval certifies that bound too.
+	distCert := e.eps == 0 || selfCert || st.refiner.Done()
+	if rankCert && distCert {
+		if st.iv.Hi <= e.maxDist {
+			e.report(st)
+			return true
+		}
+		if st.refiner.Done() || st.refiner.OutOfRange() {
+			st.reported = true // exact but beyond the distance bound: drop
+			return true
+		}
+		// The interval straddles maxDist: membership is undecided, so fall
+		// through and refine even though the rank is already certified.
 	}
 
 	// Collision: refine one step and reinsert.
@@ -367,8 +424,11 @@ func (e *engine) report(st *objState) {
 }
 
 // drainL emits the unreported members of L in upper-bound order. When the
-// main loop halts on the Dk bound, every unreported member of L provably
-// holds a point interval (δ⁻ >= Dk >= δ⁺), so this order is exact.
+// plain exact search halts on the Dk bound, every unreported member of L
+// provably holds a point interval (δ⁻ >= Dk >= δ⁺), so this order is exact.
+// Under a finite maxDist or an ε > 0 distance promise that proof does not
+// apply: the members are refined here until their intervals certify both,
+// and filtered against the bound.
 func (e *engine) drainL() {
 	if e.l.Len() == 0 {
 		return
@@ -378,6 +438,28 @@ func (e *engine) drainL() {
 		if st := e.states[id]; !st.reported {
 			rest = append(rest, st)
 		}
+	}
+	if !math.IsInf(e.maxDist, 1) || e.eps > 0 {
+		kept := rest[:0]
+		for _, st := range rest {
+			for !st.refiner.Done() && !st.refiner.OutOfRange() &&
+				!(st.iv.Hi <= e.maxDist && st.iv.Hi <= (1+e.eps)*st.iv.Lo) {
+				if err := e.qc.Err(); err != nil {
+					// Cancelled mid-drain: reporting the still-uncertified
+					// members would break the maxDist/ε guarantees, so stop
+					// here and surface the cancellation.
+					e.err = err
+					return
+				}
+				st.refiner.Step()
+				e.stats.Refinements++
+				st.iv = st.refiner.Interval()
+			}
+			if !st.refiner.OutOfRange() && st.iv.Lo <= e.maxDist {
+				kept = append(kept, st)
+			}
+		}
+		rest = kept
 	}
 	sort.Slice(rest, func(i, j int) bool { return rest[i].iv.Hi < rest[j].iv.Hi })
 	for _, st := range rest {
@@ -393,6 +475,7 @@ func (e *engine) result() Result {
 		Neighbors: e.results,
 		Sorted:    e.variant != VariantKNNM,
 		Stats:     e.stats,
+		Err:       e.err,
 	}
 }
 
@@ -415,11 +498,27 @@ type Browser struct {
 // owns its query context, so independent cursors — even over one shared
 // DiskResident index — browse concurrently, each accounting its own I/O.
 func NewBrowser(ix core.QueryIndex, objs *Objects, q graph.VertexID) *Browser {
-	return &Browser{e: newEngine(ix, core.NewQueryContext(), objs, q, objs.Len(), VariantINN)}
+	return NewBrowserSpec(ix, core.NewQueryContext(), objs, q, UnboundedSpec(0, VariantINN))
+}
+
+// NewBrowserSpec positions a cursor bound to a caller-supplied query context
+// (cancellation + I/O attribution) and Spec: Epsilon relaxes per-neighbor
+// rank certification, MaxDist ends the stream at the distance bound.
+// Spec.K and Spec.Variant are ignored — a browser always streams the whole
+// set incrementally (INN).
+func NewBrowserSpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec) *Browser {
+	if qc == nil {
+		qc = core.NewQueryContext()
+	}
+	e := newEngine(ix, qc, objs, q, objs.Len(), VariantINN)
+	e.eps = spec.Epsilon
+	e.maxDist = spec.MaxDist
+	return &Browser{e: e}
 }
 
 // Next returns the next neighbor in increasing network distance; ok is false
-// when the set is exhausted.
+// when the set is exhausted, the distance bound is reached, or the cursor's
+// context was cancelled (distinguish with Err).
 func (b *Browser) Next() (Neighbor, bool) {
 	for len(b.e.results) <= b.at {
 		if !b.e.step() {
@@ -430,6 +529,10 @@ func (b *Browser) Next() (Neighbor, bool) {
 	b.at++
 	return n, true
 }
+
+// Err reports the cancellation error that ended the browse, nil for a
+// normally exhausted (or still live) cursor.
+func (b *Browser) Err() error { return b.e.err }
 
 // Query returns the cursor's query vertex.
 func (b *Browser) Query() graph.VertexID { return b.e.q }

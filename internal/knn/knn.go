@@ -112,6 +112,35 @@ type Result struct {
 	Neighbors []Neighbor
 	Sorted    bool
 	Stats     Stats
+	// Err is non-nil when the query's context was cancelled mid-search; the
+	// neighbors gathered so far are still returned.
+	Err error
+}
+
+// Spec parameterizes one query beyond (objs, q): the result size, the
+// algorithm, and the two relaxation knobs the unified API exposes.
+type Spec struct {
+	// K is the result size.
+	K int
+	// Variant selects the best-first family member (Search only).
+	Variant Variant
+	// Epsilon relaxes rank certification: a neighbor is reported as soon as
+	// its interval satisfies δ⁺ ≤ (1+ε)·δ⁻, which certifies its true
+	// distance within (1+ε)× of the true distance at that rank. 0 keeps the
+	// paper's exact-rank contract. The exact baselines (INE/IER) ignore it —
+	// exact answers satisfy every ε.
+	Epsilon float64
+	// MaxDist bounds reported neighbors to network distance ≤ MaxDist — the
+	// hybrid kNN∩range query. +Inf disables it. Note that the zero value is
+	// a real bound (only distance-0 objects): callers wanting "unbounded"
+	// must say math.Inf(1), which UnboundedSpec and the package-level
+	// convenience wrappers do.
+	MaxDist float64
+}
+
+// UnboundedSpec returns a Spec with the distance bound disabled.
+func UnboundedSpec(k int, variant Variant) Spec {
+	return Spec{K: k, Variant: variant, MaxDist: inf}
 }
 
 // Distances returns the reported distances in result order.
@@ -135,7 +164,16 @@ type queryClock struct {
 }
 
 func beginQuery(ix core.QueryIndex) queryClock {
-	return queryClock{ix: ix, qc: core.NewQueryContext(), start: time.Now()}
+	return beginQueryWith(ix, core.NewQueryContext())
+}
+
+// beginQueryWith charges the query to a caller-owned context, so the caller
+// both attributes I/O and can cancel the query mid-flight.
+func beginQueryWith(ix core.QueryIndex, qc *core.QueryContext) queryClock {
+	if qc == nil {
+		qc = core.NewQueryContext()
+	}
+	return queryClock{ix: ix, qc: qc, start: time.Now()}
 }
 
 func (b queryClock) finish(s *Stats) {

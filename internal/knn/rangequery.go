@@ -14,9 +14,16 @@ import (
 // Results are unordered; distances are intervals refined just far enough to
 // decide membership.
 func RangeSearch(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius float64) Result {
-	clock := beginQuery(ix)
+	return RangeSearchCtx(ix, core.NewQueryContext(), objs, q, radius)
+}
+
+// RangeSearchCtx is RangeSearch under a caller-supplied query context, so
+// the caller attributes I/O and can cancel the search between refinements.
+func RangeSearchCtx(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, radius float64) Result {
+	clock := beginQueryWith(ix, qc)
 	stats := Stats{Algorithm: "RANGE"}
 	var res []Neighbor
+	var cancelErr error
 
 	if radius >= 0 && objs.Len() > 0 {
 		var queue pqueue.Min[qelem]
@@ -24,6 +31,9 @@ func RangeSearch(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius flo
 		queue.Push(0, qelem{node: objs.Tree().Root()})
 		stats.MaxQueue = 1
 		for queue.Len() > 0 {
+			if cancelErr = clock.qc.Err(); cancelErr != nil {
+				break
+			}
 			key, el := queue.Pop()
 			if key > radius {
 				break // min-ordered: everything remaining is out of range
@@ -59,7 +69,8 @@ func RangeSearch(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius flo
 			// Out-of-range objects (proximity-bounded indexes) hold
 			// [indexRadius, +Inf) forever and are excluded below.
 			for st.iv.Lo <= radius && st.iv.Hi > radius &&
-				!st.refiner.Done() && !st.refiner.OutOfRange() {
+				!st.refiner.Done() && !st.refiner.OutOfRange() &&
+				clock.qc.Err() == nil {
 				st.refiner.Step()
 				stats.Refinements++
 				st.iv = st.refiner.Interval()
@@ -75,7 +86,7 @@ func RangeSearch(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius flo
 		}
 	}
 
-	out := Result{Neighbors: res, Sorted: false, Stats: stats}
+	out := Result{Neighbors: res, Sorted: false, Stats: stats, Err: cancelErr}
 	clock.finish(&out.Stats)
 	return out
 }

@@ -1,0 +1,100 @@
+package silc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Option configures one query on an Engine. Options replace the positional
+// method/worker arguments of the pre-Engine surface: every Engine query
+// entry point accepts any combination, and each documents which options it
+// honors (the rest are ignored).
+type Option func(*queryOptions)
+
+// queryOptions is the resolved option set of one query.
+type queryOptions struct {
+	method    Method
+	epsilon   float64
+	maxDist   float64 // +Inf = unbounded
+	workers   int
+	exact     bool
+	statsInto *QueryStats
+}
+
+// defaultOptions returns the exact, unbounded, MethodKNN defaults.
+func defaultOptions() queryOptions {
+	return queryOptions{method: MethodKNN, maxDist: math.Inf(1)}
+}
+
+// resolveOptions applies opts over the defaults and validates the knob
+// values, so every query entry point rejects bad options uniformly.
+func resolveOptions(opts []Option) (queryOptions, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.method < MethodKNN || o.method > MethodIER {
+		return o, fmt.Errorf("silc: unknown method %d", o.method)
+	}
+	if math.IsNaN(o.epsilon) || math.IsInf(o.epsilon, 0) || o.epsilon < 0 {
+		return o, fmt.Errorf("%w: got %v", ErrBadEpsilon, o.epsilon)
+	}
+	if err := checkRadius(o.maxDist); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// WithMethod selects the kNN algorithm (default MethodKNN). Honored by
+// Query and QueryBatch; Neighbors always streams incrementally (INN).
+func WithMethod(m Method) Option {
+	return func(o *queryOptions) { o.method = m }
+}
+
+// WithEpsilon relaxes rank certification to ε-approximate: a neighbor is
+// reported as soon as its distance interval satisfies δ⁺ ≤ (1+ε)·δ⁻, which
+// certifies its true network distance within a (1+ε) factor of the true
+// distance at that rank — and, since reported distances are interval lower
+// bounds, every reported distance d satisfies d ≤ true ≤ (1+ε)·d. Larger ε
+// means fewer progressive refinements. ε = 0 (the default) keeps the
+// paper's exact-rank contract. Honored by Query, QueryBatch, and Neighbors;
+// the exact INE/IER baselines ignore it.
+func WithEpsilon(eps float64) Option {
+	return func(o *queryOptions) { o.epsilon = eps }
+}
+
+// WithMaxDistance bounds results to network distance ≤ d — the hybrid
+// kNN∩range query on Query/QueryBatch (up to k neighbors, all within d) and
+// a stream cutoff on Neighbors. d = +Inf (the default) disables the bound;
+// d = 0 is a real bound (only objects at distance zero), consistent with
+// WithinDistance's radius semantics. Negative or NaN values return
+// ErrBadRadius from the query.
+func WithMaxDistance(d float64) Option {
+	return func(o *queryOptions) { o.maxDist = d }
+}
+
+// WithWorkers bounds the worker pool of QueryBatch (default GOMAXPROCS;
+// values ≤ 0 select the default). Single queries ignore it.
+func WithWorkers(n int) Option {
+	return func(o *queryOptions) { o.workers = n }
+}
+
+// WithStats points a streaming query at a statistics sink: Neighbors
+// updates *dst with the stream's cumulative statistics (lookups,
+// refinements, buffer-pool traffic) after every yielded neighbor, so *dst
+// holds the final numbers when the sequence ends however it ends. Query,
+// QueryBatch, and WithinDistance report statistics on their Result instead
+// and ignore this option.
+func WithStats(dst *QueryStats) Option {
+	return func(o *queryOptions) { o.statsInto = dst }
+}
+
+// WithExactDistances refines every reported neighbor's distance to exact
+// before returning, like the classic NearestNeighbors call. Without it,
+// distances are refined only as far as ranking requires (the paper's
+// contract) — Exact is set per neighbor. Combined with WithEpsilon the
+// ranking stays ε-approximate but the distances reported for the chosen
+// neighbors are exact. Honored by Query and QueryBatch.
+func WithExactDistances() Option {
+	return func(o *queryOptions) { o.exact = true }
+}

@@ -61,7 +61,7 @@ func TestWithinDistance(t *testing.T) {
 	for i := range vertices {
 		vertices[i] = VertexID(perm[i])
 	}
-	objs := NewObjectSet(net, vertices)
+	objs := mustObjects(t, net, vertices)
 	q := VertexID(perm[45])
 
 	for _, radius := range []float64{0.1, 0.3, 0.7} {
@@ -99,7 +99,7 @@ func TestConcurrentReaders(t *testing.T) {
 	for i := range vertices {
 		vertices[i] = VertexID(perm[i])
 	}
-	objs := NewObjectSet(net, vertices)
+	objs := mustObjects(t, net, vertices)
 
 	var wg sync.WaitGroup
 	errs := make(chan string, 64)

@@ -1,6 +1,9 @@
 package silc
 
 import (
+	"context"
+	"fmt"
+	"strings"
 	"time"
 
 	"silc/internal/core"
@@ -16,17 +19,39 @@ type ObjectSet struct {
 	objs *knn.Objects
 }
 
-// NewObjectSet places one object on each listed vertex (duplicates allowed).
-// Object IDs are dense in input order.
-func NewObjectSet(net *Network, vertices []VertexID) *ObjectSet {
-	return &ObjectSet{net: net, objs: knn.NewObjects(net.g, vertices)}
+// NewObjectSet places one object on each listed vertex (duplicates
+// allowed). Object IDs are dense in input order. Every vertex id is
+// validated at this API edge: an id outside [0, NumVertices) returns
+// ErrVertexRange, an empty list ErrEmptyObjects, a nil network
+// ErrNilNetwork — instead of the out-of-bounds panic the pre-validation
+// surface deferred to query time.
+func NewObjectSet(net *Network, vertices []VertexID) (*ObjectSet, error) {
+	if net == nil {
+		return nil, ErrNilNetwork
+	}
+	if len(vertices) == 0 {
+		return nil, ErrEmptyObjects
+	}
+	n := net.NumVertices()
+	for i, v := range vertices {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("%w: vertices[%d]=%d, want [0,%d)", ErrVertexRange, i, v, n)
+		}
+	}
+	return &ObjectSet{net: net, objs: knn.NewObjects(net.g, vertices)}, nil
 }
 
 // NewObjectSetFromPoints snaps each point to its nearest network vertex and
 // places an object there. (The paper supports objects on edges and faces as
 // well; this library implements the vertex-resident case its evaluation
 // exercises.)
-func NewObjectSetFromPoints(net *Network, pts []Point) *ObjectSet {
+func NewObjectSetFromPoints(net *Network, pts []Point) (*ObjectSet, error) {
+	if net == nil {
+		return nil, ErrNilNetwork
+	}
+	if len(pts) == 0 {
+		return nil, ErrEmptyObjects
+	}
 	vs := make([]VertexID, len(pts))
 	for i, p := range pts {
 		vs[i] = net.g.NearestVertex(p)
@@ -96,13 +121,36 @@ func (m Method) String() string {
 	}
 }
 
+// ParseMethod resolves a method name (as printed by Method.String; the
+// hyphen in KNN-I/KNN-M is optional, case-insensitive). The empty string
+// selects MethodKNN.
+func ParseMethod(name string) (Method, error) {
+	switch strings.ToUpper(name) {
+	case "", "KNN":
+		return MethodKNN, nil
+	case "INN":
+		return MethodINN, nil
+	case "KNN-I", "KNNI":
+		return MethodKNNI, nil
+	case "KNN-M", "KNNM":
+		return MethodKNNM, nil
+	case "INE":
+		return MethodINE, nil
+	case "IER":
+		return MethodIER, nil
+	default:
+		return 0, fmt.Errorf("silc: unknown method %q", name)
+	}
+}
+
 // Neighbor is one reported nearest neighbor.
 type Neighbor struct {
 	// ID is the object's id within its ObjectSet.
 	ID int32
 	// Vertex hosts the object.
 	Vertex VertexID
-	// Dist is the network distance from the query (exact when Exact).
+	// Dist is the network distance from the query (exact when Exact; under
+	// WithEpsilon, the certified interval's lower bound).
 	Dist float64
 	// Interval is the final distance interval; a point interval when Exact.
 	Interval Interval
@@ -132,68 +180,6 @@ type Result struct {
 	Stats     QueryStats
 }
 
-// NearestNeighbors returns the k nearest objects to q by network distance
-// using the paper's kNN algorithm, with distances fully refined to exact
-// values. For algorithm selection and raw interval output use Query.
-func (ix *Index) NearestNeighbors(objs *ObjectSet, q VertexID, k int) Result {
-	return nearestNeighbors(ix.ix, objs, q, k)
-}
-
-func nearestNeighbors(qx core.QueryIndex, objs *ObjectSet, q VertexID, k int) Result {
-	res := runQuery(qx, objs, q, k, MethodKNN)
-	qc := core.NewQueryContext()
-	for i := range res.Neighbors {
-		n := &res.Neighbors[i]
-		if !n.Exact {
-			d := core.ExactDistance(qx, qc, q, n.Vertex)
-			n.Dist = d
-			n.Interval = Interval{Lo: d, Hi: d}
-			n.Exact = true
-		}
-	}
-	addContextIO(qx, &res.Stats, qc)
-	return res
-}
-
-// addContextIO folds follow-up I/O (post-query exact refinement) into the
-// query's reported page traffic.
-func addContextIO(qx core.QueryIndex, s *QueryStats, qc *core.QueryContext) {
-	if qc.IO.Hits == 0 && qc.IO.Misses == 0 {
-		return
-	}
-	s.PageHits += qc.IO.Hits
-	s.PageMisses += qc.IO.Misses
-	s.IOTime += qc.IO.ModeledIOTime(qx.Tracker().MissLatency())
-}
-
-// Query runs the selected kNN method. Distances of reported neighbors are
-// exact only where Exact is set: the algorithms refine intervals just far
-// enough to certify the ranking, which is the paper's contract.
-func (ix *Index) Query(objs *ObjectSet, q VertexID, k int, method Method) Result {
-	return runQuery(ix.ix, objs, q, k, method)
-}
-
-// runQuery dispatches one kNN query on any QueryIndex — the monolithic
-// index or the sharded one; the algorithms are generic over both.
-func runQuery(qx core.QueryIndex, objs *ObjectSet, q VertexID, k int, method Method) Result {
-	var raw knn.Result
-	switch method {
-	case MethodINE:
-		raw = knn.INE(qx, objs.objs, q, k)
-	case MethodIER:
-		raw = knn.IER(qx, objs.objs, q, k)
-	case MethodINN:
-		raw = knn.Search(qx, objs.objs, q, k, knn.VariantINN)
-	case MethodKNNI:
-		raw = knn.Search(qx, objs.objs, q, k, knn.VariantKNNI)
-	case MethodKNNM:
-		raw = knn.Search(qx, objs.objs, q, k, knn.VariantKNNM)
-	default:
-		raw = knn.Search(qx, objs.objs, q, k, knn.VariantKNN)
-	}
-	return convertResult(raw)
-}
-
 func convertResult(raw knn.Result) Result {
 	out := Result{Sorted: raw.Sorted}
 	out.Neighbors = make([]Neighbor, len(raw.Neighbors))
@@ -221,13 +207,60 @@ func convertResult(raw knn.Result) Result {
 	return out
 }
 
+// legacyQuery adapts the pre-Engine call convention: k ≤ 0 yields an empty
+// result (the historical behavior) and invalid arguments panic with the
+// typed error at this API edge — callers wanting errors use Engine.Query.
+func legacyQuery(e *Engine, objs *ObjectSet, q VertexID, k int, opts ...Option) Result {
+	if k <= 0 {
+		return Result{Sorted: true}
+	}
+	res, err := e.Query(context.Background(), objs, q, k, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// NearestNeighbors returns the k nearest objects to q by network distance
+// using the paper's kNN algorithm, with distances fully refined to exact
+// values.
+//
+// Deprecated: use Engine.Query with WithExactDistances for cancellation and
+// error returns: ix.Engine().Query(ctx, objs, q, k, WithExactDistances()).
+func (ix *Index) NearestNeighbors(objs *ObjectSet, q VertexID, k int) Result {
+	return legacyQuery(ix.eng, objs, q, k, WithExactDistances())
+}
+
+// Query runs the selected kNN method. Distances of reported neighbors are
+// exact only where Exact is set: the algorithms refine intervals just far
+// enough to certify the ranking, which is the paper's contract.
+//
+// Deprecated: use Engine.Query: ix.Engine().Query(ctx, objs, q, k,
+// WithMethod(method)).
+func (ix *Index) Query(objs *ObjectSet, q VertexID, k int, method Method) Result {
+	return legacyQuery(ix.eng, objs, q, k, WithMethod(method))
+}
+
 // WithinDistance returns every object whose network distance from q is at
-// most radius (a network-distance range query — the "general framework"
-// query type beyond nearest neighbors). Results are unordered; intervals
-// are refined exactly far enough to decide membership, so Dist is exact
-// only where Exact is set.
+// most radius. Results are unordered; intervals are refined exactly far
+// enough to decide membership, so Dist is exact only where Exact is set.
+//
+// Deprecated: use Engine.WithinDistance for cancellation and error returns.
 func (ix *Index) WithinDistance(objs *ObjectSet, q VertexID, radius float64) Result {
-	return convertResult(knn.RangeSearch(ix.ix, objs.objs, q, radius))
+	return legacyWithin(ix.eng, objs, q, radius)
+}
+
+// legacyWithin adapts the pre-Engine range-query convention: a negative
+// radius yields an empty result, invalid vertices panic at this edge.
+func legacyWithin(e *Engine, objs *ObjectSet, q VertexID, radius float64) Result {
+	if radius < 0 {
+		return Result{}
+	}
+	res, err := e.WithinDistance(context.Background(), objs, q, radius)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // Browser is an incremental network-distance cursor over an object set —
@@ -235,23 +268,37 @@ func (ix *Index) WithinDistance(objs *ObjectSet, q VertexID, radius float64) Res
 // increasing network distance; state persists between calls, so the (k+1)st
 // neighbor costs only incremental work. A single Browser is not safe for
 // concurrent use, but any number of independent Browsers may run
-// concurrently over one shared Index (or ShardedIndex) and ObjectSet.
+// concurrently over one shared Engine and ObjectSet.
+//
+// New code usually wants the Engine.Neighbors iterator instead; Browser
+// remains for cursor-style consumers that interleave Next with other work.
 type Browser struct {
-	qx core.QueryIndex
-	b  *knn.Browser
+	qx  core.QueryIndex
+	b   *knn.Browser
+	eps float64
+	err error // cancellation observed during post-report exactification
 }
 
 // Browse positions a cursor at query vertex q over objs.
+//
+// Deprecated: use Engine.Neighbors (iterator) or Engine.Browse (cursor with
+// cancellation): for n, err := range ix.Engine().Neighbors(ctx, objs, q).
 func (ix *Index) Browse(objs *ObjectSet, q VertexID) *Browser {
-	return browse(ix.ix, objs, q)
+	return legacyBrowse(ix.eng, objs, q)
 }
 
-func browse(qx core.QueryIndex, objs *ObjectSet, q VertexID) *Browser {
-	return &Browser{qx: qx, b: knn.NewBrowser(qx, objs.objs, q)}
+func legacyBrowse(e *Engine, objs *ObjectSet, q VertexID) *Browser {
+	b, err := e.Browse(context.Background(), objs, q)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
-// Next returns the next-nearest object; ok is false when S is exhausted.
-// The reported distance is refined to exact.
+// Next returns the next-nearest object; ok is false when S is exhausted,
+// the cursor's distance bound is reached, or its context was cancelled
+// (distinguish with Err). Reported distances are refined to exact unless
+// the cursor was opened with WithEpsilon.
 func (b *Browser) Next() (Neighbor, bool) {
 	raw, ok := b.b.Next()
 	if !ok {
@@ -264,19 +311,36 @@ func (b *Browser) Next() (Neighbor, bool) {
 		Interval: raw.Interval,
 		Exact:    raw.Exact,
 	}
-	if !n.Exact {
+	if !n.Exact && b.eps == 0 {
 		// Charge the exactness refinement to the cursor's own context, so
 		// concurrent browsers each account their own traffic.
 		d := core.ExactDistance(b.qx, b.b.Context(), b.b.Query(), n.Vertex)
+		if err := b.b.Context().Err(); err != nil {
+			b.err = err
+			return Neighbor{}, false // cancelled mid-refinement: see Err
+		}
 		n.Dist, n.Interval, n.Exact = d, Interval{Lo: d, Hi: d}, true
 	}
 	return n, true
 }
 
+// Err reports the context cancellation that ended the browse, nil for a
+// live or normally exhausted cursor — a context that expires only after
+// the cursor finished does not retroactively mark it cancelled.
+func (b *Browser) Err() error {
+	if err := b.b.Err(); err != nil {
+		return err
+	}
+	// Cancellation can also land during the post-report exactness
+	// refinement, before the search loop observes it; Next records it.
+	return b.err
+}
+
 // Stats returns the cursor's accumulated statistics (queue sizes,
 // refinements, and the buffer-pool traffic charged to this cursor).
-func (b *Browser) Stats() QueryStats {
-	s := b.b.Stats()
+func (b *Browser) Stats() QueryStats { return convertBrowserStats(b.b.Stats()) }
+
+func convertBrowserStats(s knn.Stats) QueryStats {
 	return QueryStats{
 		Method:      s.Algorithm,
 		MaxQueue:    s.MaxQueue,

@@ -2,11 +2,9 @@ package silc
 
 import (
 	"bufio"
-	"errors"
 	"io"
 	"time"
 
-	"silc/internal/knn"
 	"silc/internal/partition"
 )
 
@@ -37,16 +35,29 @@ type ShardedStats = partition.Stats
 
 // ShardedIndex is a partitioned SILC index: P per-cell shortest-path
 // quadtree indexes plus an exact boundary-vertex distance closure. It
-// answers the same query surface as Index — Distance, DistanceInterval,
-// ShortestPath, NearestNeighbors, Query/QueryBatch, WithinDistance,
-// IsCloser, Browse — with identical (exact) results: intra-cell queries in
-// self-contained cells delegate straight to the cell index, and cross-cell
-// queries route through the closure. Like Index, a ShardedIndex is
-// read-only on the query path and safe for unlimited concurrent readers.
+// answers exactly the same query surface as Index — through the same
+// unified Engine handle (ShardedIndex.Engine) and the same generic code
+// path: intra-cell queries in self-contained cells delegate straight to the
+// cell index, and cross-cell queries route through the closure. Like Index,
+// a ShardedIndex is read-only on the query path and safe for unlimited
+// concurrent readers. The query methods on ShardedIndex itself are thin
+// deprecated shims kept for pre-Engine callers.
 type ShardedIndex struct {
 	net *Network
 	sx  *partition.Sharded
+	eng *Engine
 }
+
+// newShardedIndex wires a built partition index to its unified query engine.
+func newShardedIndex(net *Network, sx *partition.Sharded) *ShardedIndex {
+	ix := &ShardedIndex{net: net, sx: sx}
+	ix.eng = &Engine{net: net, qx: sx, shard: ix}
+	return ix
+}
+
+// Engine returns the unified context-aware query handle over this sharded
+// index — the primary query surface of the package.
+func (sx *ShardedIndex) Engine() *Engine { return sx.eng }
 
 func shardedOptions(opts ShardedBuildOptions) partition.Options {
 	return partition.Options{
@@ -65,13 +76,13 @@ func shardedOptions(opts ShardedBuildOptions) partition.Options {
 // disconnected.
 func BuildShardedIndex(net *Network, opts ShardedBuildOptions) (*ShardedIndex, error) {
 	if net == nil {
-		return nil, errors.New("silc: nil network")
+		return nil, ErrNilNetwork
 	}
 	sx, err := partition.Build(net.g, shardedOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedIndex{net: net, sx: sx}, nil
+	return newShardedIndex(net, sx), nil
 }
 
 // WriteTo serializes the sharded index — partition labels, every cell
@@ -84,13 +95,13 @@ func (sx *ShardedIndex) WriteTo(w io.Writer) (int64, error) { return sx.sx.Write
 // was built from. Partitions in opts is ignored (the file records P).
 func LoadShardedIndex(r io.Reader, net *Network, opts ShardedBuildOptions) (*ShardedIndex, error) {
 	if net == nil {
-		return nil, errors.New("silc: nil network")
+		return nil, ErrNilNetwork
 	}
 	sx, err := partition.Load(r, net.g, shardedOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedIndex{net: net, sx: sx}, nil
+	return newShardedIndex(net, sx), nil
 }
 
 // Network returns the indexed network.
@@ -106,110 +117,109 @@ func (sx *ShardedIndex) NumPartitions() int { return sx.sx.NumPartitions() }
 func (sx *ShardedIndex) PartitionOf(v VertexID) int { return sx.sx.CellOf(v) }
 
 // Distance returns the exact global network distance from u to v.
-func (sx *ShardedIndex) Distance(u, v VertexID) float64 { return sx.sx.Distance(u, v) }
+//
+// Deprecated: use Engine.Distance for cancellation and error returns.
+func (sx *ShardedIndex) Distance(u, v VertexID) float64 { return legacyDistance(sx.eng, u, v) }
 
 // DistanceInterval returns a refinement-free interval guaranteed to contain
 // the exact network distance: one quadtree lookup for intra-cell pairs in
 // self-contained cells, boundary-interval × closure bounds otherwise.
+//
+// Deprecated: use Engine.DistanceInterval.
 func (sx *ShardedIndex) DistanceInterval(u, v VertexID) Interval {
-	return sx.sx.DistanceInterval(u, v)
+	return legacyInterval(sx.eng, u, v)
 }
 
 // ShortestPath retrieves an exact shortest path from u to v, inclusive of
 // both endpoints, stitched across cells through the closure's hop chains.
-func (sx *ShardedIndex) ShortestPath(u, v VertexID) []VertexID { return sx.sx.Path(u, v) }
+//
+// Deprecated: use Engine.ShortestPath for cancellation and error returns.
+func (sx *ShardedIndex) ShortestPath(u, v VertexID) []VertexID { return legacyPath(sx.eng, u, v) }
 
 // IsCloser reports whether u is strictly closer to a than to b by network
 // distance, refining only as far as the comparison requires.
-func (sx *ShardedIndex) IsCloser(u, a, b VertexID) bool { return isCloser(sx.sx, u, a, b) }
+//
+// Deprecated: use Engine.IsCloser for cancellation and error returns.
+func (sx *ShardedIndex) IsCloser(u, a, b VertexID) bool { return legacyIsCloser(sx.eng, u, a, b) }
 
 // NearestNeighbors returns the k nearest objects to q by exact network
 // distance (the paper's kNN algorithm, fully refined).
+//
+// Deprecated: use Engine.Query with WithExactDistances.
 func (sx *ShardedIndex) NearestNeighbors(objs *ObjectSet, q VertexID, k int) Result {
-	return nearestNeighbors(sx.sx, objs, q, k)
+	return legacyQuery(sx.eng, objs, q, k, WithExactDistances())
 }
 
 // Query runs the selected kNN method over the sharded index; all methods —
 // including the INE/IER graph-expansion baselines — are supported.
+//
+// Deprecated: use Engine.Query with WithMethod.
 func (sx *ShardedIndex) Query(objs *ObjectSet, q VertexID, k int, method Method) Result {
-	return runQuery(sx.sx, objs, q, k, method)
+	return legacyQuery(sx.eng, objs, q, k, WithMethod(method))
 }
 
 // QueryBatch answers one kNN query per vertex over a bounded worker pool,
 // exactly like Index.QueryBatch.
+//
+// Deprecated: use Engine.QueryBatch.
 func (sx *ShardedIndex) QueryBatch(objs *ObjectSet, queries []VertexID, k int, method Method) BatchResult {
-	return queryBatchWorkers(sx.sx, objs, queries, k, method, 0)
+	return legacyBatch(sx.eng, objs, queries, k, method, 0)
 }
 
 // QueryBatchWorkers is QueryBatch with an explicit worker-pool bound.
+//
+// Deprecated: use Engine.QueryBatch with WithWorkers.
 func (sx *ShardedIndex) QueryBatchWorkers(objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
-	return queryBatchWorkers(sx.sx, objs, queries, k, method, workers)
+	return legacyBatch(sx.eng, objs, queries, k, method, workers)
 }
 
 // WithinDistance returns every object within network distance radius of q.
+//
+// Deprecated: use Engine.WithinDistance for cancellation and error returns.
 func (sx *ShardedIndex) WithinDistance(objs *ObjectSet, q VertexID, radius float64) Result {
-	return convertResult(knn.RangeSearch(sx.sx, objs.objs, q, radius))
+	return legacyWithin(sx.eng, objs, q, radius)
 }
 
 // Browse positions an incremental distance-browsing cursor at q over objs.
+//
+// Deprecated: use Engine.Neighbors (iterator) or Engine.Browse.
 func (sx *ShardedIndex) Browse(objs *ObjectSet, q VertexID) *Browser {
-	return browse(sx.sx, objs, q)
+	return legacyBrowse(sx.eng, objs, q)
 }
 
 // IOStats returns cumulative traffic of the shared buffer pool (zeros when
 // memory-resident).
-func (sx *ShardedIndex) IOStats() IOStats {
-	t := sx.sx.Tracker()
-	s := t.Stats()
-	return IOStats{PageHits: s.Hits, PageMisses: s.Misses, ModeledIOTime: t.ModeledIOTime()}
-}
+func (sx *ShardedIndex) IOStats() IOStats { return sx.eng.IOStats() }
 
 // ResetIOStats zeroes the shared pool's counters, keeping cache contents
 // warm.
-func (sx *ShardedIndex) ResetIOStats() {
-	if t := sx.sx.Tracker(); t != nil {
-		t.ResetStats()
-	}
-}
+func (sx *ShardedIndex) ResetIOStats() { sx.eng.ResetIOStats() }
 
 // LoadEngine sniffs the index file format and loads either a monolithic
-// Index or a ShardedIndex as an Engine — the loader the CLI tools use so
-// one -index flag accepts both formats.
-func LoadEngine(r io.Reader, net *Network, opts BuildOptions) (Engine, error) {
+// Index or a ShardedIndex, returning its unified query Engine — the loader
+// the CLI tools use so one -index flag accepts both formats. The concrete
+// index is reachable through Engine.Monolithic / Engine.Sharded.
+func LoadEngine(r io.Reader, net *Network, opts BuildOptions) (*Engine, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(len(partition.MagicString))
 	if err != nil {
 		return nil, err
 	}
 	if string(magic) == partition.MagicString {
-		return LoadShardedIndex(br, net, ShardedBuildOptions{
+		sx, err := LoadShardedIndex(br, net, ShardedBuildOptions{
 			Parallelism:   opts.Parallelism,
 			DiskResident:  opts.DiskResident,
 			CacheFraction: opts.CacheFraction,
 			MissLatency:   opts.MissLatency,
 		})
+		if err != nil {
+			return nil, err
+		}
+		return sx.Engine(), nil
 	}
-	return LoadIndex(br, net, opts)
+	ix, err := LoadIndex(br, net, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Engine(), nil
 }
-
-// Engine is the query surface shared by Index and ShardedIndex: everything
-// a serving layer needs, independent of whether the index is monolithic or
-// partitioned. cmd/silcserve serves either through this interface.
-type Engine interface {
-	Network() *Network
-	Distance(u, v VertexID) float64
-	DistanceInterval(u, v VertexID) Interval
-	ShortestPath(u, v VertexID) []VertexID
-	IsCloser(u, a, b VertexID) bool
-	NearestNeighbors(objs *ObjectSet, q VertexID, k int) Result
-	Query(objs *ObjectSet, q VertexID, k int, method Method) Result
-	QueryBatch(objs *ObjectSet, queries []VertexID, k int, method Method) BatchResult
-	QueryBatchWorkers(objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult
-	WithinDistance(objs *ObjectSet, q VertexID, radius float64) Result
-	Browse(objs *ObjectSet, q VertexID) *Browser
-	IOStats() IOStats
-	ResetIOStats()
-}
-
-var _ Engine = (*Index)(nil)
-var _ Engine = (*ShardedIndex)(nil)

@@ -65,7 +65,7 @@ func TestShardedIndexMatchesMonolithic(t *testing.T) {
 		}
 	}
 
-	objs := NewObjectSet(net, randomVertices(rng, n, n/10))
+	objs := mustObjects(t, net, randomVertices(rng, n, n/10))
 	for i := 0; i < 10; i++ {
 		q := VertexID(rng.Intn(n))
 		mr := mono.NearestNeighbors(objs, q, 5)
@@ -108,8 +108,8 @@ func TestShardedIndexMatchesMonolithic(t *testing.T) {
 		t.Fatalf("range sizes differ: mono %d sharded %d", len(mres.Neighbors), len(sres.Neighbors))
 	}
 
-	// Both engines satisfy the serving interface.
-	for _, e := range []Engine{mono, sharded} {
+	// Both indexes expose the unified serving engine.
+	for _, e := range []*Engine{mono.Engine(), sharded.Engine()} {
 		if e.Network().NumVertices() != n {
 			t.Fatal("Engine.Network mismatch")
 		}

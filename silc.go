@@ -10,18 +10,28 @@
 // time. The query-object domain is decoupled from the network: object sets
 // change freely without touching the precomputed index.
 //
-// Basic use:
+// Queries run through the unified Engine handle — context-aware,
+// error-returning, with functional options (WithMethod, WithEpsilon,
+// WithMaxDistance, WithWorkers, WithExactDistances) — shared by the
+// monolithic Index and the partitioned ShardedIndex. Basic use:
 //
 //	net, _ := silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: 64, Cols: 64, Seed: 1})
 //	ix, _ := silc.BuildIndex(net, silc.BuildOptions{})
-//	objs := silc.NewObjectSet(net, storeVertices)
-//	res := ix.NearestNeighbors(objs, queryVertex, 5)
+//	eng := ix.Engine()
+//	objs, _ := silc.NewObjectSet(net, storeVertices)
+//	res, _ := eng.Query(ctx, objs, queryVertex, 5, silc.WithExactDistances())
 //	for _, n := range res.Neighbors {
 //	    fmt.Println(n.Vertex, n.Dist)
 //	}
+//	for n, err := range eng.Neighbors(ctx, objs, queryVertex) {
+//	    if err != nil {
+//	        break // cancelled or invalid arguments
+//	    }
+//	    fmt.Println(n.Vertex, n.Dist) // incremental distance browsing
+//	}
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// See DESIGN.md for the system inventory (§7 covers the query API's
+// options model, error taxonomy, and cancellation points).
 package silc
 
 import (

@@ -25,6 +25,16 @@ func testIndex(t testing.TB, net *Network) *Index {
 	return ix
 }
 
+// mustObjects builds a validated object set or fails the test.
+func mustObjects(t testing.TB, net *Network, vertices []VertexID) *ObjectSet {
+	t.Helper()
+	objs, err := NewObjectSet(net, vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return objs
+}
+
 func TestEndToEndNearestNeighbors(t *testing.T) {
 	net := testNetwork(t)
 	ix := testIndex(t, net)
@@ -35,7 +45,7 @@ func TestEndToEndNearestNeighbors(t *testing.T) {
 	for i := range vertices {
 		vertices[i] = VertexID(perm[i])
 	}
-	objs := NewObjectSet(net, vertices)
+	objs := mustObjects(t, net, vertices)
 	q := VertexID(perm[30])
 
 	res := ix.NearestNeighbors(objs, q, 5)
@@ -70,7 +80,7 @@ func TestAllMethodsAgreeOnResultSet(t *testing.T) {
 	for i := range vertices {
 		vertices[i] = VertexID(perm[i])
 	}
-	objs := NewObjectSet(net, vertices)
+	objs := mustObjects(t, net, vertices)
 	q := VertexID(perm[50])
 	k := 7
 
@@ -120,7 +130,7 @@ func TestBrowserMatchesNearestNeighbors(t *testing.T) {
 	for i := range vertices {
 		vertices[i] = VertexID(perm[i])
 	}
-	objs := NewObjectSet(net, vertices)
+	objs := mustObjects(t, net, vertices)
 	q := VertexID(perm[25])
 
 	want := ix.NearestNeighbors(objs, q, objs.Len())
@@ -225,7 +235,10 @@ func TestIsCloser(t *testing.T) {
 func TestObjectSetFromPoints(t *testing.T) {
 	net := testNetwork(t)
 	pts := []Point{{X: 0.2, Y: 0.2}, {X: 0.8, Y: 0.8}}
-	objs := NewObjectSetFromPoints(net, pts)
+	objs, err := NewObjectSetFromPoints(net, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if objs.Len() != 2 {
 		t.Fatalf("len = %d", objs.Len())
 	}
