@@ -15,6 +15,9 @@
 //	    goroutine count on one shared index, memory- and disk-resident)
 //	SH  sharded vs monolithic index        (beyond the paper: build time,
 //	    storage, and QPS of the partitioned index against the monolith)
+//	PG  real paged store vs modeled disk   (beyond the paper: the same
+//	    workload on the on-disk SILCPG1 store — actual reads and measured
+//	    I/O time next to the modeled misses × latency figure)
 //
 // Usage:
 //
@@ -100,6 +103,17 @@ func main() {
 		check(err)
 		bench.RenderStorageGrowth(out, rowsF1, slope)
 		record("F1", map[string]any{"rows": rowsF1, "slope": slope})
+	}
+
+	if want("PG") {
+		pgRows, pgCols, pgQueries := *rows, *cols, 500
+		if *quick {
+			pgRows, pgCols, pgQueries = 32, 32, 100
+		}
+		pg, err := bench.PagedIO(pgRows, pgCols, pgQueries, *seed, 0.05)
+		check(err)
+		bench.RenderPagedIO(out, pg)
+		record("PG", pg)
 	}
 
 	if want("SH") {

@@ -6,6 +6,10 @@
 //	silcbuild -net network.txt
 //	silcbuild -rows 96 -cols 96 -seed 2008   # generate, then build
 //	silcbuild -rows 256 -cols 256 -partitions 8 -o idx.shd   # sharded build
+//	silcbuild -rows 128 -cols 128 -format=paged -o idx.silcpg
+//	                      # page-aligned on-disk index, network embedded:
+//	                      # open with silc.OpenIndex / silcserve -index
+//	silcbuild -rows 256 -cols 256 -partitions 8 -format=paged -o idx.silcspg
 //
 // With -partitions N > 1 the build is sharded: the network splits into N
 // spatial cells, each cell builds its own SILC index over only its
@@ -33,16 +37,25 @@ func main() {
 		parallel   = flag.Int("p", 0, "build workers (0 = all CPUs)")
 		partitions = flag.Int("partitions", 1, "spatial partitions (>1 builds the sharded index)")
 		out        = flag.String("o", "", "write the built index to this file")
+		format     = flag.String("format", "legacy", "output format: legacy (in-RAM load) or paged (page-aligned, demand-paged, network embedded; open with OpenIndex / silcserve)")
 	)
 	flag.Parse()
 
+	if *format != "legacy" && *format != "paged" {
+		fmt.Fprintf(os.Stderr, "silcbuild: unknown -format %q (legacy, paged)\n", *format)
+		os.Exit(1)
+	}
+	if *format == "paged" && *out == "" {
+		fmt.Fprintln(os.Stderr, "silcbuild: -format=paged requires -o")
+		os.Exit(1)
+	}
 	net, err := loadOrGenerate(*netFile, *rows, *cols, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silcbuild:", err)
 		os.Exit(1)
 	}
 	if *partitions > 1 {
-		buildSharded(net, *partitions, *parallel, *out)
+		buildSharded(net, *partitions, *parallel, *out, *format)
 		return
 	}
 	ix, err := silc.BuildIndex(net, silc.BuildOptions{Parallelism: *parallel})
@@ -61,11 +74,15 @@ func main() {
 	fmt.Printf("build time:      %v\n", s.BuildTime)
 
 	if *out != "" {
-		writeIndex(*out, func(f *os.File) (int64, error) { return ix.WriteTo(f) })
+		if *format == "paged" {
+			writeIndex(*out, func(f *os.File) (int64, error) { return ix.WritePaged(f) })
+		} else {
+			writeIndex(*out, func(f *os.File) (int64, error) { return ix.WriteTo(f) })
+		}
 	}
 }
 
-func buildSharded(net *silc.Network, partitions, parallel int, out string) {
+func buildSharded(net *silc.Network, partitions, parallel int, out, format string) {
 	ix, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{
 		Partitions:  partitions,
 		Parallelism: parallel,
@@ -92,7 +109,11 @@ func buildSharded(net *silc.Network, partitions, parallel int, out string) {
 		s.CellBuildTime.Round(time.Millisecond), s.ClosureTime.Round(time.Millisecond))
 
 	if out != "" {
-		writeIndex(out, func(f *os.File) (int64, error) { return ix.WriteTo(f) })
+		if format == "paged" {
+			writeIndex(out, func(f *os.File) (int64, error) { return ix.WritePaged(f) })
+		} else {
+			writeIndex(out, func(f *os.File) (int64, error) { return ix.WriteTo(f) })
+		}
 	}
 }
 

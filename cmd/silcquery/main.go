@@ -55,12 +55,9 @@ func main() {
 	}
 	var eng *silc.Engine
 	if *idxFile != "" {
-		f, err := os.Open(*idxFile)
-		if err != nil {
-			fail(err)
-		}
-		eng, err = silc.LoadEngine(f, net, silc.BuildOptions{})
-		f.Close()
+		// OpenEngine sniffs the format; paged indexes stay on disk and the
+		// engine owns the file handle (released on process exit).
+		eng, err = silc.OpenEngine(*idxFile, net, silc.BuildOptions{})
 		if err != nil {
 			fail(err)
 		}

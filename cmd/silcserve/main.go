@@ -23,9 +23,11 @@
 // search itself — refinement stops within one step — not just the response
 // writes.
 //
-// The index is either loaded (-network plus -index, produced by silcbuild;
-// monolithic and sharded files are both accepted) or built at startup from
-// a generated road network — sharded when -partitions N > 1. The
+// The index is either loaded (-index, produced by silcbuild; all four
+// formats are sniffed — legacy files additionally need -network, while the
+// paged formats embed it and serve straight from disk through the buffer
+// pool; -format=paged/legacy asserts the expectation) or built at startup
+// from a generated road network — sharded when -partitions N > 1. The
 // query-object set defaults to a random sample of vertices
 // (-object-fraction) or is read from -objects, one vertex id per line. All
 // queries run concurrently over one shared index; batch requests
@@ -38,6 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
@@ -57,7 +60,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		networkPath = flag.String("network", "", "network file (silcbuild text format); empty = generate")
-		indexPath   = flag.String("index", "", "prebuilt index file (requires -network)")
+		indexPath   = flag.String("index", "", "prebuilt index file (paged formats embed the network; legacy formats require -network)")
+		format      = flag.String("format", "auto", "index file format expectation: auto (sniff), paged (demand-paged SILCPG1/SILCSPG1), legacy (fully loaded)")
 		rows        = flag.Int("rows", 64, "generated network rows (when no -network)")
 		cols        = flag.Int("cols", 64, "generated network cols")
 		seed        = flag.Int64("seed", 1, "generated network seed")
@@ -74,7 +78,13 @@ func main() {
 	)
 	flag.Parse()
 
-	net, eng, err := loadOrBuild(*networkPath, *indexPath, *rows, *cols, *seed, *partitions, silc.BuildOptions{
+	if *format != "auto" && *format != "paged" && *format != "legacy" {
+		log.Fatalf("silcserve: unknown -format %q (auto, paged, legacy)", *format)
+	}
+	if *format != "auto" && *indexPath == "" {
+		log.Fatal("silcserve: -format asserts the -index file's format; it requires -index")
+	}
+	net, eng, err := loadOrBuild(*networkPath, *indexPath, *format, *rows, *cols, *seed, *partitions, silc.BuildOptions{
 		DiskResident:  *disk,
 		CacheFraction: *cacheFrac,
 		MissLatency:   *missLatency,
@@ -123,7 +133,40 @@ func main() {
 	}
 }
 
-func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, partitions int, opts silc.BuildOptions) (*silc.Network, *silc.Engine, error) {
+// checkFormat enforces the -format expectation against the file's magic:
+// "paged" demands a demand-paged SILCPG1/SILCSPG1 file, "legacy" a fully
+// loaded SILCIDX1/SILCSHD1 one, "auto" accepts anything OpenEngine sniffs.
+func checkFormat(indexPath, format string) error {
+	if format == "auto" {
+		return nil
+	}
+	f, err := os.Open(indexPath)
+	if err != nil {
+		return err
+	}
+	var magic [8]byte
+	_, err = io.ReadFull(f, magic[:])
+	f.Close()
+	if err != nil {
+		return err
+	}
+	paged := string(magic[:]) == "SILCPG1\x00" || string(magic[:]) == "SILCSPG1"
+	switch format {
+	case "paged":
+		if !paged {
+			return fmt.Errorf("-format=paged but %s has magic %q (build it with silcbuild -format=paged)", indexPath, magic[:])
+		}
+	case "legacy":
+		if paged {
+			return fmt.Errorf("-format=legacy but %s is a paged index", indexPath)
+		}
+	default:
+		return fmt.Errorf("unknown -format %q (auto, paged, legacy)", format)
+	}
+	return nil
+}
+
+func loadOrBuild(networkPath, indexPath, format string, rows, cols int, seed int64, partitions int, opts silc.BuildOptions) (*silc.Network, *silc.Engine, error) {
 	var net *silc.Network
 	var err error
 	if networkPath != "" {
@@ -136,26 +179,24 @@ func loadOrBuild(networkPath, indexPath string, rows, cols int, seed int64, part
 		if err != nil {
 			return nil, nil, fmt.Errorf("load network: %w", err)
 		}
-	} else {
-		if indexPath != "" {
-			return nil, nil, errors.New("-index requires -network")
-		}
+	} else if indexPath == "" {
 		net, err = silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: rows, Cols: cols, Seed: seed})
 		if err != nil {
 			return nil, nil, err
 		}
 	}
 	if indexPath != "" {
-		f, err := os.Open(indexPath)
-		if err != nil {
+		if err := checkFormat(indexPath, format); err != nil {
 			return nil, nil, err
 		}
-		defer f.Close()
-		eng, err := silc.LoadEngine(f, net, opts)
+		// OpenEngine sniffs the format: the paged formats (SILCPG1/SILCSPG1)
+		// are self-contained and demand-paged, so net may be nil; the legacy
+		// formats load fully and need -network.
+		eng, err := silc.OpenEngine(indexPath, net, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("load index: %w", err)
 		}
-		return net, eng, nil
+		return eng.Network(), eng, nil
 	}
 	if partitions > 1 {
 		log.Printf("building sharded index over %d vertices (%d partitions)...", net.NumVertices(), partitions)

@@ -7,6 +7,7 @@ import (
 	"silc/internal/core"
 	"silc/internal/graph"
 	"silc/internal/knn"
+	"silc/internal/store"
 )
 
 // queryBackend is what the unified Engine needs from an index
@@ -41,6 +42,9 @@ type Engine struct {
 	qx    queryBackend
 	mono  *Index
 	shard *ShardedIndex
+	// pager is set when the engine runs over a real on-disk store; it
+	// reports the actual read counters next to the modeled ones.
+	pager *store.Pager
 }
 
 // Network returns the indexed network.
@@ -56,16 +60,42 @@ func (e *Engine) Sharded() (*ShardedIndex, bool) { return e.shard, e.shard != ni
 
 // IOStats returns cumulative pool-wide buffer-pool statistics (zeros for
 // memory-resident indexes). Per-query traffic is on each Result's Stats.
+// For disk-backed engines (OpenIndex / OpenEngine) the actual read count
+// and measured read time appear next to the modeled figures.
 func (e *Engine) IOStats() IOStats {
 	t := e.qx.Tracker()
 	s := t.Stats()
-	return IOStats{PageHits: s.Hits, PageMisses: s.Misses, ModeledIOTime: t.ModeledIOTime()}
+	out := IOStats{PageHits: s.Hits, PageMisses: s.Misses, ModeledIOTime: t.ModeledIOTime()}
+	if e.pager != nil {
+		rs := e.pager.ReadStats()
+		out.PageReads = rs.Reads
+		out.MeasuredIOTime = rs.Time
+	}
+	return out
 }
 
-// ResetIOStats zeroes the buffer-pool counters, keeping cache contents warm.
+// Close releases the file behind a disk-backed engine (OpenEngine); it is
+// a no-op for in-RAM engines and engines whose reader the caller owns.
+func (e *Engine) Close() error {
+	switch {
+	case e.mono != nil:
+		return e.mono.Close()
+	case e.shard != nil:
+		return e.shard.Close()
+	}
+	return nil
+}
+
+// ResetIOStats zeroes the buffer-pool counters — and, on a disk-backed
+// engine, the actual read counters with them, so a measurement window's
+// modeled and measured figures describe the same workload. Cache contents
+// stay warm.
 func (e *Engine) ResetIOStats() {
 	if t := e.qx.Tracker(); t != nil {
 		t.ResetStats()
+	}
+	if e.pager != nil {
+		e.pager.ResetReadStats()
 	}
 }
 

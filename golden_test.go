@@ -1,0 +1,255 @@
+package silc_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"silc"
+)
+
+// The golden files under testdata/golden pin all four serialization
+// formats byte for byte: format drift — a changed field, a reordered
+// section, a different rounding — breaks these tests loudly instead of
+// silently invalidating every index file in the field. Regenerate with
+// SILC_UPDATE_GOLDEN=1 go test -run Golden (and justify the diff in the
+// PR).
+
+// goldenNetwork returns the deterministic network all golden indexes are
+// built over. It must never change.
+func goldenNetwork(t testing.TB) *silc.Network {
+	t.Helper()
+	net, err := silc.GenerateGrid(8, 8)
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	return net
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under SILC_UPDATE_GOLDEN=1.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if os.Getenv("SILC_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with SILC_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		t.Fatalf("%s: serialization drifted from the golden file: %d vs %d bytes, first difference at offset %d", name, len(got), len(want), i)
+	}
+}
+
+// checkEngineEquivalence compares a loaded engine's answers against the
+// freshly built reference on exact kNN and distances.
+func checkEngineEquivalence(t *testing.T, ref, got *silc.Engine) {
+	t.Helper()
+	ctx := context.Background()
+	net := ref.Network()
+	n := net.NumVertices()
+	objVerts := make([]silc.VertexID, 0, n/3)
+	for v := 0; v < n; v += 3 {
+		objVerts = append(objVerts, silc.VertexID(v))
+	}
+	objs, err := silc.NewObjectSet(net, objVerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotObjs, err := silc.NewObjectSet(got.Network(), objVerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < n; q += 5 {
+		rr, err := ref.Query(ctx, objs, silc.VertexID(q), 4, silc.WithExactDistances())
+		if err != nil {
+			t.Fatalf("ref query %d: %v", q, err)
+		}
+		gr, err := got.Query(ctx, gotObjs, silc.VertexID(q), 4, silc.WithExactDistances())
+		if err != nil {
+			t.Fatalf("loaded query %d: %v", q, err)
+		}
+		if len(rr.Neighbors) != len(gr.Neighbors) {
+			t.Fatalf("query %d: %d vs %d neighbors", q, len(gr.Neighbors), len(rr.Neighbors))
+		}
+		for i := range rr.Neighbors {
+			if math.Abs(rr.Neighbors[i].Dist-gr.Neighbors[i].Dist) > 1e-12 {
+				t.Fatalf("query %d neighbor %d: dist %v vs %v", q, i, gr.Neighbors[i].Dist, rr.Neighbors[i].Dist)
+			}
+		}
+		d1, err := ref.Distance(ctx, silc.VertexID(q), silc.VertexID(n-1-q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := got.Distance(ctx, silc.VertexID(q), silc.VertexID(n-1-q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatalf("distance %d->%d: %v vs %v", q, n-1-q, d2, d1)
+		}
+	}
+}
+
+func TestGoldenMonolithicLegacy(t *testing.T) {
+	net := goldenNetwork(t)
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "grid8.silc", buf.Bytes())
+
+	loaded, err := silc.LoadIndex(bytes.NewReader(buf.Bytes()), net, silc.BuildOptions{})
+	if err != nil {
+		t.Fatalf("loading golden: %v", err)
+	}
+	var re bytes.Buffer
+	if _, err := loaded.WriteTo(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), buf.Bytes()) {
+		t.Fatal("load → re-serialize is not byte-identical")
+	}
+	checkEngineEquivalence(t, ix.Engine(), loaded.Engine())
+}
+
+func TestGoldenMonolithicPaged(t *testing.T) {
+	net := goldenNetwork(t)
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WritePaged(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "grid8.silcpg", buf.Bytes())
+
+	opened, err := silc.OpenIndexAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()), silc.BuildOptions{})
+	if err != nil {
+		t.Fatalf("opening golden: %v", err)
+	}
+	// Round trip THROUGH the demand-paged store: materialize every tree
+	// from pages and re-serialize; the image must be byte-identical.
+	var re bytes.Buffer
+	if _, err := opened.WritePaged(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), buf.Bytes()) {
+		t.Fatal("open → re-serialize is not byte-identical")
+	}
+	// And the legacy stream produced from the paged store must equal the
+	// one from the in-RAM index (cross-format consistency).
+	var legacyFromPaged, legacyFromRAM bytes.Buffer
+	if _, err := opened.WriteTo(&legacyFromPaged); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(&legacyFromRAM); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacyFromPaged.Bytes(), legacyFromRAM.Bytes()) {
+		t.Fatal("legacy stream from the paged store differs from the in-RAM one")
+	}
+	checkEngineEquivalence(t, ix.Engine(), opened.Engine())
+}
+
+func TestGoldenShardedLegacy(t *testing.T) {
+	net := goldenNetwork(t)
+	sx, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "grid8x4.silcshd1", buf.Bytes())
+
+	loaded, err := silc.LoadShardedIndex(bytes.NewReader(buf.Bytes()), net, silc.ShardedBuildOptions{})
+	if err != nil {
+		t.Fatalf("loading golden: %v", err)
+	}
+	var re bytes.Buffer
+	if _, err := loaded.WriteTo(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), buf.Bytes()) {
+		t.Fatal("load → re-serialize is not byte-identical")
+	}
+	checkEngineEquivalence(t, sx.Engine(), loaded.Engine())
+}
+
+func TestGoldenShardedPaged(t *testing.T) {
+	net := goldenNetwork(t)
+	sx, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sx.WritePaged(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "grid8x4.silcspg", buf.Bytes())
+
+	opened, err := silc.OpenShardedIndexAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()), silc.ShardedBuildOptions{})
+	if err != nil {
+		t.Fatalf("opening golden: %v", err)
+	}
+	var re bytes.Buffer
+	if _, err := opened.WritePaged(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), buf.Bytes()) {
+		t.Fatal("open → re-serialize is not byte-identical")
+	}
+	checkEngineEquivalence(t, sx.Engine(), opened.Engine())
+}
+
+// TestGoldenLoadEngineSniffing loads every golden file through the
+// format-sniffing loaders and checks the right engine comes back.
+func TestGoldenLoadEngineSniffing(t *testing.T) {
+	net := goldenNetwork(t)
+	for _, tc := range []struct {
+		file    string
+		sharded bool
+	}{
+		{"grid8.silc", false},
+		{"grid8.silcpg", false},
+		{"grid8x4.silcshd1", true},
+		{"grid8x4.silcspg", true},
+	} {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", tc.file))
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with SILC_UPDATE_GOLDEN=1)", tc.file, err)
+		}
+		eng, err := silc.LoadEngine(bytes.NewReader(data), net, silc.BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: LoadEngine: %v", tc.file, err)
+		}
+		if _, ok := eng.Sharded(); ok != tc.sharded {
+			t.Fatalf("%s: sharded=%v, want %v", tc.file, ok, tc.sharded)
+		}
+		if eng.Network().NumVertices() != net.NumVertices() {
+			t.Fatalf("%s: %d vertices, want %d", tc.file, eng.Network().NumVertices(), net.NumVertices())
+		}
+	}
+}

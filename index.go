@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"silc/internal/core"
+	"silc/internal/store"
 )
 
 // BuildOptions configures BuildIndex.
@@ -33,6 +34,14 @@ type BuildOptions struct {
 	// NearestNeighbors returns only in-range neighbors (possibly fewer
 	// than k).
 	ProximityRadius float64
+	// OnDisk, when set, persists the built index to this path in the
+	// page-aligned on-disk format and returns a genuinely disk-resident
+	// index reading through the buffer pool: the in-RAM quadtrees are
+	// released, pool misses become actual page reads, and resident memory
+	// tracks CacheFraction rather than the index size. Close the returned
+	// Index to release the file. (DiskResident, by contrast, only models
+	// paging over a fully in-RAM index.)
+	OnDisk string
 }
 
 // BuildStats summarizes a completed index build.
@@ -51,9 +60,10 @@ type Interval = core.Interval
 // Queries run through the unified Engine handle (Index.Engine); the methods
 // on Index itself are thin deprecated shims kept for pre-Engine callers.
 type Index struct {
-	net *Network
-	ix  *core.Index
-	eng *Engine
+	net    *Network
+	ix     *core.Index
+	eng    *Engine
+	closer io.Closer // file behind a disk-backed index; nil when in-RAM
 }
 
 // newIndex wires a built core index to its unified query engine.
@@ -61,6 +71,72 @@ func newIndex(net *Network, cx *core.Index) *Index {
 	ix := &Index{net: net, ix: cx}
 	ix.eng = &Engine{net: net, qx: cx, mono: ix}
 	return ix
+}
+
+// pagedIndexFrom wraps an opened paged store as a public Index. closer is
+// released by Index.Close (nil when the caller owns the reader).
+func pagedIndexFrom(st *store.Store, closer io.Closer) *Index {
+	g := st.Graph()
+	total, minBlocks, maxBlocks := st.BlockStats()
+	cx := core.NewPagedIndex(core.PagedConfig{
+		Graph:   g,
+		Source:  st,
+		Tracker: st.Tracker(),
+		Radius:  st.Radius(),
+		Lenient: st.Lenient(),
+		Stats: core.BuildStats{
+			Vertices:    g.NumVertices(),
+			Edges:       g.NumEdges(),
+			TotalBlocks: total,
+			TotalBytes:  total * 16,
+			MinBlocks:   minBlocks,
+			MaxBlocks:   maxBlocks,
+		},
+	})
+	ix := newIndex(&Network{g: g}, cx)
+	ix.closer = closer
+	ix.eng.pager = st.Pager()
+	return ix
+}
+
+// OpenIndex opens a paged index file (written by Index.WriteFile or
+// silcbuild -format=paged). The file embeds the network, so no separate
+// network file is needed; the quadtrees stay on disk and queries
+// materialize them page by page through an LRU buffer pool sized by
+// opts.CacheFraction (default 5% of the database pages). Resident memory
+// therefore tracks the pool capacity, not the index size. Close the
+// returned Index to release the file.
+func OpenIndex(path string, opts BuildOptions) (*Index, error) {
+	st, err := store.OpenFile(path, store.OpenOptions{
+		CacheFraction: opts.CacheFraction,
+		MissLatency:   opts.MissLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pagedIndexFrom(st, st), nil
+}
+
+// OpenIndexAt is OpenIndex over an arbitrary ReaderAt (a section of a
+// larger file, an in-memory image). The caller owns ra's lifetime.
+func OpenIndexAt(ra io.ReaderAt, size int64, opts BuildOptions) (*Index, error) {
+	st, err := store.Open(ra, size, store.OpenOptions{
+		CacheFraction: opts.CacheFraction,
+		MissLatency:   opts.MissLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pagedIndexFrom(st, nil), nil
+}
+
+// Close releases the file behind a disk-backed index; it is a no-op for
+// in-RAM indexes. Queries must not run concurrently with or after Close.
+func (ix *Index) Close() error {
+	if ix.closer != nil {
+		return ix.closer.Close()
+	}
+	return nil
 }
 
 // Engine returns the unified context-aware query handle over this index —
@@ -75,13 +151,21 @@ func BuildIndex(net *Network, opts BuildOptions) (*Index, error) {
 	}
 	ix, err := core.Build(net.g, core.BuildOptions{
 		Parallelism:     opts.Parallelism,
-		DiskResident:    opts.DiskResident,
+		DiskResident:    opts.DiskResident && opts.OnDisk == "",
 		CacheFraction:   opts.CacheFraction,
 		MissLatency:     opts.MissLatency,
 		ProximityRadius: opts.ProximityRadius,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.OnDisk != "" {
+		// Persist to the paged format and reopen disk-resident: the in-RAM
+		// trees are dropped with the build-time index.
+		if err := ix.WriteFile(opts.OnDisk); err != nil {
+			return nil, err
+		}
+		return OpenIndex(opts.OnDisk, opts)
 	}
 	return newIndex(net, ix), nil
 }
@@ -95,6 +179,15 @@ func (ix *Index) Radius() float64 { return ix.ix.Radius() }
 // reused across processes. The network is serialized separately with
 // Network.Write; LoadIndex rebinds the two.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.ix.WriteTo(w) }
+
+// WritePaged serializes the index in the page-aligned on-disk format
+// (conventionally *.silcpg): network embedded, quadtree blocks packed onto
+// checksummed pages that OpenIndex reads back on demand. This is the format
+// to use when the index should not have to fit in memory.
+func (ix *Index) WritePaged(w io.Writer) (int64, error) { return ix.ix.WritePaged(w) }
+
+// WriteFile writes the paged on-disk format to path (fsynced).
+func (ix *Index) WriteFile(path string) error { return ix.ix.WriteFile(path) }
 
 // LoadIndex deserializes an index produced by WriteTo and binds it to net,
 // which must be the network it was built from (structural mismatches and
@@ -227,16 +320,19 @@ type IOStats struct {
 	PageMisses int64
 	// ModeledIOTime is PageMisses times the configured miss latency.
 	ModeledIOTime time.Duration
+	// PageReads counts the actual disk reads of a paged (OpenIndex /
+	// OnDisk) store — zero for modeled DiskResident indexes, where misses
+	// are counted but nothing is read.
+	PageReads int64
+	// MeasuredIOTime is the wall-clock time spent in those reads, reported
+	// next to the modeled figure.
+	MeasuredIOTime time.Duration
 }
 
 // IOStats returns cumulative pool-wide buffer-pool statistics, summed over
 // all queries since the last reset. Per-query traffic is reported on each
 // Result's QueryStats.
-func (ix *Index) IOStats() IOStats {
-	t := ix.ix.Tracker()
-	s := t.Stats()
-	return IOStats{PageHits: s.Hits, PageMisses: s.Misses, ModeledIOTime: t.ModeledIOTime()}
-}
+func (ix *Index) IOStats() IOStats { return ix.eng.IOStats() }
 
 // ResetIOStats zeroes the buffer-pool counters, keeping cache contents warm.
 func (ix *Index) ResetIOStats() { ix.ix.Tracker().ResetStats() }

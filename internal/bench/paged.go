@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"silc/internal/core"
+	"silc/internal/diskio"
+	"silc/internal/graph"
+	"silc/internal/store"
+)
+
+// PagedIOResult compares the modeled disk-resident configuration (in-RAM
+// index, paging simulated over a block layout) with the real paged store
+// (quadtrees on disk, pool misses are actual reads) on the same network and
+// query mix — finally putting a measured I/O time next to the modeled one.
+type PagedIOResult struct {
+	Lattice  int     `json:"lattice"`
+	Vertices int     `json:"vertices"`
+	Queries  int     `json:"queries"`
+	CacheFr  float64 `json:"cache_fraction"`
+
+	FileBytes  int64 `json:"file_bytes"`
+	BlockPages int64 `json:"block_pages"`
+	PoolPages  int   `json:"pool_pages"`
+
+	ModeledHits   int64         `json:"modeled_hits"`
+	ModeledMisses int64         `json:"modeled_misses"`
+	ModeledIOTime time.Duration `json:"modeled_io_time_ns"`
+
+	PagedHits     int64         `json:"paged_hits"`
+	PagedMisses   int64         `json:"paged_misses"`
+	PagedModelIO  time.Duration `json:"paged_modeled_io_time_ns"`
+	ActualReads   int64         `json:"actual_reads"`
+	ActualBytes   int64         `json:"actual_read_bytes"`
+	MeasuredIO    time.Duration `json:"measured_io_time_ns"`
+	ResidentPages int           `json:"resident_pages"`
+}
+
+// PagedIO builds one index, serves the same random exact-distance workload
+// from (a) the modeled disk-resident index and (b) a real paged store file,
+// and reports both I/O accountings.
+func PagedIO(rows, cols, queries int, seed int64, cacheFraction float64) (*PagedIOResult, error) {
+	if cacheFraction <= 0 {
+		cacheFraction = 0.05
+	}
+	g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{Rows: rows, Cols: cols, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.Build(g, core.BuildOptions{
+		DiskResident:  true,
+		CacheFraction: cacheFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	f, err := os.CreateTemp("", "silc-bench-*.silcpg")
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	if _, err := ix.WritePaged(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	fileBytes, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	st, err := store.OpenFile(path, store.OpenOptions{CacheFraction: cacheFraction})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	px := core.NewPagedIndex(core.PagedConfig{
+		Graph: st.Graph(), Source: st, Tracker: st.Tracker(),
+		Radius: st.Radius(), Lenient: st.Lenient(),
+	})
+
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(seed * 7919))
+	pairs := make([][2]graph.VertexID, queries)
+	for i := range pairs {
+		pairs[i] = [2]graph.VertexID{graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))}
+	}
+
+	run := func(target core.QueryIndex) diskio.Stats {
+		var total diskio.Stats
+		for _, p := range pairs {
+			qc := core.NewQueryContext()
+			core.ExactDistance(target, qc, p[0], p[1])
+			if err := qc.Err(); err != nil {
+				panic(fmt.Sprintf("bench: paged query failed: %v", err))
+			}
+			total.Add(qc.IO)
+		}
+		return total
+	}
+
+	ix.Tracker().ClearCache()
+	modeled := run(ix)
+	paged := run(px)
+
+	return &PagedIOResult{
+		Lattice:       rows,
+		Vertices:      n,
+		Queries:       queries,
+		CacheFr:       cacheFraction,
+		FileBytes:     fileBytes,
+		BlockPages:    st.BlockPages(),
+		PoolPages:     st.Tracker().Pool().Capacity(),
+		ModeledHits:   modeled.Hits,
+		ModeledMisses: modeled.Misses,
+		ModeledIOTime: modeled.ModeledIOTime(ix.Tracker().MissLatency()),
+		PagedHits:     paged.Hits,
+		PagedMisses:   paged.Misses,
+		PagedModelIO:  paged.ModeledIOTime(st.Tracker().MissLatency()),
+		ActualReads:   st.ReadStats().Reads,
+		ActualBytes:   st.ReadStats().Bytes,
+		MeasuredIO:    st.ReadStats().Time,
+		ResidentPages: st.ResidentPages(),
+	}, nil
+}
+
+// RenderPagedIO prints the modeled-vs-measured comparison.
+func RenderPagedIO(w io.Writer, r *PagedIOResult) {
+	fmt.Fprintf(w, "PG — real paged store vs modeled disk residency (%d queries, %dx%d, cache %.0f%%)\n",
+		r.Queries, r.Lattice, r.Lattice, r.CacheFr*100)
+	fmt.Fprintf(w, "  paged file:     %.2f MiB, %d block pages, pool %d pages\n",
+		float64(r.FileBytes)/(1<<20), r.BlockPages, r.PoolPages)
+	fmt.Fprintf(w, "  modeled index:  %d hits, %d misses, modeled I/O %v\n",
+		r.ModeledHits, r.ModeledMisses, r.ModeledIOTime.Round(time.Microsecond))
+	fmt.Fprintf(w, "  paged store:    %d hits, %d misses, modeled I/O %v\n",
+		r.PagedHits, r.PagedMisses, r.PagedModelIO.Round(time.Microsecond))
+	fmt.Fprintf(w, "  actual reads:   %d (%.2f MiB), measured I/O %v, %d pages resident\n\n",
+		r.ActualReads, float64(r.ActualBytes)/(1<<20), r.MeasuredIO.Round(time.Microsecond), r.ResidentPages)
+}

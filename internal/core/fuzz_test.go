@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"silc/internal/graph"
+)
+
+// fuzzNetwork is the fixed small network every FuzzLoadIndex input is
+// loaded against (Load validates structure relative to a network).
+func fuzzNetwork(tb testing.TB) *graph.Network {
+	tb.Helper()
+	g, err := graph.GenerateGrid(4, 4)
+	if err != nil {
+		tb.Fatalf("grid: %v", err)
+	}
+	return g
+}
+
+// loadIndexSeeds produces the checked-in seed corpus: a valid index
+// stream, truncations at every section, a bit flip, and an empty input.
+func loadIndexSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	g := fuzzNetwork(tb)
+	ix, err := Build(g, BuildOptions{})
+	if err != nil {
+		tb.Fatalf("build: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		tb.Fatalf("write: %v", err)
+	}
+	valid := buf.Bytes()
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x40
+	badCount := append([]byte(nil), valid...)
+	badCount[21] = 0xFF // inflate a block count
+	return [][]byte{
+		valid,
+		valid[:8],              // magic only
+		valid[:20],             // through the radius
+		valid[:len(valid)/2],   // mid-blocks
+		valid[:len(valid)-2],   // missing checksum tail
+		flip,                   // CRC-detectable corruption
+		badCount,               // structural corruption
+		{},                     // empty
+		[]byte("SILCIDX1junk"), // magic then garbage
+	}
+}
+
+// FuzzLoadIndex feeds corrupted and truncated byte streams to the legacy
+// index deserializer: every input must produce an index or an error —
+// never a panic, however mangled the bytes.
+func FuzzLoadIndex(f *testing.F) {
+	for _, seed := range loadIndexSeeds(f) {
+		f.Add(seed)
+	}
+	g := fuzzNetwork(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Load(bytes.NewReader(data), g, BuildOptions{})
+		if err == nil && ix == nil {
+			t.Fatal("nil index without error")
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz when SILC_GEN_CORPUS=1 — run it after changing the format
+// so the committed seeds track it.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("SILC_GEN_CORPUS") == "" {
+		t.Skip("set SILC_GEN_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzLoadIndex")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range loadIndexSeeds(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+strconv.Itoa(i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

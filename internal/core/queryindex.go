@@ -56,10 +56,11 @@ func (ix *Index) Refine(qc *QueryContext, src, dst graph.VertexID) DistanceRefin
 	return ix.NewRefinerCtx(qc, src, dst)
 }
 
-// RegionLowerBoundCtx implements QueryIndex (region bounds walk the source's
-// quadtree without touching paged blocks, so qc is unused here).
+// RegionLowerBoundCtx implements QueryIndex. On a memory-resident index the
+// walk touches no paged blocks; a disk-backed index materializes q's
+// quadtree through qc first.
 func (ix *Index) RegionLowerBoundCtx(qc *QueryContext, q graph.VertexID, rect geom.Rect) float64 {
-	return ix.RegionLowerBound(q, rect)
+	return ix.regionLowerBound(qc, q, rect)
 }
 
 // ExactDistance fully refines (src, dst) on any QueryIndex and returns the

@@ -7,10 +7,12 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
 
 	"silc/internal/geom"
 	"silc/internal/graph"
 	"silc/internal/quadtree"
+	"silc/internal/store"
 )
 
 // The index file format is little-endian binary:
@@ -39,6 +41,61 @@ var indexMagic = [8]byte{'S', 'I', 'L', 'C', 'I', 'D', 'X', '1'}
 
 const blockEntrySize = quadtree.EncodedSizeBytes
 
+// treeFor resolves one vertex's quadtree for serialization: directly for a
+// memory-resident index, through the paged source (untracked) for a
+// disk-backed one.
+func (ix *Index) treeFor(v graph.VertexID) (*quadtree.Tree, error) {
+	if ix.src == nil {
+		return ix.trees[v], nil
+	}
+	return ix.src.Tree(nil, v)
+}
+
+// WritePaged serializes the index in the page-aligned on-disk format of
+// internal/store — the format OpenIndex / store.Open reads back with
+// demand paging. The network is embedded, so the image is self-contained.
+func (ix *Index) WritePaged(w io.Writer) (int64, error) {
+	var treeErr error
+	written, err := store.Write(w, store.Source{
+		Graph:   ix.g,
+		Radius:  ix.radius,
+		Lenient: ix.lenient,
+		Tree: func(v graph.VertexID) *quadtree.Tree {
+			t, err := ix.treeFor(v)
+			if err != nil {
+				if treeErr == nil {
+					treeErr = err
+				}
+				return &quadtree.Tree{MinLambda: 1}
+			}
+			return t
+		},
+	})
+	if treeErr != nil {
+		return written, treeErr
+	}
+	return written, err
+}
+
+// WriteFile writes the paged on-disk format to path — the one-call "make
+// this index disk-resident" step. The file is fsynced before close so a
+// crash cannot leave a torn image behind a successful return.
+func (ix *Index) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WritePaged(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // WriteTo serializes the index. It returns an error if any vertex has an
 // out-degree above 255 (the disk format's color width).
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
@@ -60,14 +117,18 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	for v := 0; v < n; v++ {
-		binary.LittleEndian.PutUint32(u32[:], uint32(ix.trees[v].NumBlocks()))
+		binary.LittleEndian.PutUint32(u32[:], uint32(ix.BlockCount(graph.VertexID(v))))
 		if _, err := bw.Write(u32[:]); err != nil {
 			return cw.n, err
 		}
 	}
 	var entry [blockEntrySize]byte
 	for v := 0; v < n; v++ {
-		for _, b := range ix.trees[v].Blocks {
+		t, err := ix.treeFor(graph.VertexID(v))
+		if err != nil {
+			return cw.n, err
+		}
+		for _, b := range t.Blocks {
 			if b.Color < 0 || b.Color > 255 {
 				return cw.n, fmt.Errorf("core: vertex %d color %d exceeds the disk format's 8-bit width", v, b.Color)
 			}
@@ -131,6 +192,12 @@ func Load(r io.Reader, g *graph.Network, opts BuildOptions) (*Index, error) {
 			return nil, fmt.Errorf("core: reading block count %d: %w", v, err)
 		}
 		counts[v] = binary.LittleEndian.Uint32(u32[:])
+		// Every quadtree block contains at least one colored vertex, so no
+		// vertex can own n or more blocks — and a corrupt count must fail
+		// here rather than drive a giant allocation below.
+		if counts[v] >= uint32(n) {
+			return nil, fmt.Errorf("core: vertex %d records %d blocks, impossible for %d vertices", v, counts[v], n)
+		}
 	}
 	trees := make([]*quadtree.Tree, n)
 	var entry [blockEntrySize]byte

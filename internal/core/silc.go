@@ -124,6 +124,11 @@ type QueryContext struct {
 	// ctx carries the request's cancellation/deadline signal; nil means the
 	// query is uncancellable (background work, legacy call sites).
 	ctx context.Context
+	// ioErr is the sticky storage-level failure of this query (a corrupt or
+	// unreadable page on a disk-backed index). Once set, Err reports it and
+	// every query algorithm winds down within one step, exactly like a
+	// cancellation.
+	ioErr error
 }
 
 // NewQueryContext returns a fresh, uncancellable per-query context.
@@ -141,14 +146,37 @@ func NewQueryContextFor(ctx context.Context) *QueryContext {
 	return qc
 }
 
-// Err reports the bound context's cancellation error, nil while the query
-// may continue. It is nil-safe: a nil or unbound QueryContext never cancels.
+// Err reports why the query must stop — a recorded storage failure first,
+// then the bound context's cancellation error — or nil while the query may
+// continue. It is nil-safe: a nil QueryContext never cancels.
 func (qc *QueryContext) Err() error {
-	if qc == nil || qc.ctx == nil {
+	if qc == nil {
+		return nil
+	}
+	if qc.ioErr != nil {
+		return qc.ioErr
+	}
+	if qc.ctx == nil {
 		return nil
 	}
 	return qc.ctx.Err()
 }
+
+// Fail records a storage-level failure (the first one wins). Queries that
+// run without a context — the deprecated pre-Engine surface — have no error
+// channel, so a nil receiver panics with the error instead of silently
+// returning wrong answers from a corrupt store.
+func (qc *QueryContext) Fail(err error) {
+	if qc == nil {
+		panic(err)
+	}
+	if qc.ioErr == nil {
+		qc.ioErr = err
+	}
+}
+
+// Failed reports whether a storage-level failure has been recorded.
+func (qc *QueryContext) Failed() bool { return qc != nil && qc.ioErr != nil }
 
 // ioCounter returns the per-query counter to charge, nil when untracked.
 func (qc *QueryContext) ioCounter() *diskio.Stats {
@@ -158,13 +186,27 @@ func (qc *QueryContext) ioCounter() *diskio.Stats {
 	return &qc.IO
 }
 
+// TreeSource supplies per-vertex shortest-path quadtrees to a disk-backed
+// Index. Tree materializes v's quadtree — lazily, through a buffer pool of
+// real pages — charging any page traffic to ioStats (nil = untracked) and
+// returning an error for unreadable or corrupt storage. Implementations
+// must be safe for unlimited concurrent callers; internal/store.Store is
+// the canonical one.
+type TreeSource interface {
+	Tree(ioStats *diskio.Stats, v graph.VertexID) (*quadtree.Tree, error)
+	BlockCount(v graph.VertexID) int
+}
+
 // Index is a SILC index over one spatial network. The query path never
 // mutates the Index: per-query state lives in a QueryContext and the
 // buffer pool is sharded, so any number of goroutines may query one shared
 // Index concurrently.
 type Index struct {
-	g       *graph.Network
+	g *graph.Network
+	// Exactly one of trees/src is set: trees holds the memory-resident
+	// quadtrees, src pages them in lazily from a disk store.
 	trees   []*quadtree.Tree // indexed by source vertex
+	src     TreeSource
 	tracker *diskio.Tracker
 	// ownerBase offsets this index's vertex ids inside a shared tracker's
 	// block layout (see AttachSharedTracker); 0 for a private tracker.
@@ -172,6 +214,45 @@ type Index struct {
 	radius    float64 // 0 = unbounded
 	lenient   bool    // AllowUnreachable: misses mean unreachable, not corrupt
 	stats     BuildStats
+}
+
+// PagedConfig assembles a disk-backed Index from an opened paged store.
+type PagedConfig struct {
+	Graph   *graph.Network
+	Source  TreeSource
+	Tracker *diskio.Tracker
+	Radius  float64
+	Lenient bool
+	Stats   BuildStats
+}
+
+// NewPagedIndex returns an Index whose quadtrees live on disk behind cfg's
+// TreeSource. It answers exactly the same query surface as a built index;
+// storage failures surface through QueryContext.Err (or panic on the
+// context-free deprecated surface).
+func NewPagedIndex(cfg PagedConfig) *Index {
+	return &Index{
+		g:       cfg.Graph,
+		src:     cfg.Source,
+		tracker: cfg.Tracker,
+		radius:  cfg.Radius,
+		lenient: cfg.Lenient,
+		stats:   cfg.Stats,
+	}
+}
+
+// treeOf resolves v's quadtree from memory or the paged source, recording
+// source failures on qc.
+func (ix *Index) treeOf(qc *QueryContext, v graph.VertexID) (*quadtree.Tree, bool) {
+	if ix.src == nil {
+		return ix.trees[v], true
+	}
+	t, err := ix.src.Tree(qc.ioCounter(), v)
+	if err != nil {
+		qc.Fail(err) // panics when qc is nil: no error channel
+		return nil, false
+	}
+	return t, true
 }
 
 // Build precomputes the SILC index for g. It returns an error if the network
@@ -316,17 +397,31 @@ func (ix *Index) Tracker() *diskio.Tracker { return ix.tracker }
 func (ix *Index) Radius() float64 { return ix.radius }
 
 // BlockCount returns the Morton block count of v's shortest-path quadtree.
-func (ix *Index) BlockCount(v graph.VertexID) int { return ix.trees[v].NumBlocks() }
+func (ix *Index) BlockCount(v graph.VertexID) int {
+	if ix.src != nil {
+		return ix.src.BlockCount(v)
+	}
+	return ix.trees[v].NumBlocks()
+}
 
 // lookup finds the block of tree[u] containing dst's cell and charges the
-// page access to qc's counter (untracked when qc is nil).
+// page access to qc's counter (untracked when qc is nil). A false return
+// with qc.Failed() set means the paged store failed, not that dst is
+// uncovered.
 func (ix *Index) lookup(qc *QueryContext, u, dst graph.VertexID) (quadtree.Block, bool) {
-	t := ix.trees[u]
+	t, ok := ix.treeOf(qc, u)
+	if !ok {
+		return quadtree.Block{}, false
+	}
 	i, ok := t.FindIndex(ix.g.Code(dst))
 	if !ok {
 		return quadtree.Block{}, false
 	}
-	ix.tracker.TouchBlock(ix.ownerBase+int(u), i, qc.ioCounter())
+	if ix.src == nil {
+		// The paged source already charged its real page traffic; only the
+		// modeled layout charges per-block here.
+		ix.tracker.TouchBlock(ix.ownerBase+int(u), i, qc.ioCounter())
+	}
 	return t.Blocks[i], true
 }
 
@@ -343,6 +438,10 @@ func (ix *Index) DistanceIntervalCtx(qc *QueryContext, u, v graph.VertexID) Inte
 	}
 	b, ok := ix.lookup(qc, u, v)
 	if !ok {
+		if qc.Failed() {
+			// Storage failure: the error is on qc; [0, +Inf) stays true.
+			return Interval{Lo: 0, Hi: math.Inf(1)}
+		}
 		return ix.missInterval(u, v)
 	}
 	e := ix.g.Euclid(u, v)
@@ -377,7 +476,9 @@ func (ix *Index) NextHopCtx(qc *QueryContext, u, v graph.VertexID) graph.VertexI
 	}
 	b, ok := ix.lookup(qc, u, v)
 	if !ok {
-		ix.missInterval(u, v) // panics when the index is strict and unbounded
+		if !qc.Failed() {
+			ix.missInterval(u, v) // panics when the index is strict and unbounded
+		}
 		return graph.NoVertex
 	}
 	targets, _ := ix.g.Neighbors(u)
@@ -429,10 +530,18 @@ func (ix *Index) DistanceCtx(qc *QueryContext, u, v graph.VertexID) float64 {
 // the DISTANCE_INTERVAL(object, Region) primitive the kNN algorithm applies
 // to blocks of the object index.
 func (ix *Index) RegionLowerBound(q graph.VertexID, rect geom.Rect) float64 {
+	return ix.regionLowerBound(nil, q, rect)
+}
+
+func (ix *Index) regionLowerBound(qc *QueryContext, q graph.VertexID, rect geom.Rect) float64 {
 	if rect.Contains(ix.g.Point(q)) {
 		return 0
 	}
-	return ix.trees[q].RegionLowerBound(ix.g.Point(q), rect)
+	t, ok := ix.treeOf(qc, q)
+	if !ok {
+		return 0 // storage failure recorded on qc; 0 is a valid lower bound
+	}
+	return t.RegionLowerBound(ix.g.Point(q), rect)
 }
 
 // Refiner carries the progressive-refinement state for one (src, dst) pair:
@@ -451,6 +560,7 @@ type Refiner struct {
 	steps      int
 	done       bool
 	outOfRange bool
+	failed     bool // storage failure recorded on qc; no further stepping
 }
 
 // NewRefiner computes the zero-refinement interval and returns the
@@ -469,6 +579,11 @@ func (ix *Index) NewRefinerCtx(qc *QueryContext, src, dst graph.VertexID) *Refin
 	}
 	b, ok := ix.lookup(qc, src, dst)
 	if !ok {
+		if qc.Failed() {
+			r.iv = Interval{Lo: 0, Hi: math.Inf(1)}
+			r.failed = true
+			return r
+		}
 		r.iv = ix.missInterval(src, dst)
 		r.outOfRange = true
 		return r
@@ -501,7 +616,7 @@ func (r *Refiner) Via() (graph.VertexID, float64) { return r.cur, r.acc }
 // path and tighten the interval. It returns false once the interval is
 // exact.
 func (r *Refiner) Step() bool {
-	if r.done || r.outOfRange {
+	if r.done || r.outOfRange || r.failed {
 		return false
 	}
 	r.steps++
@@ -517,6 +632,10 @@ func (r *Refiner) Step() bool {
 	}
 	b, ok := r.ix.lookup(r.qc, next, r.dst)
 	if !ok {
+		if r.qc.Failed() {
+			r.failed = true // error is on r.qc; the interval remains valid
+			return false
+		}
 		panic(fmt.Sprintf("core: vertex %d not covered by quadtree of %d", r.dst, next))
 	}
 	r.color = b.Color

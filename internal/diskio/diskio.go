@@ -13,6 +13,7 @@
 package diskio
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,10 +111,19 @@ func (c *Cache) Clear() {
 // Touch accesses page p, returning true on a hit. On a miss the page is
 // loaded, evicting the least recently used page if the pool is full.
 func (c *Cache) Touch(p PageID) bool {
+	hit, _, _ := c.TouchEvict(p)
+	return hit
+}
+
+// TouchEvict is Touch with eviction feedback: when loading p displaced a
+// resident page, evicted holds its id and hasEvict is true. Callers that
+// cache decoded structures against resident pages (the paged index store)
+// use the feedback to actually release the displaced data.
+func (c *Cache) TouchEvict(p PageID) (hit bool, evicted PageID, hasEvict bool) {
 	if slot, ok := c.slots[p]; ok {
 		c.stats.Hits++
 		c.moveToFront(slot)
-		return true
+		return true, 0, false
 	}
 	c.stats.Misses++
 	var slot int
@@ -123,12 +133,13 @@ func (c *Cache) Touch(p PageID) bool {
 	} else {
 		slot = c.tail
 		c.detach(slot)
-		delete(c.slots, c.pages[slot])
+		evicted, hasEvict = c.pages[slot], true
+		delete(c.slots, evicted)
 	}
 	c.pages[slot] = p
 	c.slots[p] = slot
 	c.pushFront(slot)
-	return false
+	return false, evicted, hasEvict
 }
 
 func (c *Cache) detach(slot int) {
@@ -236,9 +247,18 @@ func (p *Pool) shardOf(id PageID) *poolShard {
 // the pool's atomic aggregates and, when qs is non-nil, in the caller's
 // per-query counter (qs must be owned by the calling goroutine).
 func (p *Pool) Touch(id PageID, qs *Stats) bool {
+	hit, _, _ := p.TouchEvict(id, qs)
+	return hit
+}
+
+// TouchEvict is Touch with eviction feedback (see Cache.TouchEvict). The
+// per-query counter qs is charged with exactly one hit or one miss — the
+// same outcome added to the pool's atomic aggregates — so summing the
+// per-query counters of all users reproduces the aggregates exactly.
+func (p *Pool) TouchEvict(id PageID, qs *Stats) (hit bool, evicted PageID, hasEvict bool) {
 	s := p.shardOf(id)
 	s.mu.Lock()
-	hit := s.lru.Touch(id)
+	hit, evicted, hasEvict = s.lru.TouchEvict(id)
 	s.mu.Unlock()
 	if hit {
 		p.hits.Add(1)
@@ -251,7 +271,7 @@ func (p *Pool) Touch(id PageID, qs *Stats) bool {
 			qs.Misses++
 		}
 	}
-	return hit
+	return hit, evicted, hasEvict
 }
 
 // Capacity returns the total page capacity across shards.
@@ -327,6 +347,12 @@ func (l *Layout) Page(v int, entryIdx int) PageID {
 	return PageID((l.base[v] + int64(entryIdx)) / int64(l.entriesPerPage))
 }
 
+// EntryRange returns the dense entry index range [lo, hi) of owner v.
+func (l *Layout) EntryRange(v int) (lo, hi int64) { return l.base[v], l.base[v+1] }
+
+// EntriesPerPage returns how many entries pack onto one page.
+func (l *Layout) EntriesPerPage() int { return l.entriesPerPage }
+
 // OwnerPages returns the page range [first, last] spanned by owner v's
 // entries; ok is false when v has none.
 func (l *Layout) OwnerPages(v int) (first, last PageID, ok bool) {
@@ -335,6 +361,24 @@ func (l *Layout) OwnerPages(v int) (first, last PageID, ok bool) {
 		return 0, 0, false
 	}
 	return PageID(lo / int64(l.entriesPerPage)), PageID((hi - 1) / int64(l.entriesPerPage)), true
+}
+
+// OwnerRange inverts Page: it returns the owner index range [lo, hi) whose
+// entries overlap the given page (empty when the page is past the layout).
+// Entries pack densely, so a page boundary can split an owner's run and one
+// page can hold runs of many owners.
+func (l *Layout) OwnerRange(page PageID) (lo, hi int) {
+	owners := len(l.base) - 1
+	first := int64(page) * int64(l.entriesPerPage)
+	last := first + int64(l.entriesPerPage) // one past the page's entries
+	// lo: first owner whose run ends after the page starts.
+	lo = sort.Search(owners, func(v int) bool { return l.base[v+1] > first })
+	// hi: first owner whose run starts at or past the page's end.
+	hi = sort.Search(owners, func(v int) bool { return l.base[v] >= last })
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 // TotalPages returns the number of pages the layout occupies.
@@ -361,6 +405,15 @@ type Tracker struct {
 	adjBase     PageID
 	fraction    float64
 	missLatency time.Duration
+	// fixed pins the pool: SetScope becomes a no-op. Store-backed trackers
+	// (real on-disk pages) set it — their pool's residency is mirrored by
+	// actual page frames, so it must never be swapped out from under the
+	// store.
+	fixed bool
+	// onEvict, when set, observes every page the pool evicts through this
+	// tracker's Touch methods. The paged store uses it to release the real
+	// page frame and any decoded structures built over the evicted page.
+	onEvict func(PageID)
 }
 
 // NewTracker builds a tracker for a database whose per-vertex SILC block
@@ -384,6 +437,35 @@ func NewTracker(blockCounts, degrees []int, cacheFraction float64, missLatency t
 	return t
 }
 
+// NewStoreTracker wires a Tracker around an externally owned pool backing a
+// real on-disk block store. blockPages is the page count of the (externally
+// paged) block sections; the adjacency layout gets the id space just above
+// them. TouchBlock is a no-op — a real store charges its own page traffic —
+// and SetScope is disabled: the pool's residency is mirrored by actual page
+// frames and must not be swapped.
+func NewStoreTracker(blockPages int64, degrees []int, pool *Pool, missLatency time.Duration) *Tracker {
+	if missLatency <= 0 {
+		missLatency = DefaultMissLatency
+	}
+	t := &Tracker{
+		adjacency:   NewLayout(degrees, AdjacencyEntrySize, DefaultPageSize),
+		adjBase:     PageID(blockPages),
+		missLatency: missLatency,
+		fixed:       true,
+	}
+	t.pool.Store(pool)
+	return t
+}
+
+// SetEvictionHandler registers fn to observe every page evicted by this
+// tracker's Touch methods. Call before queries start; not synchronized with
+// concurrent touches.
+func (t *Tracker) SetEvictionHandler(fn func(PageID)) {
+	if t != nil {
+		t.onEvict = fn
+	}
+}
+
 // Pool returns the current buffer pool (nil for a nil tracker).
 func (t *Tracker) Pool() *Pool {
 	if t == nil {
@@ -399,7 +481,7 @@ func (t *Tracker) Pool() *Pool {
 // alone — sizing their pool by someone else's index would hand them an
 // effectively unbounded cache.
 func (t *Tracker) SetScope(networkOnly bool) {
-	if t == nil {
+	if t == nil || t.fixed {
 		return
 	}
 	total := t.adjacency.TotalPages()
@@ -411,11 +493,12 @@ func (t *Tracker) SetScope(networkOnly bool) {
 
 // TouchBlock records an access to block entryIdx of vertex v's quadtree,
 // attributing it to the per-query counter qs (nil for untracked access).
+// No-op on store-backed trackers: the real store charges its own pages.
 func (t *Tracker) TouchBlock(v, entryIdx int, qs *Stats) {
-	if t == nil {
+	if t == nil || t.blocks == nil {
 		return
 	}
-	t.pool.Load().Touch(t.blocks.Page(v, entryIdx), qs)
+	t.touch(t.blocks.Page(v, entryIdx), qs)
 }
 
 // TouchAdjacency records an access to vertex v's adjacency list (INE/IER
@@ -429,7 +512,15 @@ func (t *Tracker) TouchAdjacency(v int, qs *Stats) {
 	if !ok {
 		return
 	}
-	t.pool.Load().Touch(t.adjBase+first, qs)
+	t.touch(t.adjBase+first, qs)
+}
+
+// touch charges one page and feeds any eviction to the registered handler.
+func (t *Tracker) touch(id PageID, qs *Stats) {
+	_, evicted, hasEvict := t.pool.Load().TouchEvict(id, qs)
+	if hasEvict && t.onEvict != nil {
+		t.onEvict(evicted)
+	}
 }
 
 // Stats returns the pool-wide aggregate counters (zero for a nil tracker).
@@ -475,10 +566,12 @@ func (t *Tracker) ModeledIOTime() time.Duration {
 	return t.pool.Load().Stats().ModeledIOTime(t.missLatency)
 }
 
-// TotalPages returns the page count across both layouts.
+// TotalPages returns the page count across the block and adjacency id
+// spaces (adjBase always equals the block page count, whether the block
+// layout is modeled or externally paged).
 func (t *Tracker) TotalPages() int64 {
 	if t == nil {
 		return 0
 	}
-	return t.blocks.TotalPages() + t.adjacency.TotalPages()
+	return int64(t.adjBase) + t.adjacency.TotalPages()
 }

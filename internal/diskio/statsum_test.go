@@ -1,0 +1,123 @@
+package diskio
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestPerQueryStatsSumToAggregates is the double-counting regression test:
+// with 64 concurrent "queries" each touching pages through its own Stats
+// counter, the per-query counters must sum EXACTLY to the pool's atomic
+// aggregates — every touch charged once to each, never zero or twice.
+func TestPerQueryStatsSumToAggregates(t *testing.T) {
+	const (
+		goroutines = 64
+		touches    = 2000
+		pages      = 512
+		capacity   = 40
+	)
+	pool := NewPool(capacity, DefaultPoolShards)
+	perQuery := make([]Stats, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) * 911))
+			for j := 0; j < touches; j++ {
+				// Mix of Touch and TouchEvict — both must charge identically.
+				id := PageID(rng.Intn(pages))
+				if j%2 == 0 {
+					pool.Touch(id, &perQuery[i])
+				} else {
+					pool.TouchEvict(id, &perQuery[i])
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var sum Stats
+	for i := range perQuery {
+		if got := perQuery[i].Accesses(); got != touches {
+			t.Fatalf("query %d recorded %d accesses, made %d", i, got, touches)
+		}
+		sum.Add(perQuery[i])
+	}
+	agg := pool.Stats()
+	if sum != agg {
+		t.Fatalf("per-query sum %+v != pool aggregates %+v", sum, agg)
+	}
+	if want := int64(goroutines * touches); sum.Accesses() != want {
+		t.Fatalf("total accesses %d, want %d", sum.Accesses(), want)
+	}
+}
+
+// TestTrackerPerQuerySum runs the same invariant through the Tracker's
+// block/adjacency touch paths (the ones real queries use).
+func TestTrackerPerQuerySum(t *testing.T) {
+	const goroutines = 64
+	blockCounts := make([]int, 300)
+	degrees := make([]int, 300)
+	for i := range blockCounts {
+		blockCounts[i] = 40 + i%37
+		degrees[i] = 3 + i%4
+	}
+	tr := NewTracker(blockCounts, degrees, 0.05, 0)
+	perQuery := make([]Stats, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) * 313))
+			for j := 0; j < 1500; j++ {
+				v := rng.Intn(len(blockCounts))
+				if j%3 == 0 {
+					tr.TouchAdjacency(v, &perQuery[i])
+				} else {
+					tr.TouchBlock(v, rng.Intn(blockCounts[v]), &perQuery[i])
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var sum Stats
+	for i := range perQuery {
+		sum.Add(perQuery[i])
+	}
+	if agg := tr.Stats(); sum != agg {
+		t.Fatalf("per-query sum %+v != tracker aggregates %+v", sum, agg)
+	}
+}
+
+// TestOwnerRangeInvertsPage cross-checks Layout.OwnerRange against the
+// forward Page map on an irregular layout.
+func TestOwnerRangeInvertsPage(t *testing.T) {
+	counts := []int{0, 3, 700, 1, 0, 256, 255, 257, 0, 12}
+	l := NewLayout(counts, 16, 4096)
+	for p := PageID(0); p < PageID(l.TotalPages()); p++ {
+		lo, hi := l.OwnerRange(p)
+		for v := range counts {
+			overlaps := false
+			for e := 0; e < counts[v]; e++ {
+				if l.Page(v, e) == p {
+					overlaps = true
+					break
+				}
+			}
+			inRange := v >= lo && v < hi
+			if overlaps && !inRange {
+				t.Fatalf("page %d: owner %d overlaps but OwnerRange [%d,%d) misses it", p, v, lo, hi)
+			}
+			if !overlaps && inRange && counts[v] > 0 {
+				t.Fatalf("page %d: owner %d in OwnerRange [%d,%d) but has no entry there", p, v, lo, hi)
+			}
+		}
+	}
+	// Past-the-end page must be empty.
+	if lo, hi := l.OwnerRange(PageID(l.TotalPages()) + 5); lo != hi {
+		t.Fatalf("past-end page returned non-empty owner range [%d,%d)", lo, hi)
+	}
+}

@@ -1,0 +1,347 @@
+package partition
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"silc/internal/core"
+	"silc/internal/diskio"
+	"silc/internal/graph"
+	"silc/internal/store"
+)
+
+// The sharded paged file format ("SILCSPG1") is the page-aligned,
+// demand-paged counterpart of SILCSHD1: partition metadata plus one
+// complete embedded store image per cell, each opened as its own
+// ReadAt-backed store while sharing ONE buffer pool — the paper's cache
+// fraction stays a property of the whole database.
+//
+//	superblock   64 bytes   magic, page size, P, n, m, nb, section offsets
+//	network      the GLOBAL network (store network-section encoding + CRC)
+//	meta         selfContained flags, cellOf labels, closure D/hop + CRC
+//	cell table   P x (imageOff, imageSize, pageBase) + CRC
+//	cells        page-aligned embedded SILCPG1 images (one per cell)
+//
+// Everything is little-endian; offsets are absolute file offsets. The
+// global network is embedded, so a sharded paged file is self-contained
+// exactly like the monolithic one.
+
+const shardedPagedSuperblockSize = 64
+
+// WritePaged serializes the sharded index in the paged on-disk format.
+// Every section offset is computed up front from the per-cell block
+// counts, so the write is a single streaming pass.
+func (s *Sharded) WritePaged(w io.Writer) (int64, error) {
+	g := s.g
+	p := s.asn.P
+	n, m := g.NumVertices(), g.NumEdges()
+	nb := s.cl.NB()
+
+	netOff := int64(shardedPagedSuperblockSize)
+	metaOff := netOff + store.NetworkSectionSize(n, m)
+	metaSize := int64(p) + int64(n)*4 + int64(nb)*int64(nb)*12 + 4
+	cellTabOff := metaOff + metaSize
+	cellTabSize := int64(p)*24 + 4
+
+	// Cell layout: page-aligned embedded images, page ids concatenated.
+	offs := make([]int64, p)
+	sizes := make([]int64, p)
+	bases := make([]int64, p)
+	at := store.Align(cellTabOff+cellTabSize, store.PageSize)
+	var pages int64
+	for c, cx := range s.cells {
+		offs[c] = at
+		sizes[c] = store.ImageSize(cx.sub.NumVertices(), cx.sub.NumEdges(), cx.ix.Stats().TotalBlocks)
+		bases[c] = pages
+		pages += store.BlockPages(cx.ix.Stats().TotalBlocks)
+		at = store.Align(at+sizes[c], store.PageSize)
+	}
+	fileSize := at // already page-aligned past the last cell image
+
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	le := binary.LittleEndian
+
+	head := make([]byte, shardedPagedSuperblockSize)
+	copy(head[0:8], store.ShardedMagicString)
+	le.PutUint32(head[8:12], uint32(store.PageSize))
+	le.PutUint32(head[12:16], uint32(p))
+	le.PutUint32(head[16:20], uint32(n))
+	le.PutUint32(head[20:24], uint32(m))
+	le.PutUint32(head[24:28], uint32(nb))
+	le.PutUint64(head[28:36], uint64(netOff))
+	le.PutUint64(head[36:44], uint64(metaOff))
+	le.PutUint64(head[44:52], uint64(cellTabOff))
+	le.PutUint64(head[52:60], uint64(fileSize))
+	le.PutUint32(head[60:64], crc32.ChecksumIEEE(head[:60]))
+	if _, err := cw.Write(head); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write(store.EncodeNetworkSection(g)); err != nil {
+		return cw.n, err
+	}
+
+	meta := make([]byte, metaSize)
+	mb := meta
+	for c := 0; c < p; c++ {
+		if s.selfContained[c] {
+			mb[c] = 1
+		}
+	}
+	mb = mb[p:]
+	for i, c := range s.asn.CellOf {
+		le.PutUint32(mb[i*4:], uint32(c))
+	}
+	mb = mb[n*4:]
+	for i, d := range s.cl.D {
+		le.PutUint64(mb[i*8:], math.Float64bits(d))
+	}
+	mb = mb[nb*nb*8:]
+	for i, h := range s.cl.Hop {
+		le.PutUint32(mb[i*4:], uint32(h))
+	}
+	mb = mb[nb*nb*4:]
+	le.PutUint32(mb, crc32.ChecksumIEEE(meta[:metaSize-4]))
+	if _, err := cw.Write(meta); err != nil {
+		return cw.n, err
+	}
+
+	tab := make([]byte, cellTabSize)
+	for c := 0; c < p; c++ {
+		le.PutUint64(tab[c*24:], uint64(offs[c]))
+		le.PutUint64(tab[c*24+8:], uint64(sizes[c]))
+		le.PutUint64(tab[c*24+16:], uint64(bases[c]))
+	}
+	le.PutUint32(tab[p*24:], crc32.ChecksumIEEE(tab[:p*24]))
+	if _, err := cw.Write(tab); err != nil {
+		return cw.n, err
+	}
+
+	for c, cx := range s.cells {
+		if err := padTo(cw, offs[c]); err != nil {
+			return cw.n, err
+		}
+		written, err := cx.ix.WritePaged(cw)
+		if err != nil {
+			return cw.n, err
+		}
+		if written != sizes[c] {
+			return cw.n, fmt.Errorf("partition: cell %d image wrote %d bytes, predicted %d (format drift)", c, written, sizes[c])
+		}
+	}
+	if err := padTo(cw, fileSize); err != nil {
+		return cw.n, err
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+func padTo(cw *countingWriter, off int64) error {
+	if cw.n > off {
+		return fmt.Errorf("partition: overran section boundary %d (at %d)", off, cw.n)
+	}
+	_, err := cw.Write(make([]byte, off-cw.n))
+	return err
+}
+
+// OpenPaged opens a sharded paged file: partition metadata and the global
+// network load eagerly, then every cell opens its own store over its
+// embedded image — all cells sharing one buffer pool sized by
+// opt.CacheFraction of the whole database (opt.CachePages overrides).
+func OpenPaged(ra io.ReaderAt, size int64, opt Options) (*Sharded, error) {
+	head := make([]byte, shardedPagedSuperblockSize)
+	if _, err := ra.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("partition: reading superblock: %w", err)
+	}
+	le := binary.LittleEndian
+	if string(head[0:8]) != store.ShardedMagicString {
+		return nil, fmt.Errorf("partition: bad magic %q", head[0:8])
+	}
+	if stored, computed := le.Uint32(head[60:64]), crc32.ChecksumIEEE(head[:60]); stored != computed {
+		return nil, fmt.Errorf("partition: superblock checksum mismatch: stored %08x computed %08x", stored, computed)
+	}
+	pageSize := int64(le.Uint32(head[8:12]))
+	p := int(le.Uint32(head[12:16]))
+	n := int(le.Uint32(head[16:20]))
+	m := int(le.Uint32(head[20:24]))
+	nb := int(le.Uint32(head[24:28]))
+	netOff := int64(le.Uint64(head[28:36]))
+	metaOff := int64(le.Uint64(head[36:44]))
+	cellTabOff := int64(le.Uint64(head[44:52]))
+	fileSize := int64(le.Uint64(head[52:60]))
+	if pageSize < 16 || pageSize > 1<<20 {
+		return nil, fmt.Errorf("partition: invalid page size %d", pageSize)
+	}
+	if n <= 0 || m < 0 {
+		return nil, fmt.Errorf("partition: invalid network dimensions n=%d m=%d", n, m)
+	}
+	if p < 1 || p > n {
+		return nil, fmt.Errorf("partition: invalid partition count %d", p)
+	}
+	if nb < 0 || nb > n {
+		return nil, fmt.Errorf("partition: invalid boundary count %d of %d vertices", nb, n)
+	}
+	if fileSize <= 0 || fileSize > size {
+		return nil, fmt.Errorf("partition: file size %d exceeds available %d bytes", fileSize, size)
+	}
+	if netOff != shardedPagedSuperblockSize || metaOff != netOff+store.NetworkSectionSize(n, m) {
+		return nil, fmt.Errorf("partition: inconsistent section offsets")
+	}
+	metaSize := int64(p) + int64(n)*4 + int64(nb)*int64(nb)*12 + 4
+	if cellTabOff != metaOff+metaSize || cellTabOff+int64(p)*24+4 > fileSize {
+		return nil, fmt.Errorf("partition: inconsistent section offsets")
+	}
+
+	netBuf := make([]byte, store.NetworkSectionSize(n, m))
+	if _, err := ra.ReadAt(netBuf, netOff); err != nil {
+		return nil, fmt.Errorf("partition: reading network section: %w", err)
+	}
+	g, err := store.DecodeNetworkSection(netBuf, n, m)
+	if err != nil {
+		return nil, err
+	}
+
+	meta := make([]byte, metaSize)
+	if _, err := ra.ReadAt(meta, metaOff); err != nil {
+		return nil, fmt.Errorf("partition: reading metadata: %w", err)
+	}
+	if stored, computed := le.Uint32(meta[metaSize-4:]), crc32.ChecksumIEEE(meta[:metaSize-4]); stored != computed {
+		return nil, fmt.Errorf("partition: metadata checksum mismatch: stored %08x computed %08x", stored, computed)
+	}
+	selfContained := make([]bool, p)
+	for c := 0; c < p; c++ {
+		selfContained[c] = meta[c]&1 != 0
+	}
+	mb := meta[p:]
+	cellOf := make([]int32, n)
+	for v := range cellOf {
+		c := le.Uint32(mb[v*4:])
+		if int(c) >= p {
+			return nil, fmt.Errorf("partition: vertex %d labeled with cell %d of %d", v, c, p)
+		}
+		cellOf[v] = int32(c)
+	}
+	mb = mb[n*4:]
+	cl := &Closure{D: make([]float64, nb*nb), Hop: make([]int32, nb*nb)}
+	for i := range cl.D {
+		d := math.Float64frombits(le.Uint64(mb[i*8:]))
+		if math.IsNaN(d) || d < 0 {
+			return nil, fmt.Errorf("partition: invalid closure distance %v", d)
+		}
+		cl.D[i] = d
+	}
+	mb = mb[nb*nb*8:]
+	for i := range cl.Hop {
+		h := le.Uint32(mb[i*4:])
+		if int(h) >= nb {
+			return nil, fmt.Errorf("partition: closure hop %d out of %d rows", h, nb)
+		}
+		cl.Hop[i] = int32(h)
+	}
+
+	asn, err := assignmentFromCellOf(g, cellOf, p)
+	if err != nil {
+		return nil, err
+	}
+	b, rowOf, cellStart := boundaryRows(g, asn)
+	if len(b) != nb {
+		return nil, fmt.Errorf("partition: index records %d boundary vertices, network derives %d", nb, len(b))
+	}
+	cl.B, cl.RowOf, cl.CellStart = b, rowOf, cellStart
+
+	tab := make([]byte, int64(p)*24+4)
+	if _, err := ra.ReadAt(tab, cellTabOff); err != nil {
+		return nil, fmt.Errorf("partition: reading cell table: %w", err)
+	}
+	if stored, computed := le.Uint32(tab[p*24:]), crc32.ChecksumIEEE(tab[:p*24]); stored != computed {
+		return nil, fmt.Errorf("partition: cell table checksum mismatch: stored %08x computed %08x", stored, computed)
+	}
+
+	// One pool for the whole database: block pages of every cell plus the
+	// modeled adjacency pages of the global network.
+	degrees := make([]int, n)
+	for v := 0; v < n; v++ {
+		degrees[v] = g.Degree(graph.VertexID(v))
+	}
+	offs := make([]int64, p)
+	sizes := make([]int64, p)
+	bases := make([]int64, p)
+	for c := 0; c < p; c++ {
+		offs[c] = int64(le.Uint64(tab[c*24:]))
+		sizes[c] = int64(le.Uint64(tab[c*24+8:]))
+		bases[c] = int64(le.Uint64(tab[c*24+16:]))
+		if offs[c] < cellTabOff || sizes[c] <= 0 || offs[c]+sizes[c] > fileSize {
+			return nil, fmt.Errorf("partition: cell %d image [%d, +%d) out of file bounds", c, offs[c], sizes[c])
+		}
+	}
+
+	// First open every cell store (page counts come from the images), then
+	// size the shared pool.
+	adjPages := diskio.NewLayout(degrees, diskio.AdjacencyEntrySize, diskio.DefaultPageSize).TotalPages()
+	pager := store.NewPager(nil) // pool installed below, before any touch
+	cells := make([]*cell, p)
+	stores := make([]*store.Store, p)
+	var totalBlockPages int64
+	for c := 0; c < p; c++ {
+		sub, err := subnetwork(g, asn, c)
+		if err != nil {
+			return nil, fmt.Errorf("partition: cell %d subnetwork: %w", c, err)
+		}
+		st, err := store.Open(io.NewSectionReader(ra, offs[c], sizes[c]), sizes[c], store.OpenOptions{
+			Pager:    pager,
+			PageBase: diskio.PageID(bases[c]),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("partition: cell %d store: %w", c, err)
+		}
+		if bases[c] != totalBlockPages {
+			return nil, fmt.Errorf("partition: cell %d page base %d, want %d", c, bases[c], totalBlockPages)
+		}
+		totalBlockPages += st.BlockPages()
+		if st.Graph().NumVertices() != sub.NumVertices() || st.Graph().NumEdges() != sub.NumEdges() {
+			return nil, fmt.Errorf("partition: cell %d embedded network (%d vertices, %d edges) does not match derived subnetwork (%d, %d)",
+				c, st.Graph().NumVertices(), st.Graph().NumEdges(), sub.NumVertices(), sub.NumEdges())
+		}
+		stores[c] = st
+		cells[c] = &cell{id: int32(c), sub: sub, toGlobal: asn.Verts[c]}
+	}
+	fraction := opt.CacheFraction
+	if fraction <= 0 {
+		fraction = 0.05
+	}
+	capacity := opt.CachePages
+	if capacity <= 0 {
+		capacity = int(float64(totalBlockPages+adjPages) * fraction)
+	}
+	pager.SetPool(diskio.NewPool(capacity, diskio.DefaultPoolShards))
+	tracker := diskio.NewStoreTracker(totalBlockPages, degrees, pager.Pool(), opt.MissLatency)
+	tracker.SetEvictionHandler(pager.Evict)
+	for c := 0; c < p; c++ {
+		st := stores[c]
+		total, minB, maxB := st.BlockStats()
+		cells[c].ix = core.NewPagedIndex(core.PagedConfig{
+			Graph:   cells[c].sub,
+			Source:  st,
+			Tracker: tracker,
+			Radius:  st.Radius(),
+			Lenient: st.Lenient(),
+			Stats: core.BuildStats{
+				Vertices:    cells[c].sub.NumVertices(),
+				Edges:       cells[c].sub.NumEdges(),
+				TotalBlocks: total,
+				TotalBytes:  total * 16,
+				MinBlocks:   minB,
+				MaxBlocks:   maxB,
+			},
+		})
+	}
+
+	s := &Sharded{g: g, asn: asn, cells: cells, cl: cl, selfContained: selfContained, tracker: tracker, pager: pager}
+	s.stats = s.computeStats()
+	return s, nil
+}

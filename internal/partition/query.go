@@ -147,9 +147,15 @@ func (s *Sharded) PathCtx(qc *core.QueryContext, u, v graph.VertexID) []graph.Ve
 	}
 	exit := arg[bestEntry-qlo] // own-cell gateway row achieving A[bestEntry]
 	path := s.globalPath(p, s.cells[p].ix.PathCtx(qc, ul, graph.VertexID(s.asn.LocalOf[s.cl.B[exit]])))
+	if qc.Failed() {
+		return nil // storage failure recorded on qc; segments may be empty
+	}
 	path = s.closureWalk(qc, path, exit, bestEntry)
 	entryLocal := graph.VertexID(s.asn.LocalOf[s.cl.B[bestEntry]])
 	suffix := s.globalPath(q, s.cells[q].ix.PathCtx(qc, entryLocal, vl))
+	if qc.Failed() || len(suffix) == 0 {
+		return nil
+	}
 	return append(path, suffix[1:]...)
 }
 
@@ -171,6 +177,12 @@ func (s *Sharded) closureWalk(qc *core.QueryContext, path []graph.VertexID, from
 			// has exactly the segment's cost.
 			seg := s.globalPath(c, s.cells[c].ix.PathCtx(qc,
 				graph.VertexID(s.asn.LocalOf[cv]), graph.VertexID(s.asn.LocalOf[nv])))
+			if len(seg) == 0 {
+				// Storage failure (recorded on qc by the cell index): the
+				// caller bails on qc.Failed; a valid index never yields an
+				// empty intra-cell boundary segment.
+				return path
+			}
 			path = append(path, seg[1:]...)
 		} else {
 			// Different cells: consecutive boundary vertices with no interior

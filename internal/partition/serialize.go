@@ -151,6 +151,11 @@ func Load(r io.Reader, g *graph.Network, opt Options) (*Sharded, error) {
 	if p < 1 || p > n {
 		return nil, fmt.Errorf("partition: invalid partition count %d", p)
 	}
+	// Boundary vertices are network vertices: a corrupt count must fail
+	// here rather than drive the nb^2 closure allocation below.
+	if nb > n {
+		return nil, fmt.Errorf("partition: %d boundary vertices recorded for %d network vertices", nb, n)
+	}
 	selfContained := make([]bool, p)
 	for c := 0; c < p; c++ {
 		var b [1]byte

@@ -7,6 +7,7 @@ import (
 	"silc/internal/core"
 	"silc/internal/diskio"
 	"silc/internal/graph"
+	"silc/internal/store"
 )
 
 // Options configures Build.
@@ -23,6 +24,10 @@ type Options struct {
 	DiskResident bool
 	// CacheFraction sizes the shared LRU pool (default 0.05).
 	CacheFraction float64
+	// CachePages, when positive, overrides CacheFraction with an absolute
+	// page capacity for the paged (OpenPaged) configuration. Tests use it
+	// to force heavy eviction.
+	CachePages int
 	// MissLatency is the modeled cost per page miss (0 = default).
 	MissLatency time.Duration
 }
@@ -76,8 +81,15 @@ type Sharded struct {
 	cl            *Closure
 	selfContained []bool
 	tracker       *diskio.Tracker
-	stats         Stats
+	// pager is set by OpenPaged: the shared real-page pool behind every
+	// cell store, reporting actual read counters.
+	pager *store.Pager
+	stats Stats
 }
+
+// StorePager returns the shared on-disk pager of a paged (OpenPaged) index,
+// nil for in-RAM and modeled configurations.
+func (s *Sharded) StorePager() *store.Pager { return s.pager }
 
 // Build partitions g into opt.Partitions cells, builds one SILC index per
 // cell (each cell runs one Dijkstra per cell vertex over the cell subgraph

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"silc/internal/geom"
+	"silc/internal/quadtree"
+)
+
+// DecodeBlocks decodes one vertex's contiguous run of 16-byte Morton-block
+// entries into quadtree blocks, validating every structural invariant the
+// query path relies on: cell levels within the grid, cell codes aligned to
+// their level, blocks sorted and disjoint, colors inside the vertex's
+// out-degree, and ratio bounds that are ordered and not NaN. It returns the
+// blocks and the minimum LamLo across them (1 for an empty run, matching
+// quadtree.Tree.MinLambda semantics).
+//
+// This is the demand-paging deserializer: a corrupted block page surfaces
+// here as an error, never as a panic or a silently wrong tree.
+func DecodeBlocks(data []byte, deg int) ([]quadtree.Block, float64, error) {
+	if len(data)%entrySize != 0 {
+		return nil, 0, fmt.Errorf("store: block run of %d bytes is not a multiple of %d", len(data), entrySize)
+	}
+	count := len(data) / entrySize
+	blocks := make([]quadtree.Block, count)
+	minLambda := math.Inf(1)
+	le := binary.LittleEndian
+	var prevEnd uint64
+	for i := range blocks {
+		e := data[i*entrySize : (i+1)*entrySize]
+		b := &blocks[i]
+		b.Cell.Code = geom.Code(le.Uint32(e[0:4]))
+		b.Cell.Level = e[4]
+		b.Color = int32(e[5])
+		b.LamLo = math.Float32frombits(le.Uint32(e[8:12]))
+		b.LamHi = math.Float32frombits(le.Uint32(e[12:16]))
+		if b.Cell.Level > geom.MaxLevel {
+			return nil, 0, fmt.Errorf("store: block %d has level %d beyond %d", i, b.Cell.Level, geom.MaxLevel)
+		}
+		if uint64(b.Cell.Code)%b.Cell.Span() != 0 {
+			return nil, 0, fmt.Errorf("store: block %d code %x not aligned to level %d", i, uint64(b.Cell.Code), b.Cell.Level)
+		}
+		if int(b.Color) >= deg {
+			return nil, 0, fmt.Errorf("store: block %d color %d exceeds out-degree %d", i, b.Color, deg)
+		}
+		if uint64(b.Cell.Code) < prevEnd {
+			return nil, 0, fmt.Errorf("store: blocks not sorted/disjoint at %d", i)
+		}
+		prevEnd = uint64(b.Cell.End())
+		lo, hi := float64(b.LamLo), float64(b.LamHi)
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+			return nil, 0, fmt.Errorf("store: block %d has invalid ratio bounds [%v, %v]", i, lo, hi)
+		}
+		if lo < minLambda {
+			minLambda = lo
+		}
+	}
+	if count == 0 {
+		minLambda = 1
+	}
+	return blocks, minLambda, nil
+}

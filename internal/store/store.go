@@ -1,0 +1,442 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"silc/internal/diskio"
+	"silc/internal/graph"
+	"silc/internal/quadtree"
+)
+
+// OpenOptions configures Open.
+type OpenOptions struct {
+	// CacheFraction sizes the private buffer pool as a fraction of the
+	// image's total pages (block pages + modeled adjacency pages); default
+	// 0.05, the paper's setting.
+	CacheFraction float64
+	// CachePages, when positive, overrides CacheFraction with an absolute
+	// page capacity. Tests use it to force heavy eviction.
+	CachePages int
+	// MissLatency is the modeled per-miss latency reported alongside the
+	// measured read time (0 = diskio.DefaultMissLatency).
+	MissLatency time.Duration
+	// Pager shares an externally owned pool across several stores — the
+	// sharded open gives every cell store the same Pager so the cache
+	// fraction stays a property of the whole database. When set, PageBase
+	// is this store's first block-page id in the shared namespace and no
+	// private pool or tracker is created.
+	Pager    *Pager
+	PageBase diskio.PageID
+}
+
+// Pager owns one shared buffer pool and routes eviction feedback to the
+// store owning each page-id range, so evicting a page actually releases the
+// frame and the decoded quadtrees built over it. Register every store
+// (Open does it) before queries start; registration is not synchronized
+// with concurrent touches.
+type Pager struct {
+	pool   *diskio.Pool
+	stores []*Store
+}
+
+// NewPager returns a Pager over pool (which may be nil until SetPool).
+func NewPager(pool *diskio.Pool) *Pager { return &Pager{pool: pool} }
+
+// Pool returns the shared pool.
+func (pg *Pager) Pool() *diskio.Pool { return pg.pool }
+
+// SetPool installs the shared pool. The sharded open sizes the pool only
+// after every cell store is open (capacity depends on their page counts);
+// it must be called before the first query touches any registered store.
+func (pg *Pager) SetPool(pool *diskio.Pool) { pg.pool = pool }
+
+// Evict routes one evicted page id to the store owning it. Ids outside
+// every store's block range (modeled adjacency pages) need no release.
+func (pg *Pager) Evict(id diskio.PageID) {
+	for _, s := range pg.stores {
+		if id >= s.pageBase && id < s.pageBase+diskio.PageID(s.sb.blockPages) {
+			s.dropPage(id - s.pageBase)
+			return
+		}
+	}
+}
+
+// ResetReadStats zeroes the real read counters of every registered store,
+// so a measurement window's actual reads line up with a pool-counter reset.
+func (pg *Pager) ResetReadStats() {
+	for _, s := range pg.stores {
+		s.ResetReadStats()
+	}
+}
+
+// ReadStats sums the real read counters across registered stores.
+func (pg *Pager) ReadStats() ReadStats {
+	var total ReadStats
+	for _, s := range pg.stores {
+		rs := s.ReadStats()
+		total.Reads += rs.Reads
+		total.Bytes += rs.Bytes
+		total.Time += rs.Time
+	}
+	return total
+}
+
+// ReadStats counts the actual disk reads a store performed.
+type ReadStats struct {
+	Reads int64
+	Bytes int64
+	// Time is the wall-clock time spent inside ReadAt — the measured I/O
+	// time reported next to the modeled (misses × latency) one.
+	Time time.Duration
+}
+
+// Store is an open paged index image: the network and extent table resident
+// (O(n+m)), the Morton-block pages demand-paged through the buffer pool.
+// Every pool miss is an actual ReadAt; every eviction releases the page
+// frame and the decoded per-vertex quadtrees overlapping it, so resident
+// memory tracks the pool capacity rather than the index size.
+//
+// A Store is safe for unlimited concurrent readers. The residency invariant
+// — a decoded tree is cached only while all its pages are pool-resident —
+// is maintained exactly under serial access and self-healingly under
+// concurrency (a stale tree is dropped or its pages re-read on the next
+// touch).
+type Store struct {
+	ra       io.ReaderAt
+	closer   io.Closer
+	sb       *superblock
+	g        *graph.Network
+	counts   []uint32
+	layout   *diskio.Layout
+	pageCRCs []uint32
+	pageBase diskio.PageID
+	pager    *Pager
+	tracker  *diskio.Tracker // private-pool opens only; nil under a shared Pager
+
+	mu     sync.RWMutex
+	frames map[diskio.PageID][]byte          // resident raw page bytes, keyed by local page
+	trees  map[graph.VertexID]*quadtree.Tree // decoded trees over resident pages
+
+	reads     atomic.Int64
+	readBytes atomic.Int64
+	readNanos atomic.Int64
+}
+
+// emptyTree is shared by every vertex with no blocks (the degenerate
+// single-vertex cell of a lenient build).
+var emptyTree = &quadtree.Tree{MinLambda: 1}
+
+// Open parses a paged store image from ra, whose total size must be given
+// (files: Stat; embedded sections: the section length). The network,
+// extent table, and page CRC table load eagerly; block pages are read only
+// on demand.
+func Open(ra io.ReaderAt, size int64, opts OpenOptions) (*Store, error) {
+	head, err := readSection(ra, 0, superblockSize)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading superblock: %w", err)
+	}
+	sb, err := decodeSuperblock(head, size)
+	if err != nil {
+		return nil, err
+	}
+	netBuf, err := readSection(ra, sb.netOff, NetworkSectionSize(sb.n, sb.m))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading network section: %w", err)
+	}
+	g, err := DecodeNetworkSection(netBuf, sb.n, sb.m)
+	if err != nil {
+		return nil, err
+	}
+	extBuf, err := readSection(ra, sb.extentOff, extentSectionSize(sb.n))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading extent section: %w", err)
+	}
+	counts, err := decodeExtentSection(extBuf, sb.n, sb.totalBlocks)
+	if err != nil {
+		return nil, err
+	}
+	tabBuf, err := readSection(ra, sb.crcTabOff, sb.blockPages*4+4)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading page CRC table: %w", err)
+	}
+	if stored, computed := leU32(tabBuf[sb.blockPages*4:]), crc32.ChecksumIEEE(tabBuf[:sb.blockPages*4]); stored != computed {
+		return nil, fmt.Errorf("store: page CRC table checksum mismatch: stored %08x computed %08x", stored, computed)
+	}
+	pageCRCs := make([]uint32, sb.blockPages)
+	for i := range pageCRCs {
+		pageCRCs[i] = leU32(tabBuf[i*4:])
+	}
+	intCounts := make([]int, sb.n)
+	for v, c := range counts {
+		intCounts[v] = int(c)
+	}
+	layout := diskio.NewLayout(intCounts, entrySize, sb.pageSize)
+	if layout.TotalPages() != sb.blockPages {
+		return nil, fmt.Errorf("store: layout spans %d pages, superblock records %d", layout.TotalPages(), sb.blockPages)
+	}
+
+	s := &Store{
+		ra:       ra,
+		sb:       sb,
+		g:        g,
+		counts:   counts,
+		layout:   layout,
+		pageCRCs: pageCRCs,
+		frames:   make(map[diskio.PageID][]byte),
+		trees:    make(map[graph.VertexID]*quadtree.Tree),
+	}
+	if opts.Pager != nil {
+		s.pager = opts.Pager
+		s.pageBase = opts.PageBase
+	} else {
+		degrees := make([]int, sb.n)
+		for v := 0; v < sb.n; v++ {
+			degrees[v] = g.Degree(graph.VertexID(v))
+		}
+		adjPages := diskio.NewLayout(degrees, diskio.AdjacencyEntrySize, diskio.DefaultPageSize).TotalPages()
+		capacity := opts.CachePages
+		if capacity <= 0 {
+			fraction := opts.CacheFraction
+			if fraction <= 0 {
+				fraction = 0.05
+			}
+			capacity = int(float64(sb.blockPages+adjPages) * fraction)
+		}
+		pool := diskio.NewPool(capacity, diskio.DefaultPoolShards)
+		s.pager = NewPager(pool)
+		s.tracker = diskio.NewStoreTracker(sb.blockPages, degrees, pool, opts.MissLatency)
+		s.tracker.SetEvictionHandler(s.pager.Evict)
+	}
+	s.pager.stores = append(s.pager.stores, s)
+	return s, nil
+}
+
+// OpenFile opens a paged store file, keeping the file handle for the
+// store's lifetime; Close releases it.
+func OpenFile(path string, opts OpenOptions) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := Open(f, info.Size(), opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// Close releases the underlying file when the store owns one.
+func (s *Store) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// Graph returns the network rebuilt from the image's network section.
+func (s *Store) Graph() *graph.Network { return s.g }
+
+// Radius returns the recorded proximity bound (0 = unbounded).
+func (s *Store) Radius() float64 { return s.sb.radius }
+
+// Lenient reports whether the index was built with AllowUnreachable.
+func (s *Store) Lenient() bool { return s.sb.lenient }
+
+// Tracker returns the store's private tracker (nil when the store shares a
+// Pager owned by someone else).
+func (s *Store) Tracker() *diskio.Tracker { return s.tracker }
+
+// Pager returns the pager routing this store's evictions.
+func (s *Store) Pager() *Pager { return s.pager }
+
+// BlockPages returns the number of demand-paged block pages.
+func (s *Store) BlockPages() int64 { return s.sb.blockPages }
+
+// BlockStats returns the total, minimum, and maximum per-vertex block
+// counts recorded in the extent table.
+func (s *Store) BlockStats() (total int64, minBlocks, maxBlocks int) {
+	minBlocks = int(^uint(0) >> 1)
+	for _, c := range s.counts {
+		if int(c) < minBlocks {
+			minBlocks = int(c)
+		}
+		if int(c) > maxBlocks {
+			maxBlocks = int(c)
+		}
+		total += int64(c)
+	}
+	return total, minBlocks, maxBlocks
+}
+
+// BlockCount implements core.TreeSource.
+func (s *Store) BlockCount(v graph.VertexID) int { return int(s.counts[v]) }
+
+// ResidentPages returns the number of page frames currently held in
+// memory — bounded by the pool capacity (plus transient staleness under
+// concurrency).
+func (s *Store) ResidentPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.frames)
+}
+
+// ResidentTrees returns the number of decoded per-vertex quadtrees
+// currently cached.
+func (s *Store) ResidentTrees() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.trees)
+}
+
+// ResetReadStats zeroes the actual read counters (cache contents stay).
+func (s *Store) ResetReadStats() {
+	s.reads.Store(0)
+	s.readBytes.Store(0)
+	s.readNanos.Store(0)
+}
+
+// ReadStats returns the actual read counters.
+func (s *Store) ReadStats() ReadStats {
+	return ReadStats{
+		Reads: s.reads.Load(),
+		Bytes: s.readBytes.Load(),
+		Time:  time.Duration(s.readNanos.Load()),
+	}
+}
+
+// Tree implements core.TreeSource: it returns v's shortest-path quadtree,
+// materializing it from disk on first touch. Page traffic is charged to the
+// shared pool and to ioStats (nil = untracked); misses perform real reads.
+func (s *Store) Tree(ioStats *diskio.Stats, v graph.VertexID) (*quadtree.Tree, error) {
+	if s.counts[v] == 0 {
+		return emptyTree, nil
+	}
+	first, last, _ := s.layout.OwnerPages(int(v))
+	s.mu.RLock()
+	t := s.trees[v]
+	s.mu.RUnlock()
+	if t != nil {
+		// Cached: touch the pages for LRU recency and accounting. A miss
+		// here means another load (or an adjacency touch) evicted one of
+		// our pages moments ago; the touch re-reads it and heals.
+		for p := first; p <= last; p++ {
+			if _, err := s.touch(p, ioStats, false); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+	// Load: touch every page of v's run, reading missed ones, then gather
+	// the entry bytes and decode.
+	bufs := make([][]byte, last-first+1)
+	for p := first; p <= last; p++ {
+		b, err := s.touch(p, ioStats, true)
+		if err != nil {
+			return nil, err
+		}
+		bufs[p-first] = b
+	}
+	lo, hi := s.layout.EntryRange(int(v))
+	epp := int64(s.layout.EntriesPerPage())
+	run := make([]byte, 0, (hi-lo)*entrySize)
+	for i := lo; i < hi; {
+		page := i / epp
+		end := (page + 1) * epp
+		if end > hi {
+			end = hi
+		}
+		buf := bufs[page-int64(first)]
+		run = append(run, buf[(i%epp)*entrySize:(i%epp+end-i)*entrySize]...)
+		i = end
+	}
+	blocks, minLambda, err := DecodeBlocks(run, s.g.Degree(v))
+	if err != nil {
+		return nil, fmt.Errorf("store: vertex %d: %w", v, err)
+	}
+	t = &quadtree.Tree{Blocks: blocks, MinLambda: minLambda}
+	s.mu.Lock()
+	s.trees[v] = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// touch charges local page p to the pool, processes eviction feedback, and
+// — on a miss, or when the caller needs the bytes — ensures the page frame
+// is resident, reading it from disk as required. Returns the frame bytes
+// when want is true.
+func (s *Store) touch(p diskio.PageID, ioStats *diskio.Stats, want bool) ([]byte, error) {
+	hit, evicted, hasEvict := s.pager.pool.TouchEvict(s.pageBase+p, ioStats)
+	if hasEvict {
+		s.pager.Evict(evicted)
+	}
+	if hit {
+		if !want {
+			return nil, nil
+		}
+		s.mu.RLock()
+		b := s.frames[p]
+		s.mu.RUnlock()
+		if b != nil {
+			return b, nil
+		}
+		// Frame lost to a concurrent eviction between the pool touch and
+		// here — fall through to a real read.
+	}
+	b, err := s.readPage(p)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.frames[p] = b
+	s.mu.Unlock()
+	if !want {
+		return nil, nil
+	}
+	return b, nil
+}
+
+// readPage performs the actual disk read of one block page and verifies its
+// checksum.
+func (s *Store) readPage(p diskio.PageID) ([]byte, error) {
+	buf := make([]byte, s.sb.pageSize)
+	start := time.Now()
+	if _, err := s.ra.ReadAt(buf, s.sb.blockOff+int64(p)*int64(s.sb.pageSize)); err != nil {
+		return nil, fmt.Errorf("store: reading block page %d: %w", p, err)
+	}
+	s.readNanos.Add(time.Since(start).Nanoseconds())
+	s.reads.Add(1)
+	s.readBytes.Add(int64(s.sb.pageSize))
+	if sum := crc32.ChecksumIEEE(buf); sum != s.pageCRCs[p] {
+		return nil, fmt.Errorf("store: block page %d checksum mismatch: stored %08x computed %08x", p, s.pageCRCs[p], sum)
+	}
+	return buf, nil
+}
+
+// dropPage releases the frame of local page p and every decoded tree whose
+// run overlaps it — the real-memory counterpart of a pool eviction.
+func (s *Store) dropPage(p diskio.PageID) {
+	lo, hi := s.layout.OwnerRange(p)
+	s.mu.Lock()
+	delete(s.frames, p)
+	for v := lo; v < hi; v++ {
+		delete(s.trees, graph.VertexID(v))
+	}
+	s.mu.Unlock()
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"silc/internal/graph"
+	"silc/internal/quadtree"
+)
+
+// Source describes a built index to be serialized as a paged store image.
+// Tree is called once per vertex, in vertex order.
+type Source struct {
+	Graph   *graph.Network
+	Radius  float64
+	Lenient bool
+	Tree    func(v graph.VertexID) *quadtree.Tree
+}
+
+// Write serializes a paged store image to w in a single streaming pass
+// (every section offset is computable from the per-vertex block counts
+// alone, so no seeking is required). It returns the image size in bytes.
+func Write(w io.Writer, src Source) (int64, error) {
+	g := src.Graph
+	n, m := g.NumVertices(), g.NumEdges()
+	counts := make([]uint32, n)
+	var totalBlocks int64
+	for v := 0; v < n; v++ {
+		nb := src.Tree(graph.VertexID(v)).NumBlocks()
+		counts[v] = uint32(nb)
+		totalBlocks += int64(nb)
+	}
+	epp := int64(PageSize / entrySize)
+	sb := &superblock{
+		pageSize:    PageSize,
+		lenient:     src.Lenient,
+		n:           n,
+		m:           m,
+		radius:      src.Radius,
+		totalBlocks: totalBlocks,
+		netOff:      superblockSize,
+	}
+	sb.extentOff = sb.netOff + NetworkSectionSize(n, m)
+	sb.blockOff = Align(sb.extentOff+extentSectionSize(n), PageSize)
+	sb.blockPages = (totalBlocks + epp - 1) / epp
+	sb.crcTabOff = sb.blockOff + sb.blockPages*PageSize
+	sb.imageSize = sb.crcTabOff + sb.blockPages*4 + 4
+
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	for _, section := range [][]byte{
+		sb.encode(),
+		EncodeNetworkSection(g),
+		encodeExtentSection(counts),
+	} {
+		if _, err := cw.Write(section); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := padTo(cw, sb.blockOff); err != nil {
+		return cw.n, err
+	}
+
+	// Block pages: 16-byte entries densely packed vertex-major, one CRC
+	// accumulated per completed page.
+	pageCRCs := make([]uint32, 0, sb.blockPages)
+	page := make([]byte, 0, PageSize)
+	flushPage := func() error {
+		page = page[:PageSize] // zero-pad the partial tail
+		pageCRCs = append(pageCRCs, crc32.ChecksumIEEE(page))
+		if _, err := cw.Write(page); err != nil {
+			return err
+		}
+		page = page[:0]
+		return nil
+	}
+	var entry [entrySize]byte
+	le := binary.LittleEndian
+	for v := 0; v < n; v++ {
+		for _, b := range src.Tree(graph.VertexID(v)).Blocks {
+			if b.Color < 0 || b.Color > 255 {
+				return cw.n, fmt.Errorf("store: vertex %d color %d exceeds the disk format's 8-bit width", v, b.Color)
+			}
+			le.PutUint32(entry[0:4], uint32(b.Cell.Code))
+			entry[4] = b.Cell.Level
+			entry[5] = byte(b.Color)
+			entry[6], entry[7] = 0, 0
+			le.PutUint32(entry[8:12], math.Float32bits(b.LamLo))
+			le.PutUint32(entry[12:16], math.Float32bits(b.LamHi))
+			page = append(page, entry[:]...)
+			if len(page) == PageSize {
+				if err := flushPage(); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	if len(page) > 0 {
+		if err := flushPage(); err != nil {
+			return cw.n, err
+		}
+	}
+	if int64(len(pageCRCs)) != sb.blockPages {
+		return cw.n, fmt.Errorf("store: wrote %d block pages, layout predicts %d", len(pageCRCs), sb.blockPages)
+	}
+
+	// Trailing page CRC table plus its own CRC.
+	tab := make([]byte, sb.blockPages*4+4)
+	for i, c := range pageCRCs {
+		le.PutUint32(tab[i*4:], c)
+	}
+	le.PutUint32(tab[sb.blockPages*4:], crc32.ChecksumIEEE(tab[:sb.blockPages*4]))
+	if _, err := cw.Write(tab); err != nil {
+		return cw.n, err
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	if cw.n != sb.imageSize {
+		return cw.n, fmt.Errorf("store: wrote %d bytes, layout predicts %d (format drift)", cw.n, sb.imageSize)
+	}
+	return cw.n, nil
+}
+
+// ImageSize predicts the byte size of the paged image Write would produce,
+// without writing it. The sharded writer uses it to lay out cell sections
+// up front.
+func ImageSize(n, m int, totalBlocks int64) int64 {
+	epp := int64(PageSize / entrySize)
+	blockOff := Align(superblockSize+NetworkSectionSize(n, m)+extentSectionSize(n), PageSize)
+	blockPages := (totalBlocks + epp - 1) / epp
+	return blockOff + blockPages*PageSize + blockPages*4 + 4
+}
+
+// BlockPages returns the number of demand-paged block pages the image for
+// totalBlocks entries occupies.
+func BlockPages(totalBlocks int64) int64 {
+	epp := int64(PageSize / entrySize)
+	return (totalBlocks + epp - 1) / epp
+}
+
+func padTo(cw *countingWriter, off int64) error {
+	if cw.n > off {
+		return fmt.Errorf("store: overran section boundary %d (at %d)", off, cw.n)
+	}
+	pad := make([]byte, off-cw.n)
+	_, err := cw.Write(pad)
+	return err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

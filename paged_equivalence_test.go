@@ -1,0 +1,243 @@
+package silc_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"silc"
+)
+
+// The equivalence property: the in-RAM Index, the demand-paged PagedIndex
+// (pool squeezed to ~1% to force heavy eviction), and the ShardedIndex (in
+// RAM and paged) must answer identical KNN, range, and Browser queries on
+// every network family. Run under -race in CI, with a concurrent phase
+// hammering the shared pool from many goroutines.
+
+type equivEngine struct {
+	name string
+	eng  *silc.Engine
+}
+
+// buildEquivEngines assembles the four engines over one network, the paged
+// ones reading real pages through a deliberately tiny pool.
+func buildEquivEngines(t *testing.T, net *silc.Network) []equivEngine {
+	t.Helper()
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg bytes.Buffer
+	if _, err := ix.WritePaged(&pg); err != nil {
+		t.Fatal(err)
+	}
+	paged, err := silc.OpenIndexAt(bytes.NewReader(pg.Bytes()), int64(pg.Len()), silc.BuildOptions{CacheFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spg bytes.Buffer
+	if _, err := sx.WritePaged(&spg); err != nil {
+		t.Fatal(err)
+	}
+	pagedShard, err := silc.OpenShardedIndexAt(bytes.NewReader(spg.Bytes()), int64(spg.Len()), silc.ShardedBuildOptions{CacheFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []equivEngine{
+		{"in-RAM", ix.Engine()},
+		{"paged", paged.Engine()},
+		{"sharded", sx.Engine()},
+		{"sharded-paged", pagedShard.Engine()},
+	}
+}
+
+func equivNetworks(t *testing.T) map[string]*silc.Network {
+	t.Helper()
+	road, err := silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: 13, Cols: 13, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := silc.GenerateGrid(11, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := silc.GenerateRingRadial(5, 14, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*silc.Network{"road": road, "grid": grid, "ring": ring}
+}
+
+// queryAll runs one query mix against an engine and returns a canonical
+// result transcript for comparison.
+func queryAll(t testing.TB, eng *silc.Engine, objs *silc.ObjectSet, q silc.VertexID) string {
+	t.Helper()
+	ctx := context.Background()
+	var out []string
+
+	res, err := eng.Query(ctx, objs, q, 5, silc.WithExactDistances())
+	if err != nil {
+		t.Fatalf("knn(%d): %v", q, err)
+	}
+	for _, n := range res.Neighbors {
+		out = append(out, fmt.Sprintf("knn %.9f", n.Dist))
+	}
+
+	rng, err := eng.WithinDistance(ctx, objs, q, 0.35, silc.WithExactDistances())
+	if err != nil {
+		t.Fatalf("range(%d): %v", q, err)
+	}
+	dists := make([]float64, 0, len(rng.Neighbors))
+	for _, n := range rng.Neighbors {
+		dists = append(dists, n.Dist)
+	}
+	sort.Float64s(dists)
+	for _, d := range dists {
+		out = append(out, fmt.Sprintf("rng %.9f", d))
+	}
+
+	count := 0
+	for n, err := range eng.Neighbors(ctx, objs, q) {
+		if err != nil {
+			t.Fatalf("browse(%d): %v", q, err)
+		}
+		out = append(out, fmt.Sprintf("brw %.9f", n.Dist))
+		if count++; count == 6 {
+			break
+		}
+	}
+	s := ""
+	for _, line := range out {
+		s += line + "\n"
+	}
+	return s
+}
+
+// roundTranscript canonicalizes float noise across engines: distances are
+// printed to 9 decimals, which is far below any legitimate difference and
+// far above cross-engine rounding (closure sums vs refiner sums).
+func TestEquivalenceAcrossBackends(t *testing.T) {
+	for name, net := range equivNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			engines := buildEquivEngines(t, net)
+			n := net.NumVertices()
+			var objVerts []silc.VertexID
+			for v := 0; v < n; v += 4 {
+				objVerts = append(objVerts, silc.VertexID(v))
+			}
+
+			queries := []silc.VertexID{0, silc.VertexID(n / 3), silc.VertexID(n / 2), silc.VertexID(n - 1)}
+			for _, q := range queries {
+				var ref string
+				for i, ee := range engines {
+					objs, err := silc.NewObjectSet(ee.eng.Network(), objVerts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := queryAll(t, ee.eng, objs, q)
+					if i == 0 {
+						ref = got
+						continue
+					}
+					if got != ref {
+						t.Fatalf("%s: query %d transcript diverges from in-RAM:\n--- in-RAM\n%s--- %s\n%s",
+							ee.name, q, ref, ee.name, got)
+					}
+				}
+			}
+
+			// The paged engines must have actually paged: real reads
+			// happened and the working set exceeded the squeezed pool.
+			for _, ee := range engines {
+				if ee.name != "paged" && ee.name != "sharded-paged" {
+					continue
+				}
+				io := ee.eng.IOStats()
+				if io.PageReads == 0 {
+					t.Fatalf("%s: no actual page reads", ee.name)
+				}
+				if io.PageMisses == 0 || io.PageHits == 0 {
+					t.Fatalf("%s: implausible pool traffic %+v", ee.name, io)
+				}
+			}
+		})
+	}
+}
+
+// TestEquivalenceConcurrent hammers all four backends from many goroutines
+// over the 1%-sized shared pools — the race-detector workout for the store
+// (frame cache, tree cache, eviction routing) and the pool.
+func TestEquivalenceConcurrent(t *testing.T) {
+	net, err := silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: 12, Cols: 12, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := buildEquivEngines(t, net)
+	n := net.NumVertices()
+	var objVerts []silc.VertexID
+	for v := 0; v < n; v += 3 {
+		objVerts = append(objVerts, silc.VertexID(v))
+	}
+
+	const workers = 8
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(engines))
+	for w := 0; w < workers; w++ {
+		for _, ee := range engines {
+			wg.Add(1)
+			go func(w int, ee equivEngine) {
+				defer wg.Done()
+				objs, err := silc.NewObjectSet(ee.eng.Network(), objVerts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := 0; i < 12; i++ {
+					q := silc.VertexID((w*131 + i*17) % n)
+					res, err := ee.eng.Query(ctx, objs, q, 4, silc.WithExactDistances())
+					if err != nil {
+						errs <- fmt.Errorf("%s: %w", ee.name, err)
+						return
+					}
+					for j := 1; j < len(res.Neighbors); j++ {
+						if res.Neighbors[j].Dist < res.Neighbors[j-1].Dist-1e-12 {
+							errs <- fmt.Errorf("%s: unsorted result at query %d", ee.name, q)
+							return
+						}
+					}
+				}
+			}(w, ee)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Cross-check a few distances serially after the storm.
+	for _, ee := range engines[1:] {
+		for q := 0; q < n; q += 7 {
+			want, err := engines[0].eng.Distance(ctx, silc.VertexID(q), silc.VertexID(n-1-q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ee.eng.Distance(ctx, silc.VertexID(q), silc.VertexID(n-1-q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(want-got) > 1e-9 {
+				t.Fatalf("%s: distance %d: %v vs %v", ee.name, q, got, want)
+			}
+		}
+	}
+}

@@ -2,10 +2,15 @@ package silc
 
 import (
 	"bufio"
+	"errors"
+	"fmt"
 	"io"
+	"io/fs"
+	"os"
 	"time"
 
 	"silc/internal/partition"
+	"silc/internal/store"
 )
 
 // ShardedBuildOptions configures BuildShardedIndex.
@@ -43,16 +48,26 @@ type ShardedStats = partition.Stats
 // concurrent readers. The query methods on ShardedIndex itself are thin
 // deprecated shims kept for pre-Engine callers.
 type ShardedIndex struct {
-	net *Network
-	sx  *partition.Sharded
-	eng *Engine
+	net    *Network
+	sx     *partition.Sharded
+	eng    *Engine
+	closer io.Closer // file behind a disk-backed sharded index; nil in-RAM
 }
 
 // newShardedIndex wires a built partition index to its unified query engine.
 func newShardedIndex(net *Network, sx *partition.Sharded) *ShardedIndex {
 	ix := &ShardedIndex{net: net, sx: sx}
-	ix.eng = &Engine{net: net, qx: sx, shard: ix}
+	ix.eng = &Engine{net: net, qx: sx, shard: ix, pager: sx.StorePager()}
 	return ix
+}
+
+// Close releases the file behind a disk-backed sharded index (no-op
+// otherwise). Queries must not run concurrently with or after Close.
+func (sx *ShardedIndex) Close() error {
+	if sx.closer != nil {
+		return sx.closer.Close()
+	}
+	return nil
 }
 
 // Engine returns the unified context-aware query handle over this sharded
@@ -67,6 +82,70 @@ func shardedOptions(opts ShardedBuildOptions) partition.Options {
 		CacheFraction: opts.CacheFraction,
 		MissLatency:   opts.MissLatency,
 	}
+}
+
+// WritePaged serializes the sharded index in the page-aligned on-disk
+// format (conventionally *.silcspg): the global network and partition
+// metadata embedded, plus one complete paged store image per cell that
+// OpenShardedIndex reads back on demand through one shared buffer pool.
+func (sx *ShardedIndex) WritePaged(w io.Writer) (int64, error) { return sx.sx.WritePaged(w) }
+
+// WriteFile writes the paged on-disk format to path (fsynced).
+func (sx *ShardedIndex) WriteFile(path string) error {
+	return writeFileSynced(path, sx.WritePaged)
+}
+
+// writeFileSynced writes one serialization to path, fsyncing before close
+// so a crash cannot leave a torn file behind a successful return.
+func writeFileSynced(path string, write func(io.Writer) (int64, error)) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenShardedIndex opens a sharded paged file (ShardedIndex.WriteFile or
+// silcbuild -format=paged -partitions N). The file is self-contained; each
+// cell opens its own on-disk store and all cells share one buffer pool
+// sized by opts.CacheFraction of the whole database. Close the returned
+// index to release the file.
+func OpenShardedIndex(path string, opts ShardedBuildOptions) (*ShardedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sx, err := partition.OpenPaged(f, info.Size(), shardedOptions(opts))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	ix := newShardedIndex(&Network{g: sx.Network()}, sx)
+	ix.closer = f
+	return ix, nil
+}
+
+// OpenShardedIndexAt is OpenShardedIndex over an arbitrary ReaderAt; the
+// caller owns ra's lifetime.
+func OpenShardedIndexAt(ra io.ReaderAt, size int64, opts ShardedBuildOptions) (*ShardedIndex, error) {
+	sx, err := partition.OpenPaged(ra, size, shardedOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return newShardedIndex(&Network{g: sx.Network()}, sx), nil
 }
 
 // BuildShardedIndex partitions net into opts.Partitions spatial cells
@@ -195,17 +274,53 @@ func (sx *ShardedIndex) IOStats() IOStats { return sx.eng.IOStats() }
 // warm.
 func (sx *ShardedIndex) ResetIOStats() { sx.eng.ResetIOStats() }
 
-// LoadEngine sniffs the index file format and loads either a monolithic
-// Index or a ShardedIndex, returning its unified query Engine — the loader
-// the CLI tools use so one -index flag accepts both formats. The concrete
-// index is reachable through Engine.Monolithic / Engine.Sharded.
+// LoadEngine sniffs the index file format and loads any of the four index
+// formats — legacy monolithic (SILCIDX1), legacy sharded (SILCSHD1), paged
+// monolithic (SILCPG1), paged sharded (SILCSPG1) — returning its unified
+// query Engine; this is the loader the CLI tools use so one -index flag
+// accepts every format. The concrete index is reachable through
+// Engine.Monolithic / Engine.Sharded.
+//
+// The paged formats are self-contained (the network is embedded), demand-
+// paged, and require r to be an io.ReaderAt with a known size (*os.File,
+// *bytes.Reader); the reader must stay open for the engine's lifetime.
+// When net is non-nil it is cross-checked against the embedded network.
+// The legacy formats load fully into memory and require net.
 func LoadEngine(r io.Reader, net *Network, opts BuildOptions) (*Engine, error) {
 	br := bufio.NewReader(r)
-	magic, err := br.Peek(len(partition.MagicString))
+	magic, err := br.Peek(8)
 	if err != nil {
 		return nil, err
 	}
-	if string(magic) == partition.MagicString {
+	switch string(magic) {
+	case store.MagicString, store.ShardedMagicString:
+		ra, size, err := readerAtSize(r)
+		if err != nil {
+			return nil, err
+		}
+		var eng *Engine
+		if string(magic) == store.MagicString {
+			ix, err := OpenIndexAt(ra, size, opts)
+			if err != nil {
+				return nil, err
+			}
+			eng = ix.Engine()
+		} else {
+			sx, err := OpenShardedIndexAt(ra, size, ShardedBuildOptions{
+				CacheFraction: opts.CacheFraction,
+				MissLatency:   opts.MissLatency,
+			})
+			if err != nil {
+				return nil, err
+			}
+			eng = sx.Engine()
+		}
+		if net != nil && (net.NumVertices() != eng.Network().NumVertices() || net.NumEdges() != eng.Network().NumEdges()) {
+			return nil, fmt.Errorf("silc: paged index embeds a %d-vertex network, supplied network has %d",
+				eng.Network().NumVertices(), net.NumVertices())
+		}
+		return eng, nil
+	case partition.MagicString:
 		sx, err := LoadShardedIndex(br, net, ShardedBuildOptions{
 			Parallelism:   opts.Parallelism,
 			DiskResident:  opts.DiskResident,
@@ -222,4 +337,72 @@ func LoadEngine(r io.Reader, net *Network, opts BuildOptions) (*Engine, error) {
 		return nil, err
 	}
 	return ix.Engine(), nil
+}
+
+// readerAtSize extracts random access plus a total size from a sequential
+// reader — satisfied by *os.File and *bytes.Reader, the two ways paged
+// indexes are actually opened.
+func readerAtSize(r io.Reader) (io.ReaderAt, int64, error) {
+	ra, ok := r.(io.ReaderAt)
+	if !ok {
+		return nil, 0, errors.New("silc: paged index formats need an io.ReaderAt (open the file with OpenEngine, OpenIndex, or OpenShardedIndex)")
+	}
+	switch s := r.(type) {
+	case interface{ Stat() (fs.FileInfo, error) }:
+		info, err := s.Stat()
+		if err != nil {
+			return nil, 0, err
+		}
+		return ra, info.Size(), nil
+	case interface{ Size() int64 }:
+		return ra, s.Size(), nil
+	}
+	return nil, 0, errors.New("silc: cannot determine the paged index size (reader has neither Stat nor Size)")
+}
+
+// OpenEngine opens an index file by path, sniffing its format: the paged
+// formats open demand-paged and self-contained (net may be nil), the
+// legacy formats load fully and require net. The returned engine owns the
+// file; Engine.Close releases it.
+func OpenEngine(path string, net *Network, opts BuildOptions) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	switch string(magic[:]) {
+	case store.MagicString, store.ShardedMagicString:
+		eng, err := LoadEngine(f, net, opts)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// The engine reads pages from f for its whole lifetime.
+		switch {
+		case eng.mono != nil:
+			eng.mono.closer = f
+		case eng.shard != nil:
+			eng.shard.closer = f
+		}
+		return eng, nil
+	default:
+		if net == nil {
+			f.Close()
+			return nil, fmt.Errorf("silc: index %s is a legacy format, which does not embed the network — supply one", path)
+		}
+		eng, err := LoadEngine(f, net, opts)
+		f.Close() // legacy formats are fully loaded
+		if err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
 }
