@@ -1,0 +1,302 @@
+package silc
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"silc/internal/oracle"
+)
+
+// Steady-state allocation budgets for the Engine query surface, in
+// allocations per operation with a warm query-context pool. The hot path is
+// designed to be allocation-free; what remains is the result materialization
+// the API contract requires (the raw neighbor slice drained from the search
+// arena plus the public copy convertResult hands the caller — pooling those
+// would let a query scribble over a result the caller still holds).
+//
+// These are regression budgets, not targets: a change that pushes any
+// steady-state query over its budget reintroduced per-query garbage and
+// should be fixed, not accommodated by raising the constant.
+const (
+	// budgetKNNAllocs bounds Engine.Query (KNN, k=10, warm pool): the
+	// drained neighbor slice + the public result copy.
+	budgetKNNAllocs = 8
+	// budgetRangeAllocs bounds Engine.WithinDistance on a radius returning
+	// a handful of objects; same two result slices.
+	budgetRangeAllocs = 8
+	// budgetNeighborsAllocs bounds a full Engine.Neighbors stream of 10
+	// objects: the iterator closures and the browser cursor are per-stream
+	// (not per-element) costs, so the stream fits the same budget as a
+	// one-shot query.
+	budgetNeighborsAllocs = 8
+)
+
+// allocEngine is one backend variant under the allocation budget.
+type allocEngine struct {
+	name string
+	eng  *Engine
+}
+
+// allocEngines builds the three Engine variants the budgets cover:
+// monolithic in-RAM, sharded, and disk-paged with a pool large enough that
+// the steady state never evicts (the warm-pool regime — cold loads real-read
+// and decode, which legitimately allocates).
+func allocEngines(t testing.TB, net *Network) []allocEngine {
+	t.Helper()
+	ix, err := BuildIndex(net, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := BuildShardedIndex(net, ShardedBuildOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg bytes.Buffer
+	if _, err := ix.WritePaged(&pg); err != nil {
+		t.Fatal(err)
+	}
+	paged, err := OpenIndexAt(bytes.NewReader(pg.Bytes()), int64(pg.Len()), BuildOptions{CacheFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []allocEngine{
+		{"monolithic", ix.Engine()},
+		{"sharded", sx.Engine()},
+		{"paged-warm", paged.Engine()},
+	}
+}
+
+func allocFixture(t testing.TB) (*Network, *ObjectSet, []VertexID, []VertexID) {
+	t.Helper()
+	net := testNetwork(t)
+	rng := rand.New(rand.NewSource(53))
+	perm := rng.Perm(net.NumVertices())
+	vertices := make([]VertexID, 30)
+	for i := range vertices {
+		vertices[i] = VertexID(perm[i])
+	}
+	queries := make([]VertexID, 8)
+	for i := range queries {
+		queries[i] = VertexID(rng.Intn(net.NumVertices()))
+	}
+	return net, mustObjects(t, net, vertices), vertices, queries
+}
+
+// measureAllocs warms the path, then measures steady-state allocations.
+func measureAllocs(f func()) float64 {
+	for i := 0; i < 5; i++ {
+		f() // warm the context pool, scratch arenas, and page cache
+	}
+	return testing.AllocsPerRun(50, f)
+}
+
+// TestAllocBudgetKNN enforces the tentpole property: warm Engine.Query
+// (KNN, k=10) stays within budgetKNNAllocs on every backend variant.
+func TestAllocBudgetKNN(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	net, objs, _, queries := allocFixture(t)
+	ctx := context.Background()
+	q := queries[0]
+	for _, ae := range allocEngines(t, net) {
+		t.Run(ae.name, func(t *testing.T) {
+			got := measureAllocs(func() {
+				if _, err := ae.eng.Query(ctx, objs, q, 10); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("%s: %.1f allocs/op (budget %d)", ae.name, got, budgetKNNAllocs)
+			if got > budgetKNNAllocs {
+				t.Fatalf("steady-state KNN k=10 allocates %.1f/op, budget %d", got, budgetKNNAllocs)
+			}
+		})
+	}
+}
+
+// TestAllocBudgetRange enforces the same property for the range query.
+func TestAllocBudgetRange(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	net, objs, _, queries := allocFixture(t)
+	ctx := context.Background()
+	q := queries[1]
+	for _, ae := range allocEngines(t, net) {
+		t.Run(ae.name, func(t *testing.T) {
+			got := measureAllocs(func() {
+				if _, err := ae.eng.WithinDistance(ctx, objs, q, 0.25); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("%s: %.1f allocs/op (budget %d)", ae.name, got, budgetRangeAllocs)
+			if got > budgetRangeAllocs {
+				t.Fatalf("steady-state range allocates %.1f/op, budget %d", got, budgetRangeAllocs)
+			}
+		})
+	}
+}
+
+// TestAllocBudgetNeighbors enforces the budget for a 10-element incremental
+// browsing stream; the whole stream is one operation.
+func TestAllocBudgetNeighbors(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	net, objs, _, queries := allocFixture(t)
+	ctx := context.Background()
+	q := queries[2]
+	for _, ae := range allocEngines(t, net) {
+		t.Run(ae.name, func(t *testing.T) {
+			got := measureAllocs(func() {
+				count := 0
+				for _, err := range ae.eng.Neighbors(ctx, objs, q) {
+					if err != nil {
+						t.Fatal(err)
+					}
+					if count++; count == 10 {
+						break
+					}
+				}
+			})
+			t.Logf("%s: %.1f allocs/op (budget %d)", ae.name, got, budgetNeighborsAllocs)
+			if got > budgetNeighborsAllocs {
+				t.Fatalf("steady-state 10-step browse allocates %.1f/op, budget %d", got, budgetNeighborsAllocs)
+			}
+		})
+	}
+}
+
+// TestScratchReuseConcurrentOracle is the scratch-safety property test: many
+// goroutines interleave queries on ONE shared engine (so pooled contexts,
+// scratch arenas, and refiner slabs are constantly recycled across
+// goroutines), and every certified distance must match an independent
+// all-pairs oracle. Run under -race in CI; a scratch buffer leaking between
+// two in-flight queries shows up as either a race report or a wrong
+// distance.
+func TestScratchReuseConcurrentOracle(t *testing.T) {
+	net, objs, objVerts, queries := allocFixture(t)
+	ox, err := oracle.BuildExplicitPaths(net.g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 6
+	// Expected k nearest distances per query vertex, straight from the
+	// oracle's all-pairs matrix.
+	want := make(map[VertexID][]float64, len(queries))
+	for _, q := range queries {
+		ds := make([]float64, 0, len(objVerts))
+		for _, v := range objVerts {
+			ds = append(ds, ox.Distance(q, v))
+		}
+		sort.Float64s(ds)
+		want[q] = ds[:k]
+	}
+	for _, ae := range allocEngines(t, net) {
+		t.Run(ae.name, func(t *testing.T) {
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 30; i++ {
+						q := queries[(i+w*3)%len(queries)]
+						res, err := ae.eng.Query(ctx, objs, q, k, WithExactDistances())
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						exp := want[q]
+						if len(res.Neighbors) != len(exp) {
+							t.Errorf("worker %d: %d neighbors, want %d", w, len(res.Neighbors), len(exp))
+							return
+						}
+						for j, n := range res.Neighbors {
+							if math.Abs(n.Dist-exp[j]) > 1e-9 {
+								t.Errorf("worker %d query %d neighbor %d: dist %v, oracle %v", w, q, j, n.Dist, exp[j])
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if live := ae.eng.liveQueryContexts(); live != 0 {
+				t.Fatalf("%d query contexts still checked out after all queries returned", live)
+			}
+		})
+	}
+}
+
+// countdownCtx cancels itself after a fixed number of cancellation checks —
+// a deterministic way to stop a query mid-refinement, wherever "mid" happens
+// to fall for the given countdown.
+type countdownCtx struct {
+	context.Context
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+// TestCancellationReturnsContextToPool is the cancellation-path leak test:
+// queries cancelled at every possible depth must still return their pooled
+// context (the engine's live counter falls back to zero) and leave no
+// goroutines behind.
+func TestCancellationReturnsContextToPool(t *testing.T) {
+	net, objs, _, queries := allocFixture(t)
+	for _, ae := range allocEngines(t, net) {
+		t.Run(ae.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			cancelled := 0
+			for i := 0; i < 60; i++ {
+				ctx := &countdownCtx{Context: context.Background(), left: i % 12}
+				q := queries[i%len(queries)]
+				switch i % 4 {
+				case 0:
+					if _, err := ae.eng.Query(ctx, objs, q, 10); err != nil {
+						cancelled++
+					}
+				case 1:
+					if _, err := ae.eng.WithinDistance(ctx, objs, q, 0.3); err != nil {
+						cancelled++
+					}
+				case 2:
+					for _, err := range ae.eng.Neighbors(ctx, objs, q) {
+						if err != nil {
+							cancelled++
+							break
+						}
+					}
+				case 3:
+					if _, err := ae.eng.Distance(ctx, q, queries[(i+1)%len(queries)]); err != nil {
+						cancelled++
+					}
+				}
+				if live := ae.eng.liveQueryContexts(); live != 0 {
+					t.Fatalf("iteration %d: %d contexts leaked", i, live)
+				}
+			}
+			if cancelled == 0 {
+				t.Fatal("no query was actually cancelled; countdown too generous to exercise the paths")
+			}
+			runtime.GC()
+			if after := runtime.NumGoroutine(); after > before+2 {
+				t.Fatalf("goroutines grew from %d to %d across cancelled queries", before, after)
+			}
+			t.Logf("%d/60 queries cancelled mid-flight, zero contexts leaked", cancelled)
+		})
+	}
+}

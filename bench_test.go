@@ -77,12 +77,14 @@ func BenchmarkT1StorageModels(b *testing.B) {
 	}
 
 	b.Run("Dijkstra", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
 			sssp.ShortestPath(g, p[0], p[1])
 		}
 	})
 	b.Run("ExplicitPaths", func(b *testing.B) {
+		b.ReportAllocs()
 		b.ReportMetric(float64(exp.SizeBytes()), "storage-bytes")
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
@@ -90,6 +92,7 @@ func BenchmarkT1StorageModels(b *testing.B) {
 		}
 	})
 	b.Run("NextHop", func(b *testing.B) {
+		b.ReportAllocs()
 		b.ReportMetric(float64(nh.SizeBytes()), "storage-bytes")
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
@@ -97,6 +100,7 @@ func BenchmarkT1StorageModels(b *testing.B) {
 		}
 	})
 	b.Run("SILC", func(b *testing.B) {
+		b.ReportAllocs()
 		b.ReportMetric(float64(ix.Stats().TotalBytes), "storage-bytes")
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
@@ -104,6 +108,7 @@ func BenchmarkT1StorageModels(b *testing.B) {
 		}
 	})
 	b.Run("DistanceOracle", func(b *testing.B) {
+		b.ReportAllocs()
 		b.ReportMetric(float64(or.SizeBytes()), "storage-bytes")
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
@@ -119,6 +124,7 @@ func BenchmarkF1StorageGrowth(b *testing.B) {
 		b.Run(fmt.Sprintf("lattice=%dx%d", rc, rc), func(b *testing.B) {
 			var blocks int64
 			var vertices int
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{Rows: rc, Cols: rc, Seed: 5})
 				if err != nil {
@@ -151,6 +157,7 @@ func BenchmarkF2DijkstraVsSILCPath(b *testing.B) {
 		}
 	}
 	b.Run("Dijkstra", func(b *testing.B) {
+		b.ReportAllocs()
 		settled := 0
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
@@ -159,6 +166,7 @@ func BenchmarkF2DijkstraVsSILCPath(b *testing.B) {
 		b.ReportMetric(float64(settled), "vertices-settled")
 	})
 	b.Run("AStar", func(b *testing.B) {
+		b.ReportAllocs()
 		settled := 0
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
@@ -167,6 +175,7 @@ func BenchmarkF2DijkstraVsSILCPath(b *testing.B) {
 		b.ReportMetric(float64(settled), "vertices-settled")
 	})
 	b.Run("SILC", func(b *testing.B) {
+		b.ReportAllocs()
 		hops := 0
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
@@ -176,24 +185,34 @@ func BenchmarkF2DijkstraVsSILCPath(b *testing.B) {
 	})
 }
 
+// benchWorkload is one pre-seeded (object set, query vertex) pair.
+type benchWorkload struct {
+	objs *knn.Objects
+	q    graph.VertexID
+}
+
+// benchWorkloads pre-generates n deterministic workloads so fixture
+// construction never runs inside a timed loop.
+func benchWorkloads(e *bench.Env, rng *rand.Rand, fraction float64, n int) []benchWorkload {
+	ws := make([]benchWorkload, n)
+	for i := range ws {
+		ws[i] = benchWorkload{objs: e.ObjectSet(fraction, rng), q: e.Query(rng)}
+	}
+	return ws
+}
+
 // sweepBench runs one (fraction, k) evaluation point for one algorithm,
 // reporting the figure metrics. Workloads are regenerated per iteration
 // exactly as in the paper's methodology.
 func sweepBench(b *testing.B, algo bench.Algorithm, fraction float64, k int) {
 	e := sharedEnv(b)
 	rng := rand.New(rand.NewSource(77))
-	type workload struct {
-		objs *knn.Objects
-		q    graph.VertexID
-	}
-	queries := make([]workload, 32)
-	for i := range queries {
-		queries[i] = workload{objs: e.ObjectSet(fraction, rng), q: e.Query(rng)}
-	}
+	queries := benchWorkloads(e, rng, fraction, 32)
 	e.Ix.Tracker().SetScope(algo.Baseline)
 	var agg struct {
 		refinements, maxQueue, ioMisses float64
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w := queries[i%len(queries)]
@@ -261,12 +280,16 @@ func BenchmarkF6KMinDistPruning(b *testing.B) {
 	e := sharedEnv(b)
 	rng := rand.New(rand.NewSource(3))
 	e.Ix.Tracker().SetScope(false)
+	// Deterministic pre-seeded workloads: object-set generation happens
+	// outside the timed loop so the measurement covers the query alone.
+	workloads := benchWorkloads(e, rng, 0.07, 32)
 	accepts, total := 0.0, 0.0
 	k := 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		objs := e.ObjectSet(0.07, rng)
-		res := knn.Search(e.Ix, objs, e.Query(rng), k, knn.VariantKNNM)
+		w := workloads[i%len(workloads)]
+		res := knn.Search(e.Ix, w.objs, w.q, k, knn.VariantKNNM)
 		accepts += float64(res.Stats.KMinDistAccepts)
 		total += float64(len(res.Neighbors))
 	}
@@ -281,11 +304,13 @@ func BenchmarkF7EstimateQuality(b *testing.B) {
 	e := sharedEnv(b)
 	rng := rand.New(rand.NewSource(4))
 	e.Ix.Tracker().SetScope(false)
+	workloads := benchWorkloads(e, rng, 0.07, 32)
 	var d0kRatio, kminRatio, count float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		objs := e.ObjectSet(0.07, rng)
-		res := knn.Search(e.Ix, objs, e.Query(rng), 10, knn.VariantKNN)
+		w := workloads[i%len(workloads)]
+		res := knn.Search(e.Ix, w.objs, w.q, 10, knn.VariantKNN)
 		s := res.Stats
 		if s.D0k > 0 && s.DkFinal > 0 {
 			d0kRatio += s.D0k / s.DkFinal
@@ -308,11 +333,13 @@ func BenchmarkF8IOTime(b *testing.B) {
 			e := sharedEnv(b)
 			rng := rand.New(rand.NewSource(5))
 			e.Ix.Tracker().SetScope(false)
+			workloads := benchWorkloads(e, rng, 0.07, 32)
 			var ioNanos float64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				objs := e.ObjectSet(0.07, rng)
-				res := algo.Run(e.Ix, objs, e.Query(rng), 10)
+				w := workloads[i%len(workloads)]
+				res := algo.Run(e.Ix, w.objs, w.q, 10)
 				ioNanos += float64(res.Stats.IOTime.Nanoseconds())
 			}
 			b.ReportMetric(ioNanos/float64(b.N)/1e6, "modeled-io-ms/query")
@@ -326,6 +353,7 @@ func BenchmarkIndexBuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Build(g, core.BuildOptions{}); err != nil {
@@ -370,10 +398,15 @@ func BenchmarkAblationCacheSize(b *testing.B) {
 				vs[i] = graph.VertexID(perm[i])
 			}
 			objs := knn.NewObjects(g, vs)
+			queries := make([]graph.VertexID, 64)
+			for i := range queries {
+				queries[i] = graph.VertexID(rng.Intn(n))
+			}
 			var misses float64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := knn.Search(ix, objs, graph.VertexID(rng.Intn(n)), 10, knn.VariantKNN)
+				res := knn.Search(ix, objs, queries[i%len(queries)], 10, knn.VariantKNN)
 				misses += float64(res.Stats.IO.Misses)
 			}
 			b.ReportMetric(misses/float64(b.N), "page-misses/query")
@@ -387,10 +420,15 @@ func BenchmarkBrowser(b *testing.B) {
 	e := sharedEnv(b)
 	rng := rand.New(rand.NewSource(11))
 	objs := e.ObjectSet(0.05, rng)
+	queries := make([]graph.VertexID, 256)
+	for i := range queries {
+		queries[i] = e.Query(rng)
+	}
 	e.Ix.Tracker().SetScope(false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		browser := knn.NewBrowser(e.Ix, objs, e.Query(rng))
+		browser := knn.NewBrowser(e.Ix, objs, queries[i%len(queries)])
 		for j := 0; j < 10; j++ {
 			if _, ok := browser.Next(); !ok {
 				break
@@ -413,6 +451,7 @@ func BenchmarkTPParallelThroughput(b *testing.B) {
 	}
 	e.Ix.Tracker().SetScope(false)
 	var next atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -441,6 +480,7 @@ func BenchmarkQueryBatch(b *testing.B) {
 	for i := range queries {
 		queries[i] = VertexID(rng.Intn(net.NumVertices()))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.QueryBatch(objs, queries, 10, MethodKNN)

@@ -25,10 +25,17 @@
 //	experiments -quick          # reduced sizes and query counts (~seconds)
 //	experiments -only F3,F4     # subset
 //	experiments -json           # also write BENCH_<id>.json result files
+//	experiments -baseline       # write canonical BENCH_F3/TP/ALLOC.json baselines
+//	experiments -check          # fail on regression against committed baselines
 //
 // With -json every selected experiment additionally writes its raw
 // measurements as machine-readable BENCH_<id>.json (into -json-dir), so the
 // perf trajectory of the repo can be tracked without parsing tables.
+//
+// -baseline and -check are the benchmark-trajectory gate (see regress.go):
+// -baseline runs a fixed smoke suite and writes the canonical committed
+// baselines; -check reruns it and exits nonzero if allocs/op grew at all or
+// calibrated ns/op drifted outside the tolerance band.
 package main
 
 import (
@@ -46,16 +53,25 @@ import (
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "reduced sizes and query counts")
-		only    = flag.String("only", "", "comma-separated subset, e.g. F1,F3,T1")
-		rows    = flag.Int("rows", bench.DefaultRows, "evaluation lattice rows")
-		cols    = flag.Int("cols", bench.DefaultCols, "evaluation lattice cols")
-		queries = flag.Int("queries", 50, "queries per sweep point (paper: >=50)")
-		seed    = flag.Int64("seed", bench.DefaultSeed, "master seed")
-		jsonOut = flag.Bool("json", false, "write machine-readable BENCH_<id>.json result files")
-		jsonDir = flag.String("json-dir", ".", "directory for -json result files")
+		quick    = flag.Bool("quick", false, "reduced sizes and query counts")
+		only     = flag.String("only", "", "comma-separated subset, e.g. F1,F3,T1")
+		rows     = flag.Int("rows", bench.DefaultRows, "evaluation lattice rows")
+		cols     = flag.Int("cols", bench.DefaultCols, "evaluation lattice cols")
+		queries  = flag.Int("queries", 50, "queries per sweep point (paper: >=50)")
+		seed     = flag.Int64("seed", bench.DefaultSeed, "master seed")
+		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<id>.json result files")
+		jsonDir  = flag.String("json-dir", ".", "directory for -json result files")
+		baseline = flag.Bool("baseline", false, "run the F3/TP/ALLOC smoke suite and write the canonical BENCH_*.json baselines into -json-dir")
+		regCheck = flag.Bool("check", false, "rerun the F3/TP/ALLOC smoke suite and fail on regression against the committed BENCH_*.json baselines")
 	)
 	flag.Parse()
+	if *baseline || *regCheck {
+		if *baseline && *regCheck {
+			check(fmt.Errorf("-baseline and -check are mutually exclusive"))
+		}
+		check(runRegress(*baseline, *jsonDir, *seed))
+		return
+	}
 	record := func(id string, payload any) {
 		if !*jsonOut {
 			return

@@ -1,0 +1,489 @@
+// Benchmark-trajectory regression gate.
+//
+// `experiments -baseline` runs a fixed smoke-sized measurement suite —
+// F3 (kNN execution time), TP (parallel throughput), and ALLOC
+// (steady-state allocations on the public Engine surface) — and writes the
+// results as the canonical BENCH_F3.json / BENCH_TP.json / BENCH_ALLOC.json
+// files, which are committed to the repository.
+//
+// `experiments -check` (the CI bench-regress job) reruns the identical suite
+// and compares it against the committed files:
+//
+//   - any increase in allocs/op fails — the hot path is allocation-free by
+//     design and a single new steady-state allocation is a regression;
+//   - ns/op (and QPS, inverted) may drift up to 25% after calibration.
+//
+// Machines differ, so raw nanoseconds are not comparable across the machine
+// that wrote the baseline and the machine running the check. Both runs
+// therefore measure a fixed CPU-bound calibration loop; the checker rescales
+// the committed numbers by the ratio of the two calibration times before
+// applying the 25% band. Allocation counts need no calibration — they are
+// exact and machine-independent.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"silc"
+	"silc/internal/bench"
+)
+
+// The smoke suite is sized for CI: large enough that per-query medians are
+// stable, small enough to finish in well under a minute.
+const (
+	regressLattice = 48 // rows == cols of the evaluation lattice
+	regressQueries = 24 // queries per sweep point
+	regressRepeats = 5  // sweeps per point; per-cell median is recorded
+	regressBand    = 1.25
+)
+
+// regressSpecs returns the F3 sweep points the gate tracks: the paper's
+// |S|=0.07N column at a small and a large k.
+func regressSpecs() []bench.SweepSpec {
+	return []bench.SweepSpec{
+		{Label: "k=10", Fraction: 0.07, K: 10},
+		{Label: "k=100", Fraction: 0.07, K: 100},
+	}
+}
+
+type f3Baseline struct {
+	CalibrationNs   float64   `json:"calibration_ns"`
+	Lattice         int       `json:"lattice"`
+	QueriesPerPoint int       `json:"queries_per_point"`
+	Repeats         int       `json:"repeats"`
+	Points          []f3Point `json:"points"`
+}
+
+type f3Point struct {
+	Label string `json:"label"`
+	K     int    `json:"k"`
+	// Fraction is |S|/N, the object-set density of the point.
+	Fraction float64 `json:"s_fraction"`
+	// NsPerQuery maps algorithm name to the median-of-repeats mean total
+	// time (CPU + modeled I/O) per query, in nanoseconds.
+	NsPerQuery map[string]float64 `json:"ns_per_query"`
+}
+
+type tpBaseline struct {
+	CalibrationNs float64   `json:"calibration_ns"`
+	Lattice       int       `json:"lattice"`
+	Queries       int       `json:"queries"`
+	Points        []tpPoint `json:"points"`
+}
+
+type tpPoint struct {
+	Goroutines int     `json:"goroutines"`
+	QPS        float64 `json:"qps"`
+}
+
+type allocBaseline struct {
+	CalibrationNs float64    `json:"calibration_ns"`
+	Rows          []allocRow `json:"rows"`
+}
+
+// allocRow is one steady-state operation measured through testing.Benchmark
+// on the public Engine API with a warm query-context pool.
+type allocRow struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+var calibrationSink uint64
+
+// calibrate times a fixed CPU-bound xorshift loop (best of three) as a
+// machine-speed proxy. The checker divides fresh by baseline calibration to
+// rescale committed ns/op figures onto the current machine.
+func calibrate() float64 {
+	best := math.MaxFloat64
+	for t := 0; t < 3; t++ {
+		start := time.Now()
+		x := uint64(0x9E3779B97F4A7C15)
+		for i := 0; i < 1<<23; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		calibrationSink = x
+		if d := float64(time.Since(start).Nanoseconds()); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// measureF3 runs the smoke sweep regressRepeats times and records the
+// per-(point, algorithm) median mean-time-per-query.
+func measureF3(seed int64, cal float64) (f3Baseline, error) {
+	env, err := bench.NewEnv(regressLattice, regressLattice, seed, true)
+	if err != nil {
+		return f3Baseline{}, err
+	}
+	specs := regressSpecs()
+	samples := make([]map[string]float64, len(specs))
+	for i := range samples {
+		samples[i] = map[string]float64{}
+	}
+	raw := make([]map[string][]float64, len(specs))
+	for i := range raw {
+		raw[i] = map[string][]float64{}
+	}
+	for rep := 0; rep < regressRepeats; rep++ {
+		// Same seed every repeat: the workload is identical, only the
+		// wall-clock measurement varies, so the median isolates noise.
+		pts := env.Sweep(specs, regressQueries, bench.Algorithms(), seed+2)
+		for i, pt := range pts {
+			for name, agg := range pt.Per {
+				raw[i][name] = append(raw[i][name], float64(agg.TotalTime.Nanoseconds()))
+			}
+		}
+	}
+	out := f3Baseline{
+		CalibrationNs:   cal,
+		Lattice:         regressLattice,
+		QueriesPerPoint: regressQueries,
+		Repeats:         regressRepeats,
+	}
+	for i, spec := range specs {
+		p := f3Point{Label: spec.Label, K: spec.K, Fraction: spec.Fraction, NsPerQuery: map[string]float64{}}
+		for name, xs := range raw[i] {
+			p.NsPerQuery[name] = median(xs)
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// measureTP runs the throughput smoke: one shared disk-resident index, kNN
+// k=10, at 1 and 4 goroutines.
+func measureTP(seed int64, cal float64) (tpBaseline, error) {
+	env, err := bench.NewEnv(regressLattice, regressLattice, seed, true)
+	if err != nil {
+		return tpBaseline{}, err
+	}
+	const nq = 400
+	w := env.NewThroughputWorkload(nq, 0.05, 10, seed+4)
+	out := tpBaseline{CalibrationNs: cal, Lattice: regressLattice, Queries: nq}
+	// Median-of-repeats per goroutine count: throughput is the noisiest of
+	// the three suites.
+	qps := map[int][]float64{}
+	for rep := 0; rep < regressRepeats; rep++ {
+		for _, pt := range bench.ThroughputSweep(env.Ix, w, []int{1, 4}) {
+			qps[pt.Goroutines] = append(qps[pt.Goroutines], pt.QPS)
+		}
+	}
+	for _, g := range []int{1, 4} {
+		out.Points = append(out.Points, tpPoint{Goroutines: g, QPS: median(qps[g])})
+	}
+	return out, nil
+}
+
+// measureAlloc measures the steady-state public-Engine operations the
+// allocation budgets in allocbudget_test.go cover, via testing.Benchmark so
+// allocs/op and ns/op come from the standard tooling.
+func measureAlloc(seed int64, cal float64) (allocBaseline, error) {
+	net, err := silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: 32, Cols: 32, Seed: seed})
+	if err != nil {
+		return allocBaseline{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(net.NumVertices())
+	verts := make([]silc.VertexID, 48)
+	for i := range verts {
+		verts[i] = silc.VertexID(perm[i])
+	}
+	objs, err := silc.NewObjectSet(net, verts)
+	if err != nil {
+		return allocBaseline{}, err
+	}
+	q := silc.VertexID(perm[len(perm)-1])
+
+	mono, err := silc.BuildIndex(net, silc.BuildOptions{})
+	if err != nil {
+		return allocBaseline{}, err
+	}
+	shard, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: 4})
+	if err != nil {
+		return allocBaseline{}, err
+	}
+	var pg bytes.Buffer
+	if _, err := mono.WritePaged(&pg); err != nil {
+		return allocBaseline{}, err
+	}
+	paged, err := silc.OpenIndexAt(bytes.NewReader(pg.Bytes()), int64(pg.Len()), silc.BuildOptions{CacheFraction: 1.0})
+	if err != nil {
+		return allocBaseline{}, err
+	}
+
+	ctx := context.Background()
+	ops := []struct {
+		name string
+		op   func() error
+	}{
+		{"knn-k10/monolithic", func() error { _, err := mono.Engine().Query(ctx, objs, q, 10); return err }},
+		{"knn-k10/sharded", func() error { _, err := shard.Engine().Query(ctx, objs, q, 10); return err }},
+		{"knn-k10/paged-warm", func() error { _, err := paged.Engine().Query(ctx, objs, q, 10); return err }},
+		{"range-0.25/monolithic", func() error { _, err := mono.Engine().WithinDistance(ctx, objs, q, 0.25); return err }},
+		{"neighbors-10/monolithic", func() error {
+			count := 0
+			for _, err := range mono.Engine().Neighbors(ctx, objs, q) {
+				if err != nil {
+					return err
+				}
+				if count++; count == 10 {
+					break
+				}
+			}
+			return nil
+		}},
+	}
+	out := allocBaseline{CalibrationNs: cal}
+	for _, o := range ops {
+		op := o.op
+		for i := 0; i < 5; i++ { // warm the context pool and page cache
+			if err := op(); err != nil {
+				return allocBaseline{}, fmt.Errorf("%s: %w", o.name, err)
+			}
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out.Rows = append(out.Rows, allocRow{
+			Op:          o.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
+}
+
+// runRegress drives both modes. In baseline mode the three canonical files
+// are (re)written into dir; in check mode fresh runs are compared against
+// the committed files and any regression returns an error.
+func runRegress(baseline bool, dir string, seed int64) error {
+	mode := "check"
+	if baseline {
+		mode = "baseline"
+	}
+	fmt.Printf("bench-regress (%s): lattice %dx%d, %d queries/point, median of %d repeats\n",
+		mode, regressLattice, regressLattice, regressQueries, regressRepeats)
+	cal := calibrate()
+	fmt.Printf("calibration: %.0f ns (fixed xorshift loop, best of 3)\n\n", cal)
+
+	f3, err := measureF3(seed, cal)
+	if err != nil {
+		return err
+	}
+	tp, err := measureTP(seed, cal)
+	if err != nil {
+		return err
+	}
+	al, err := measureAlloc(seed, cal)
+	if err != nil {
+		return err
+	}
+
+	if baseline {
+		if err := writeJSON(dir, "F3", f3); err != nil {
+			return err
+		}
+		if err := writeJSON(dir, "TP", tp); err != nil {
+			return err
+		}
+		return writeJSON(dir, "ALLOC", al)
+	}
+
+	var base3 f3Baseline
+	var baseTP tpBaseline
+	var baseAL allocBaseline
+	if err := readBaseline(dir, "F3", &base3); err != nil {
+		return err
+	}
+	if err := readBaseline(dir, "TP", &baseTP); err != nil {
+		return err
+	}
+	if err := readBaseline(dir, "ALLOC", &baseAL); err != nil {
+		return err
+	}
+
+	failures := 0
+	failures += checkF3(base3, f3, cal)
+	failures += checkTP(baseTP, tp, cal)
+	failures += checkAlloc(baseAL, al, cal)
+	if failures > 0 {
+		return fmt.Errorf("bench-regress: %d regression(s) against committed BENCH_*.json", failures)
+	}
+	fmt.Println("\nbench-regress: all checks within tolerance")
+	return nil
+}
+
+// scaleFactor converts a baseline-machine time into the expected time on
+// this machine, clamped so a pathological calibration cannot hide (or
+// invent) an order-of-magnitude regression.
+func scaleFactor(freshCal, baseCal float64) float64 {
+	if baseCal <= 0 {
+		return 1
+	}
+	s := freshCal / baseCal
+	if s < 0.25 {
+		s = 0.25
+	}
+	if s > 4 {
+		s = 4
+	}
+	return s
+}
+
+func checkF3(base, fresh f3Baseline, freshCal float64) int {
+	scale := scaleFactor(freshCal, base.CalibrationNs)
+	fmt.Printf("F3 (machine scale %.2fx, band %.0f%%):\n", scale, (regressBand-1)*100)
+	failures := 0
+	for _, bp := range base.Points {
+		var fp *f3Point
+		for i := range fresh.Points {
+			if fresh.Points[i].Label == bp.Label {
+				fp = &fresh.Points[i]
+			}
+		}
+		if fp == nil {
+			fmt.Printf("  FAIL %-8s missing from fresh run\n", bp.Label)
+			failures++
+			continue
+		}
+		for _, name := range sortedKeys(bp.NsPerQuery) {
+			baseNs := bp.NsPerQuery[name]
+			freshNs, ok := fp.NsPerQuery[name]
+			if !ok {
+				fmt.Printf("  FAIL %-8s %-6s missing from fresh run\n", bp.Label, name)
+				failures++
+				continue
+			}
+			allowed := baseNs * scale * regressBand
+			status := "ok  "
+			if freshNs > allowed {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("  %s %-8s %-6s base %10.0fns  fresh %10.0fns  (%.2fx of scaled base)\n",
+				status, bp.Label, name, baseNs, freshNs, freshNs/(baseNs*scale))
+		}
+	}
+	return failures
+}
+
+func checkTP(base, fresh tpBaseline, freshCal float64) int {
+	scale := scaleFactor(freshCal, base.CalibrationNs)
+	fmt.Printf("TP (machine scale %.2fx, band %.0f%%):\n", scale, (regressBand-1)*100)
+	failures := 0
+	for _, bp := range base.Points {
+		var fp *tpPoint
+		for i := range fresh.Points {
+			if fresh.Points[i].Goroutines == bp.Goroutines {
+				fp = &fresh.Points[i]
+			}
+		}
+		if fp == nil {
+			fmt.Printf("  FAIL g=%d missing from fresh run\n", bp.Goroutines)
+			failures++
+			continue
+		}
+		// QPS scales inversely with machine time: a machine 2x slower on
+		// the calibration loop is expected to deliver half the QPS.
+		expected := bp.QPS / scale
+		status := "ok  "
+		if fp.QPS < expected/regressBand {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %s g=%d  base %8.0f qps  fresh %8.0f qps  (%.2fx of scaled base)\n",
+			status, bp.Goroutines, bp.QPS, fp.QPS, fp.QPS/expected)
+	}
+	return failures
+}
+
+func checkAlloc(base, fresh allocBaseline, freshCal float64) int {
+	scale := scaleFactor(freshCal, base.CalibrationNs)
+	fmt.Printf("ALLOC (machine scale %.2fx; allocs/op must not increase at all):\n", scale)
+	failures := 0
+	freshByOp := map[string]allocRow{}
+	for _, r := range fresh.Rows {
+		freshByOp[r.Op] = r
+	}
+	for _, br := range base.Rows {
+		fr, ok := freshByOp[br.Op]
+		if !ok {
+			fmt.Printf("  FAIL %-24s missing from fresh run\n", br.Op)
+			failures++
+			continue
+		}
+		status := "ok  "
+		reason := ""
+		if fr.AllocsPerOp > br.AllocsPerOp {
+			status = "FAIL"
+			reason = fmt.Sprintf("  <- allocs/op grew %d -> %d", br.AllocsPerOp, fr.AllocsPerOp)
+			failures++
+		} else if fr.NsPerOp > br.NsPerOp*scale*regressBand {
+			status = "FAIL"
+			reason = "  <- ns/op outside band"
+			failures++
+		}
+		fmt.Printf("  %s %-24s base %8.0fns %3d allocs  fresh %8.0fns %3d allocs%s\n",
+			status, br.Op, br.NsPerOp, br.AllocsPerOp, fr.NsPerOp, fr.AllocsPerOp, reason)
+	}
+	return failures
+}
+
+// readBaseline loads a committed BENCH_<id>.json (the {"id","result"}
+// wrapper writeJSON produces) and decodes result into out.
+func readBaseline(dir, id string, out any) error {
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading committed baseline: %w (run `experiments -baseline` to create it)", err)
+	}
+	var wrapper struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(data, &wrapper); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return json.Unmarshal(wrapper.Result, out)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -3,6 +3,8 @@ package silc
 import (
 	"context"
 	"iter"
+	"sync"
+	"sync/atomic"
 
 	"silc/internal/core"
 	"silc/internal/graph"
@@ -45,7 +47,39 @@ type Engine struct {
 	// pager is set when the engine runs over a real on-disk store; it
 	// reports the actual read counters next to the modeled ones.
 	pager *store.Pager
+
+	// qcPool recycles query contexts — and, through QueryContext.Scratch,
+	// the per-query search arenas that hang off them — so the steady-state
+	// query path stops allocating once the pool is warm. qcLive counts
+	// contexts currently checked out; it must return to zero when no query
+	// is in flight (the cancellation-leak test asserts exactly that).
+	qcPool sync.Pool
+	qcLive atomic.Int64
 }
+
+// acquireQC checks a query context out of the engine's pool, re-armed for
+// ctx. Contexts carry their search scratch (knn arenas, refiner slabs)
+// across queries; ResetForReuse rewinds everything else.
+func (e *Engine) acquireQC(ctx context.Context) *core.QueryContext {
+	e.qcLive.Add(1)
+	if qc, ok := e.qcPool.Get().(*core.QueryContext); ok {
+		qc.ResetForReuse(ctx)
+		return qc
+	}
+	return core.NewQueryContextFor(ctx)
+}
+
+// releaseQC returns a context to the pool. Every acquire must be paired with
+// exactly one release on every exit path — including error returns and
+// cancellation — or the scratch arena leaks and qcLive drifts upward.
+func (e *Engine) releaseQC(qc *core.QueryContext) {
+	e.qcLive.Add(-1)
+	e.qcPool.Put(qc)
+}
+
+// liveQueryContexts reports how many pooled contexts are checked out right
+// now. Test hook: after all queries return (even cancelled ones) it is zero.
+func (e *Engine) liveQueryContexts() int64 { return e.qcLive.Load() }
 
 // Network returns the indexed network.
 func (e *Engine) Network() *Network { return e.net }
@@ -110,7 +144,8 @@ func (e *Engine) Distance(ctx context.Context, u, v VertexID) (float64, error) {
 	if err := checkVertex(e.net, "dst", v); err != nil {
 		return 0, err
 	}
-	qc := core.NewQueryContextFor(ctx)
+	qc := e.acquireQC(ctx)
+	defer e.releaseQC(qc)
 	d := core.ExactDistance(e.qx, qc, u, v)
 	if err := qc.Err(); err != nil {
 		return 0, err
@@ -127,7 +162,8 @@ func (e *Engine) DistanceInterval(ctx context.Context, u, v VertexID) (Interval,
 	if err := checkVertex(e.net, "dst", v); err != nil {
 		return Interval{}, err
 	}
-	qc := core.NewQueryContextFor(ctx)
+	qc := e.acquireQC(ctx)
+	defer e.releaseQC(qc)
 	iv := e.qx.DistanceIntervalCtx(qc, u, v)
 	if err := qc.Err(); err != nil {
 		return Interval{}, err
@@ -145,7 +181,8 @@ func (e *Engine) ShortestPath(ctx context.Context, u, v VertexID) ([]VertexID, e
 	if err := checkVertex(e.net, "dst", v); err != nil {
 		return nil, err
 	}
-	qc := core.NewQueryContextFor(ctx)
+	qc := e.acquireQC(ctx)
+	defer e.releaseQC(qc)
 	path := e.qx.PathCtx(qc, u, v)
 	if err := qc.Err(); err != nil {
 		return nil, err
@@ -165,7 +202,8 @@ func (e *Engine) IsCloser(ctx context.Context, u, a, b VertexID) (bool, error) {
 	if err := checkVertex(e.net, "b", b); err != nil {
 		return false, err
 	}
-	qc := core.NewQueryContextFor(ctx)
+	qc := e.acquireQC(ctx)
+	defer e.releaseQC(qc)
 	ra := e.qx.Refine(qc, u, a)
 	rb := e.qx.Refine(qc, u, b)
 	for {
@@ -212,7 +250,8 @@ func (e *Engine) Query(ctx context.Context, objs *ObjectSet, q VertexID, k int, 
 	if err != nil {
 		return Result{}, err
 	}
-	qc := core.NewQueryContextFor(ctx)
+	qc := e.acquireQC(ctx)
+	defer e.releaseQC(qc)
 	res, err := e.runSpec(qc, objs, q, k, o)
 	if err != nil {
 		return res, err
@@ -317,7 +356,8 @@ func (e *Engine) WithinDistance(ctx context.Context, objs *ObjectSet, q VertexID
 	if err := checkRadius(radius); err != nil {
 		return Result{}, err
 	}
-	qc := core.NewQueryContextFor(ctx)
+	qc := e.acquireQC(ctx)
+	defer e.releaseQC(qc)
 	raw := knn.RangeSearchCtx(e.qx, qc, objs.objs, q, radius)
 	res := convertResult(raw)
 	if raw.Err != nil {
@@ -357,7 +397,10 @@ func (e *Engine) Neighbors(ctx context.Context, objs *ObjectSet, q VertexID, opt
 			yield(Neighbor{}, err)
 			return
 		}
-		qc := core.NewQueryContextFor(ctx)
+		// The context is released when the iterator ends — whether the
+		// stream drains, the consumer breaks, or cancellation cuts it short.
+		qc := e.acquireQC(ctx)
+		defer e.releaseQC(qc)
 		br := knn.NewBrowserSpec(e.qx, qc, objs.objs, q, knn.Spec{Epsilon: o.epsilon, MaxDist: o.maxDist})
 		flushStats := func() {
 			if o.statsInto != nil {
@@ -412,6 +455,8 @@ func (e *Engine) Browse(ctx context.Context, objs *ObjectSet, q VertexID, opts .
 	if err := checkVertex(e.net, "q", q); err != nil {
 		return nil, err
 	}
+	// Deliberately unpooled: the Browser owns this context for its whole
+	// lifetime and the engine never learns when the caller is done with it.
 	qc := core.NewQueryContextFor(ctx)
 	b := knn.NewBrowserSpec(e.qx, qc, objs.objs, q, knn.Spec{Epsilon: o.epsilon, MaxDist: o.maxDist})
 	return &Browser{qx: e.qx, b: b, eps: o.epsilon}, nil

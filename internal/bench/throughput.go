@@ -73,12 +73,17 @@ func ThroughputSweep(ix core.QueryIndex, w ThroughputWorkload, goroutines []int)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// One context per worker: each goroutine reuses its own
+				// scratch arena across the queries it drains, the same
+				// steady state a pooled server reaches.
+				qc := core.NewQueryContext()
 				for {
 					qi := next.Add(1) - 1
 					if qi >= int64(len(w.Queries)) {
 						return
 					}
-					knn.Search(ix, w.Objs, w.Queries[qi], w.K, knn.VariantKNN)
+					qc.ResetForReuse(nil)
+					knn.SearchSpec(ix, qc, w.Objs, w.Queries[qi], knn.UnboundedSpec(w.K, knn.VariantKNN))
 				}
 			}()
 		}

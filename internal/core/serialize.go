@@ -46,7 +46,7 @@ const blockEntrySize = quadtree.EncodedSizeBytes
 // disk-backed one.
 func (ix *Index) treeFor(v graph.VertexID) (*quadtree.Tree, error) {
 	if ix.src == nil {
-		return ix.trees[v], nil
+		return &ix.trees[v], nil
 	}
 	return ix.src.Tree(nil, v)
 }
@@ -199,7 +199,7 @@ func Load(r io.Reader, g *graph.Network, opts BuildOptions) (*Index, error) {
 			return nil, fmt.Errorf("core: vertex %d records %d blocks, impossible for %d vertices", v, counts[v], n)
 		}
 	}
-	trees := make([]*quadtree.Tree, n)
+	trees := make([]quadtree.Tree, n)
 	var entry [blockEntrySize]byte
 	for v := 0; v < n; v++ {
 		deg := g.Degree(graph.VertexID(v))
@@ -235,7 +235,8 @@ func Load(r io.Reader, g *graph.Network, opts BuildOptions) (*Index, error) {
 		if len(t.Blocks) == 0 {
 			t.MinLambda = 1
 		}
-		trees[v] = t
+		t.Seal()
+		trees[v] = *t
 	}
 	computed := cr.sum()
 	if _, err := io.ReadFull(cr.r, u32[:]); err != nil {

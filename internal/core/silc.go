@@ -119,8 +119,14 @@ type QueryContext struct {
 	// the query runs against. The partition subsystem stores its per-source
 	// gateway closure here, so one kNN query amortizes the boundary-distance
 	// work across all the objects it inspects. Monolithic indexes leave it
-	// nil.
+	// nil. The slot survives ResetForReuse: implementations detect the stale
+	// key and rebuild in place, reusing the allocation.
 	Route any
+	// Scratch is a per-query scratch slot owned by the query algorithm layer
+	// (internal/knn stores its search arena here). Like Route it survives
+	// ResetForReuse so a pooled context carries its warmed-up scratch from
+	// query to query.
+	Scratch any
 	// ctx carries the request's cancellation/deadline signal; nil means the
 	// query is uncancellable (background work, legacy call sites).
 	ctx context.Context
@@ -129,6 +135,61 @@ type QueryContext struct {
 	// every query algorithm winds down within one step, exactly like a
 	// cancellation.
 	ioErr error
+	// refiners is the per-query refiner slab: NewRefinerCtx hands out slab
+	// slots instead of heap-allocating one Refiner per inspected object, and
+	// ResetForReuse recycles the whole slab at once. Refiners stay valid for
+	// the lifetime of the query they were created under.
+	refiners refinerSlab
+	// gen counts ResetForReuse calls. Route/Scratch owners compare it against
+	// the generation they last saw to learn that a query boundary passed and
+	// their own per-query sub-allocations (e.g. the partition layer's
+	// route-refiner slab) are safe to recycle.
+	gen uint64
+}
+
+// Gen returns the context's reuse generation; it changes on every
+// ResetForReuse.
+func (qc *QueryContext) Gen() uint64 { return qc.gen }
+
+// refinerSlab is a free-list of heap-stable *Refiner. Pointers are handed
+// out in order and recycled en masse by reset, so a pooled QueryContext
+// allocates refiners only while growing past its high-water mark.
+type refinerSlab struct {
+	items []*Refiner
+	next  int
+}
+
+func (s *refinerSlab) get() *Refiner {
+	if s.next == len(s.items) {
+		s.items = append(s.items, new(Refiner))
+	}
+	r := s.items[s.next]
+	s.next++
+	return r
+}
+
+func (s *refinerSlab) reset() {
+	for _, r := range s.items[:s.next] {
+		*r = Refiner{} // drop ix/qc references so a pooled slab pins nothing
+	}
+	s.next = 0
+}
+
+// ResetForReuse returns the context to its fresh state while keeping every
+// reusable allocation (the refiner slab and the Route/Scratch arenas), then
+// binds it to ctx. It must only be called once no refiner, iterator, or
+// cursor created under the previous query is live — the Engine layer's
+// query-context pool guarantees that by recycling only after the query's
+// last exit point.
+func (qc *QueryContext) ResetForReuse(ctx context.Context) {
+	qc.IO = diskio.Stats{}
+	qc.ioErr = nil
+	qc.refiners.reset()
+	qc.gen++
+	qc.ctx = nil
+	if ctx != nil && ctx != context.Background() {
+		qc.ctx = ctx
+	}
 }
 
 // NewQueryContext returns a fresh, uncancellable per-query context.
@@ -205,7 +266,9 @@ type Index struct {
 	g *graph.Network
 	// Exactly one of trees/src is set: trees holds the memory-resident
 	// quadtrees, src pages them in lazily from a disk store.
-	trees   []*quadtree.Tree // indexed by source vertex
+	trees []quadtree.Tree // indexed by source vertex; by value so the
+	// per-lookup header load walks one contiguous array instead of chasing
+	// a pointer per tree
 	src     TreeSource
 	tracker *diskio.Tracker
 	// ownerBase offsets this index's vertex ids inside a shared tracker's
@@ -245,7 +308,7 @@ func NewPagedIndex(cfg PagedConfig) *Index {
 // source failures on qc.
 func (ix *Index) treeOf(qc *QueryContext, v graph.VertexID) (*quadtree.Tree, bool) {
 	if ix.src == nil {
-		return ix.trees[v], true
+		return &ix.trees[v], true
 	}
 	t, err := ix.src.Tree(qc.ioCounter(), v)
 	if err != nil {
@@ -277,7 +340,7 @@ func Build(g *graph.Network, opts BuildOptions) (*Index, error) {
 	}
 	qb := quadtree.NewBuilder(codes) // read-only after construction; shared
 
-	trees := make([]*quadtree.Tree, n)
+	trees := make([]quadtree.Tree, n)
 	errs := make([]error, workers)
 	var next int64
 	var mu sync.Mutex
@@ -322,7 +385,7 @@ func Build(g *graph.Network, opts BuildOptions) (*Index, error) {
 					colors[i] = int32(g.NeighborIndex(source, tree.FirstHop[v]))
 					ratios[i] = tree.Dist[v] / g.Euclid(source, v)
 				}
-				trees[source] = qb.Build(colors, ratios)
+				trees[source] = *qb.Build(colors, ratios)
 			}
 		}(w)
 	}
@@ -340,8 +403,8 @@ func Build(g *graph.Network, opts BuildOptions) (*Index, error) {
 		MinBlocks: math.MaxInt,
 		BuildTime: time.Since(start),
 	}
-	for _, t := range trees {
-		b := t.NumBlocks()
+	for i := range trees {
+		b := trees[i].NumBlocks()
 		ix.stats.TotalBlocks += int64(b)
 		if b < ix.stats.MinBlocks {
 			ix.stats.MinBlocks = b
@@ -570,9 +633,17 @@ func (ix *Index) NewRefiner(src, dst graph.VertexID) *Refiner {
 }
 
 // NewRefinerCtx is NewRefiner with per-query I/O attribution: every block
-// lookup the cursor performs is charged to qc.
+// lookup the cursor performs is charged to qc. With a non-nil qc the cursor
+// comes from the context's refiner slab and stays valid until the context is
+// recycled (ResetForReuse); context-free callers get a heap allocation.
 func (ix *Index) NewRefinerCtx(qc *QueryContext, src, dst graph.VertexID) *Refiner {
-	r := &Refiner{ix: ix, qc: qc, src: src, dst: dst, cur: src}
+	var r *Refiner
+	if qc != nil {
+		r = qc.refiners.get()
+	} else {
+		r = new(Refiner)
+	}
+	*r = Refiner{ix: ix, qc: qc, src: src, dst: dst, cur: src}
 	if src == dst {
 		r.done = true
 		return r

@@ -60,17 +60,36 @@ func (s Stats) ModeledIOTime(missLatency time.Duration) time.Duration {
 // Cache is a single LRU page list — the building block of one Pool shard.
 // The zero value is unusable; create with NewCache. Not safe for concurrent
 // use on its own: Pool guards each Cache with its shard mutex.
+//
+// Two representations back the same LRU semantics, picked by capacity. At or
+// below smallCacheMax, pages live in one array kept in MRU order: lookup is
+// a linear scan and move-to-front a short copy, all within a cache line or
+// two — the common shape for modeled pools, whose 5% capacity shards into a
+// handful of pages each. Above it, the page -> slot map is an open-addressed
+// table (Fibonacci hashing, linear probing, backward-shift deletion) over a
+// doubly-linked slot list — a couple of flat array probes with no Go-map
+// hashing overhead and no tombstone accumulation.
 type Cache struct {
 	capacity int
-	slots    map[PageID]int // page -> slot index
-	pages    []PageID       // slot -> page
-	prev     []int
-	next     []int
-	head     int // most recently used
-	tail     int // least recently used
-	used     int
-	stats    Stats
+	// Small representation: pages[0:used] in MRU order.
+	// Large representation: pages indexed by stable slot; table/prev/next
+	// maintain the hash map and recency list.
+	pages []PageID
+	table []int32 // open-addressed: slot index, or -1 for empty; nil in small mode
+	mask  uint64  // len(table)-1; len is a power of two
+	shift uint    // 64 - log2(len(table)), for Fibonacci hashing
+	prev  []int32
+	next  []int32
+	head  int32 // most recently used
+	tail  int32 // least recently used
+	used  int
+	stats Stats
 }
+
+// smallCacheMax is the largest capacity served by the MRU-array
+// representation: 16 pages span two cache lines, which a scan-plus-shift
+// handles faster than any hash probe sequence.
+const smallCacheMax = 16
 
 // NewCache returns an LRU cache holding up to capacity pages (minimum 1).
 func NewCache(capacity int) *Cache {
@@ -79,14 +98,80 @@ func NewCache(capacity int) *Cache {
 	}
 	c := &Cache{
 		capacity: capacity,
-		slots:    make(map[PageID]int, capacity),
 		pages:    make([]PageID, capacity),
-		prev:     make([]int, capacity),
-		next:     make([]int, capacity),
 		head:     -1,
 		tail:     -1,
 	}
+	if capacity <= smallCacheMax {
+		return c
+	}
+	// Table sized to the next power of two past 2x capacity keeps the load
+	// factor at or below 0.5, so linear probe chains stay short.
+	size := 8
+	for size < 2*capacity {
+		size <<= 1
+	}
+	log2 := 0
+	for 1<<log2 < size {
+		log2++
+	}
+	c.table = make([]int32, size)
+	c.mask = uint64(size - 1)
+	c.shift = uint(64 - log2)
+	c.prev = make([]int32, capacity)
+	c.next = make([]int32, capacity)
+	for i := range c.table {
+		c.table[i] = -1
+	}
 	return c
+}
+
+// home returns p's preferred table index (Fibonacci hashing).
+func (c *Cache) home(p PageID) uint64 {
+	return (uint64(p) * 0x9E3779B97F4A7C15) >> c.shift
+}
+
+// find probes for p, returning its table index and slot, or tableIdx with
+// slot -1 when absent (tableIdx then points at the empty probe endpoint).
+func (c *Cache) find(p PageID) (tableIdx uint64, slot int32) {
+	i := c.home(p)
+	for {
+		s := c.table[i]
+		if s < 0 || c.pages[s] == p {
+			return i, s
+		}
+		i = (i + 1) & c.mask
+	}
+}
+
+// unlink removes the entry at table index i, backward-shifting the probe
+// chain behind it so future probes never cross a hole mid-chain.
+func (c *Cache) unlink(i uint64) {
+	j := i
+	for {
+		c.table[i] = -1
+		for {
+			j = (j + 1) & c.mask
+			s := c.table[j]
+			if s < 0 {
+				return
+			}
+			h := c.home(c.pages[s])
+			// Move s up to the hole unless its home lies in (i, j] — in
+			// cyclic terms — in which case the chain still reaches it.
+			var reachable bool
+			if i <= j {
+				reachable = h > i && h <= j
+			} else {
+				reachable = h > i || h <= j
+			}
+			if !reachable {
+				c.table[i] = s
+				i = j
+				break
+			}
+		}
+	}
 }
 
 // Capacity returns the configured page capacity.
@@ -103,9 +188,33 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Clear evicts everything and zeroes the counters.
 func (c *Cache) Clear() {
-	clear(c.slots)
+	for i := range c.table {
+		c.table[i] = -1
+	}
 	c.head, c.tail, c.used = -1, -1, 0
 	c.stats = Stats{}
+}
+
+// touchSmall is TouchEvict for the MRU-array representation.
+func (c *Cache) touchSmall(p PageID) (hit bool, evicted PageID, hasEvict bool) {
+	pages := c.pages
+	for i := 0; i < c.used; i++ {
+		if pages[i] == p {
+			c.stats.Hits++
+			copy(pages[1:i+1], pages[:i])
+			pages[0] = p
+			return true, 0, false
+		}
+	}
+	c.stats.Misses++
+	if c.used < c.capacity {
+		c.used++
+	} else {
+		evicted, hasEvict = pages[c.used-1], true
+	}
+	copy(pages[1:c.used], pages[:c.used-1])
+	pages[0] = p
+	return false, evicted, hasEvict
 }
 
 // Touch accesses page p, returning true on a hit. On a miss the page is
@@ -120,29 +229,37 @@ func (c *Cache) Touch(p PageID) bool {
 // cache decoded structures against resident pages (the paged index store)
 // use the feedback to actually release the displaced data.
 func (c *Cache) TouchEvict(p PageID) (hit bool, evicted PageID, hasEvict bool) {
-	if slot, ok := c.slots[p]; ok {
+	if c.table == nil {
+		return c.touchSmall(p)
+	}
+	ti, slot := c.find(p)
+	if slot >= 0 {
 		c.stats.Hits++
 		c.moveToFront(slot)
 		return true, 0, false
 	}
 	c.stats.Misses++
-	var slot int
 	if c.used < c.capacity {
-		slot = c.used
+		slot = int32(c.used)
 		c.used++
 	} else {
 		slot = c.tail
 		c.detach(slot)
 		evicted, hasEvict = c.pages[slot], true
-		delete(c.slots, evicted)
+		evIdx, _ := c.find(evicted)
+		c.unlink(evIdx)
+		// The backward shift may have filled the probe endpoint found for p;
+		// re-probe from p's home.
+		for ti = c.home(p); c.table[ti] >= 0; ti = (ti + 1) & c.mask {
+		}
 	}
 	c.pages[slot] = p
-	c.slots[p] = slot
+	c.table[ti] = slot
 	c.pushFront(slot)
 	return false, evicted, hasEvict
 }
 
-func (c *Cache) detach(slot int) {
+func (c *Cache) detach(slot int32) {
 	p, n := c.prev[slot], c.next[slot]
 	if p >= 0 {
 		c.next[p] = n
@@ -156,7 +273,7 @@ func (c *Cache) detach(slot int) {
 	}
 }
 
-func (c *Cache) pushFront(slot int) {
+func (c *Cache) pushFront(slot int32) {
 	c.prev[slot] = -1
 	c.next[slot] = c.head
 	if c.head >= 0 {
@@ -168,7 +285,7 @@ func (c *Cache) pushFront(slot int) {
 	}
 }
 
-func (c *Cache) moveToFront(slot int) {
+func (c *Cache) moveToFront(slot int32) {
 	if c.head == slot {
 		return
 	}
@@ -183,15 +300,16 @@ const DefaultPoolShards = 64
 
 // Pool is a sharded LRU buffer pool, safe for unlimited concurrent users.
 // Pages hash onto shards (Fibonacci hashing of the PageID), each shard is a
-// mutex-guarded Cache holding its slice of the total capacity, and the
-// aggregate hit/miss counters are atomics. Per-shard LRU approximates global
-// LRU the way production buffer managers do: eviction order is exact within
-// a shard and pages spread uniformly across shards.
+// mutex-guarded Cache holding its slice of the total capacity. Hit/miss
+// aggregates live in the per-shard caches — already under the shard mutex the
+// touch holds — rather than in pool-wide atomics, so concurrent queries never
+// ping-pong a shared counter cache line; Stats sums across shards on demand.
+// Per-shard LRU approximates global LRU the way production buffer managers
+// do: eviction order is exact within a shard and pages spread uniformly
+// across shards.
 type Pool struct {
 	shards []poolShard
 	shift  uint // 64 - log2(len(shards))
-	hits   atomic.Int64
-	misses atomic.Int64
 }
 
 type poolShard struct {
@@ -260,14 +378,10 @@ func (p *Pool) TouchEvict(id PageID, qs *Stats) (hit bool, evicted PageID, hasEv
 	s.mu.Lock()
 	hit, evicted, hasEvict = s.lru.TouchEvict(id)
 	s.mu.Unlock()
-	if hit {
-		p.hits.Add(1)
-		if qs != nil {
+	if qs != nil {
+		if hit {
 			qs.Hits++
-		}
-	} else {
-		p.misses.Add(1)
-		if qs != nil {
+		} else {
 			qs.Misses++
 		}
 	}
@@ -298,15 +412,26 @@ func (p *Pool) Len() int {
 	return total
 }
 
-// Stats returns the aggregate hit/miss counters.
+// Stats returns the aggregate hit/miss counters summed across shards.
 func (p *Pool) Stats() Stats {
-	return Stats{Hits: p.hits.Load(), Misses: p.misses.Load()}
+	var total Stats
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		total.Add(s.lru.Stats())
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // ResetStats zeroes the aggregate counters without evicting pages.
 func (p *Pool) ResetStats() {
-	p.hits.Store(0)
-	p.misses.Store(0)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.lru.ResetStats()
+		s.mu.Unlock()
+	}
 }
 
 // Clear evicts every page and zeroes the counters.
@@ -325,8 +450,13 @@ func (p *Pool) Clear() {
 // It describes how per-vertex SILC block arrays (or adjacency lists) are
 // serialized onto disk.
 type Layout struct {
-	base           []int64 // per-owner first entry index; len = owners+1
+	base           []int64  // per-owner first entry index; len = owners+1
+	firstPage      []PageID // per-owner page of entry 0, precomputed; len = owners
 	entriesPerPage int
+	// pageShift is log2(entriesPerPage) when it is a power of two, else -1.
+	// Entry -> page is then a shift instead of a 64-bit division — the
+	// mapping sits on the per-lookup hot path of every tracked algorithm.
+	pageShift int
 }
 
 // NewLayout builds a layout for owners with the given per-owner entry
@@ -339,12 +469,28 @@ func NewLayout(entryCounts []int, entrySize, pageSize int) *Layout {
 	for i, n := range entryCounts {
 		base[i+1] = base[i] + int64(n)
 	}
-	return &Layout{base: base, entriesPerPage: pageSize / entrySize}
+	epp := pageSize / entrySize
+	shift := -1
+	if epp&(epp-1) == 0 {
+		shift = 0
+		for 1<<shift < epp {
+			shift++
+		}
+	}
+	first := make([]PageID, len(entryCounts))
+	for i := range first {
+		first[i] = PageID(base[i] / int64(epp))
+	}
+	return &Layout{base: base, firstPage: first, entriesPerPage: epp, pageShift: shift}
 }
 
 // Page returns the page holding entry entryIdx of owner v.
 func (l *Layout) Page(v int, entryIdx int) PageID {
-	return PageID((l.base[v] + int64(entryIdx)) / int64(l.entriesPerPage))
+	e := l.base[v] + int64(entryIdx)
+	if l.pageShift >= 0 {
+		return PageID(e >> uint(l.pageShift))
+	}
+	return PageID(e / int64(l.entriesPerPage))
 }
 
 // EntryRange returns the dense entry index range [lo, hi) of owner v.
@@ -360,7 +506,16 @@ func (l *Layout) OwnerPages(v int) (first, last PageID, ok bool) {
 	if lo == hi {
 		return 0, 0, false
 	}
-	return PageID(lo / int64(l.entriesPerPage)), PageID((hi - 1) / int64(l.entriesPerPage)), true
+	return l.firstPage[v], PageID((hi - 1) / int64(l.entriesPerPage)), true
+}
+
+// FirstPage returns the page of owner v's first entry; ok is false when v
+// has no entries. Division-free: the per-owner first page is precomputed.
+func (l *Layout) FirstPage(v int) (PageID, bool) {
+	if l.base[v] == l.base[v+1] {
+		return 0, false
+	}
+	return l.firstPage[v], true
 }
 
 // OwnerRange inverts Page: it returns the owner index range [lo, hi) whose
@@ -508,7 +663,7 @@ func (t *Tracker) TouchAdjacency(v int, qs *Stats) {
 	if t == nil {
 		return
 	}
-	first, _, ok := t.adjacency.OwnerPages(v)
+	first, ok := t.adjacency.FirstPage(v)
 	if !ok {
 		return
 	}

@@ -1,12 +1,62 @@
 package knn
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"silc/internal/core"
 	"silc/internal/graph"
 	"silc/internal/pqueue"
 )
+
+// dijkstraWS is the reusable workspace of one graph expansion: tentative
+// distances, discovery/settlement marks, and the frontier heap. The marks
+// are epoch-stamped, so arming the workspace for a new expansion is O(1) —
+// which is what lets IER run one point-to-point search per candidate without
+// an O(n) clear (let alone an O(n) allocation) per call.
+type dijkstraWS struct {
+	dist     []float64
+	seen     []uint32 // dist[v] is valid iff seen[v] == epoch
+	done     []uint32 // v is settled iff done[v] == epoch
+	epoch    uint32
+	frontier pqueue.Min[graph.VertexID]
+}
+
+// reset arms the workspace for one expansion over n vertices.
+func (w *dijkstraWS) reset(n int) {
+	if cap(w.dist) < n {
+		w.dist = make([]float64, n)
+		w.seen = make([]uint32, n)
+		w.done = make([]uint32, n)
+	} else {
+		w.dist = w.dist[:n]
+		w.seen = w.seen[:n]
+		w.done = w.done[:n]
+	}
+	w.epoch++
+	if w.epoch == 0 { // uint32 wrap: clear stale stamps
+		clear(w.seen)
+		clear(w.done)
+		w.epoch = 1
+	}
+	w.frontier.Reset()
+}
+
+// distOf returns v's tentative distance, +Inf when undiscovered.
+func (w *dijkstraWS) distOf(v graph.VertexID) float64 {
+	if w.seen[v] == w.epoch {
+		return w.dist[v]
+	}
+	return inf
+}
+
+func (w *dijkstraWS) setDist(v graph.VertexID, d float64) {
+	w.dist[v] = d
+	w.seen[v] = w.epoch
+}
+
+func (w *dijkstraWS) settled(v graph.VertexID) bool { return w.done[v] == w.epoch }
+func (w *dijkstraWS) settle(v graph.VertexID)       { w.done[v] = w.epoch }
 
 // INE is the "incremental network expansion" baseline of Papadias et al.:
 // Dijkstra from the query vertex over the disk-resident network, collecting
@@ -22,6 +72,7 @@ func INE(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result {
 // ignored (the baseline is exact, which satisfies every ε).
 func INESpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec) Result {
 	clock := beginQueryWith(ix, qc)
+	sc := scratchFor(clock.qc)
 	k := spec.K
 	maxDist := spec.MaxDist
 	g := ix.Network()
@@ -30,24 +81,21 @@ func INESpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.V
 	var cancelErr error
 
 	n := g.NumVertices()
-	dist := make([]float64, n)
-	settled := make([]bool, n)
-	for i := range dist {
-		dist[i] = inf
-	}
-	var frontier pqueue.Min[graph.VertexID]
-	best := pqueue.NewIndexedMax[Neighbor]() // k best objects by network distance
+	ws := &sc.ws
+	ws.reset(n)
+	best := &sc.best
+	best.InitMax() // k best objects by network distance
 
 	if k > 0 && objs.Len() > 0 {
-		dist[q] = 0
-		frontier.Push(0, q)
+		ws.setDist(q, 0)
+		ws.frontier.Push(0, q)
 	}
-	for frontier.Len() > 0 {
+	for ws.frontier.Len() > 0 {
 		if cancelErr = clock.qc.Err(); cancelErr != nil {
 			break
 		}
-		d, v := frontier.Pop()
-		if settled[v] || d > dist[v] {
+		d, v := ws.frontier.Pop()
+		if ws.settled(v) || d > ws.distOf(v) {
 			continue
 		}
 		if d > maxDist {
@@ -56,7 +104,7 @@ func INESpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.V
 		if best.Len() == k && d > best.TopKey() {
 			break // every remaining vertex is farther than the kth neighbor
 		}
-		settled[v] = true
+		ws.settle(v)
 		stats.Settled++
 		for _, id := range objs.AtVertex(v) {
 			nb := Neighbor{
@@ -76,17 +124,17 @@ func INESpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.V
 		targets, weights := g.Neighbors(v)
 		for i, t := range targets {
 			stats.Relaxed++
-			if nd := d + weights[i]; nd < dist[t] {
-				dist[t] = nd
-				frontier.Push(nd, t)
+			if nd := d + weights[i]; nd < ws.distOf(t) {
+				ws.setDist(t, nd)
+				ws.frontier.Push(nd, t)
 			}
 		}
-		if frontier.Len() > stats.MaxQueue {
-			stats.MaxQueue = frontier.Len()
+		if ws.frontier.Len() > stats.MaxQueue {
+			stats.MaxQueue = ws.frontier.Len()
 		}
 	}
 
-	res := Result{Neighbors: drainAscending(best), Sorted: true, Stats: stats, Err: cancelErr}
+	res := Result{Neighbors: drainAscending(sc, best), Sorted: true, Stats: stats, Err: cancelErr}
 	if n := len(res.Neighbors); n > 0 {
 		res.Stats.DkFinal = res.Neighbors[n-1].Dist
 	}
@@ -119,15 +167,22 @@ func IERAStar(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int) Result
 	return ier(ix, core.NewQueryContext(), objs, q, UnboundedSpec(k, VariantKNN), true, "IER-A*")
 }
 
+// IERAStarSpec is IERAStar under a caller-supplied query context and Spec.
+func IERAStarSpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec) Result {
+	return ier(ix, qc, objs, q, spec, true, "IER-A*")
+}
+
 func ier(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec, astar bool, name string) Result {
 	clock := beginQueryWith(ix, qc)
+	sc := scratchFor(clock.qc)
 	k := spec.K
 	maxDist := spec.MaxDist
 	g := ix.Network()
 	stats := Stats{Algorithm: name, K: k}
 	var cancelErr error
 
-	best := pqueue.NewIndexedMax[Neighbor]()
+	best := &sc.best
+	best.InitMax()
 	if k > 0 {
 		cursor := objs.Tree().EuclideanBrowser(g.Point(q))
 		for {
@@ -144,7 +199,7 @@ func ier(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.Verte
 			if best.Len() == k && eucl >= best.TopKey() {
 				break
 			}
-			d := ierNetworkDistance(ix, clock.qc, q, o.Vertex, astar, &stats)
+			d := ierNetworkDistance(ix, clock.qc, &sc.ws, q, o.Vertex, astar, &stats)
 			if d > maxDist {
 				continue
 			}
@@ -163,7 +218,7 @@ func ier(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.Verte
 		}
 	}
 
-	res := Result{Neighbors: drainAscending(best), Sorted: true, Stats: stats, Err: cancelErr}
+	res := Result{Neighbors: drainAscending(sc, best), Sorted: true, Stats: stats, Err: cancelErr}
 	if n := len(res.Neighbors); n > 0 {
 		res.Stats.DkFinal = res.Neighbors[n-1].Dist
 	}
@@ -172,8 +227,10 @@ func ier(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.Verte
 }
 
 // ierNetworkDistance runs a point-to-point search on the paged network,
-// charging adjacency-page accesses to the query's context.
-func ierNetworkDistance(ix core.QueryIndex, qc *core.QueryContext, s, t graph.VertexID, astar bool, stats *Stats) float64 {
+// charging adjacency-page accesses to the query's context. The workspace is
+// re-armed per call in O(1), so IER's dominant per-candidate cost is the
+// expansion itself, not workspace churn.
+func ierNetworkDistance(ix core.QueryIndex, qc *core.QueryContext, ws *dijkstraWS, s, t graph.VertexID, astar bool, stats *Stats) float64 {
 	stats.AStarCalls++
 	if s == t {
 		return 0
@@ -188,45 +245,46 @@ func ierNetworkDistance(ix core.QueryIndex, qc *core.QueryContext, s, t graph.Ve
 		return g.Point(v).Dist(target)
 	}
 
-	n := g.NumVertices()
-	dist := make([]float64, n)
-	settled := make([]bool, n)
-	for i := range dist {
-		dist[i] = inf
-	}
-	var open pqueue.Min[graph.VertexID]
-	dist[s] = 0
-	open.Push(h(s), s)
-	for open.Len() > 0 {
+	ws.reset(g.NumVertices())
+	ws.setDist(s, 0)
+	ws.frontier.Push(h(s), s)
+	for ws.frontier.Len() > 0 {
 		if qc.Err() != nil {
 			return inf // cancelled mid-search; the caller surfaces the error
 		}
-		_, v := open.Pop()
-		if settled[v] {
+		_, v := ws.frontier.Pop()
+		if ws.settled(v) {
 			continue
 		}
-		settled[v] = true
+		ws.settle(v)
 		stats.Settled++
 		if v == t {
-			return dist[t]
+			return ws.dist[t]
 		}
 		tracker.TouchAdjacency(int(v), &qc.IO)
-		d := dist[v]
+		d := ws.dist[v]
 		targets, weights := g.Neighbors(v)
 		for i, u := range targets {
 			stats.Relaxed++
-			if nd := d + weights[i]; nd < dist[u] {
-				dist[u] = nd
-				open.Push(nd+h(u), u)
+			if nd := d + weights[i]; nd < ws.distOf(u) {
+				ws.setDist(u, nd)
+				ws.frontier.Push(nd+h(u), u)
 			}
 		}
 	}
 	return inf
 }
 
-// drainAscending empties a max-heap of neighbors into ascending order.
-func drainAscending(best *pqueue.Indexed[Neighbor]) []Neighbor {
-	out := best.Items()
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+// drainAscending empties the k-best max-heap into a fresh ascending-order
+// slice, staging through the arena's drain buffer so the only allocation is
+// the returned result itself.
+func drainAscending(sc *scratch, best *pqueue.Indexed[Neighbor]) []Neighbor {
+	sc.drainNb = best.AppendItems(sc.drainNb[:0])
+	slices.SortFunc(sc.drainNb, func(a, b Neighbor) int { return cmp.Compare(a.Dist, b.Dist) })
+	if len(sc.drainNb) == 0 {
+		return nil
+	}
+	out := make([]Neighbor, len(sc.drainNb))
+	copy(out, sc.drainNb)
 	return out
 }

@@ -1,8 +1,9 @@
 package knn
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"silc/internal/core"
@@ -70,12 +71,15 @@ func Search(ix core.QueryIndex, objs *Objects, q graph.VertexID, k int, variant 
 
 // SearchSpec runs the best-first kNN family under a caller-supplied query
 // context (cancellation + I/O attribution) and Spec (ε-approximation,
-// distance bound).
+// distance bound). All search scratch lives on the query context and is
+// reused by its next query, so a pooled context answers steady-state queries
+// without allocating; the returned Result owns its Neighbors slice.
 func SearchSpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec) Result {
 	clock := beginQueryWith(ix, qc)
-	e := newEngine(ix, clock.qc, objs, q, spec.K, spec.Variant)
+	e := scratchFor(clock.qc).engineFor(ix, clock.qc, objs, q, spec.K, spec.Variant)
 	e.eps = spec.Epsilon
 	e.maxDist = spec.MaxDist
+	e.measurePQ = spec.MeasurePQ
 	e.run()
 	res := e.result()
 	clock.finish(&res.Stats)
@@ -88,19 +92,27 @@ type qelem struct {
 	seq  uint32    // object freshness stamp (lazy deletion)
 }
 
+// objState is the per-object refinement state of one query, stored by value
+// in the scratch arena's dense id-indexed table. Entries are stamped with the
+// arena's query epoch at discovery; between queries nothing is cleared — a
+// stale entry is simply overwritten whole when its object is rediscovered,
+// and ids are only ever read back after discovery within the same query.
 type objState struct {
-	id       int32
 	refiner  core.DistanceRefiner
 	iv       core.Interval
+	id       int32
 	seq      uint32
+	epoch    uint32
 	inL      bool
-	lh       pqueue.Handle[int32]
 	reported bool
+	lh       pqueue.Handle[int32]
 }
 
 // engine holds all mutable state of one query: the queues, the per-object
 // refinement scratch, and the query context its I/O is charged to. Engines
 // never share state, so any number may run concurrently over one Index.
+// An engine frame is embedded in a scratch arena and recycled between
+// queries; engineFor re-arms it.
 type engine struct {
 	ix      core.QueryIndex
 	qc      *core.QueryContext
@@ -110,15 +122,23 @@ type engine struct {
 	variant Variant
 
 	queue   pqueue.Min[qelem]
-	l       *pqueue.Indexed[int32]
-	states  []*objState
+	l       pqueue.Indexed[int32]
+	states  []objState
+	epoch   uint32
 	results []Neighbor
-	stats   Stats
+	// drainIDs/drainRest are drainL's reusable buffers.
+	drainIDs  []int32
+	drainRest []*objState
+	stats     Stats
 
 	d0k      float64 // static bound for kNN-I/kNN-M enqueue filtering
 	d0kFixed bool
 	frozen   bool // kNN-I: stop maintaining L once D0k is fixed
-	pqClock  time.Duration
+	// measurePQ enables the PQTime wall-clock instrumentation around L
+	// operations (the paper's KNN-PQ cost split). Off by default: the
+	// time.Now pairs cost ~20% of a warm in-memory query.
+	measurePQ bool
+	pqClock   time.Duration
 
 	// eps relaxes rank certification: report once δ⁺ ≤ (1+eps)·δ⁻.
 	eps float64
@@ -129,22 +149,63 @@ type engine struct {
 	err error
 }
 
-func newEngine(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, k int, variant Variant) *engine {
-	e := &engine{
-		ix:      ix,
-		qc:      qc,
-		objs:    objs,
-		q:       q,
-		k:       k,
-		variant: variant,
-		l:       pqueue.NewIndexedMax[int32](),
-		states:  make([]*objState, objs.Len()),
-		d0k:     inf,
-		maxDist: inf,
+// scratch is the reusable query arena: one engine frame plus its buffers,
+// and the graph-expansion workspace of the INE/IER baselines. It rides on
+// core.QueryContext.Scratch, so a pooled context carries its warmed-up arena
+// from query to query and steady-state searches allocate nothing. A scratch
+// serves one query at a time; concurrent queries get their own contexts and
+// therefore their own arenas.
+type scratch struct {
+	eng engine
+	// ws is the Dijkstra/A* workspace of the graph-expansion baselines;
+	// epoch-stamped so IER resets it per candidate in O(1).
+	ws dijkstraWS
+	// best accumulates the k best neighbors for INE/IER; drainNb is the
+	// reusable drain buffer behind their result sorting.
+	best    pqueue.Indexed[Neighbor]
+	drainNb []Neighbor
+}
+
+// scratchFor returns qc's arena, creating and attaching one on first use.
+func scratchFor(qc *core.QueryContext) *scratch {
+	if sc, ok := qc.Scratch.(*scratch); ok {
+		return sc
 	}
-	e.stats.Algorithm = variant.String()
-	e.stats.K = k
-	if k > 0 && objs.Len() > 0 {
+	sc := new(scratch)
+	qc.Scratch = sc
+	return sc
+}
+
+// engineFor re-arms the embedded engine frame for one query, reusing every
+// buffer the previous query grew. The object-state table is epoch-stamped
+// rather than cleared: O(1) per query instead of O(|S|).
+func (sc *scratch) engineFor(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, k int, variant Variant) *engine {
+	e := &sc.eng
+	e.ix, e.qc, e.objs, e.q, e.k, e.variant = ix, qc, objs, q, k, variant
+	e.queue.Reset()
+	e.l.InitMax()
+	n := objs.Len()
+	if cap(e.states) < n {
+		e.states = make([]objState, n)
+	} else {
+		e.states = e.states[:n]
+	}
+	e.epoch++
+	if e.epoch == 0 {
+		// uint32 wrap: clear stale stamps so none collide with the new epoch.
+		clear(e.states)
+		e.epoch = 1
+	}
+	e.results = e.results[:0]
+	e.drainIDs = e.drainIDs[:0]
+	clear(e.drainRest) // drop stale *objState so old tables aren't pinned
+	e.drainRest = e.drainRest[:0]
+	e.stats = Stats{Algorithm: variant.String(), K: k}
+	e.d0k, e.d0kFixed, e.frozen = inf, false, false
+	e.measurePQ, e.pqClock = false, 0
+	e.eps, e.maxDist = 0, inf
+	e.err = nil
+	if k > 0 && n > 0 {
 		e.queue.Push(0, qelem{node: objs.Tree().Root()})
 		e.noteQueue()
 	}
@@ -252,7 +313,7 @@ func (e *engine) step() bool {
 		return true
 	}
 
-	st := e.states[el.obj]
+	st := &e.states[el.obj]
 	if st.reported || el.seq != st.seq {
 		return true // stale entry
 	}
@@ -271,7 +332,7 @@ func (e *engine) step() bool {
 	// object defining Dk; its distance certifies membership in the top k
 	// without refining p any further (paper p.36).
 	if e.variant == VariantKNNM && e.l.Len() == e.k {
-		kmin := e.states[topOf(e.l)].iv.Lo
+		kmin := e.states[topOf(&e.l)].iv.Lo
 		if st.iv.Hi <= kmin && st.iv.Hi <= e.maxDist &&
 			(e.eps == 0 || st.iv.Hi <= (1+e.eps)*st.iv.Lo) {
 			e.stats.KMinDistAccepts++
@@ -341,9 +402,9 @@ func (e *engine) expand(n *pmr.Node) {
 }
 
 func (e *engine) discover(o pmr.Object) {
-	st := &objState{id: o.ID, refiner: e.ix.Refine(e.qc, e.q, o.Vertex)}
+	st := &e.states[o.ID]
+	*st = objState{id: o.ID, refiner: e.ix.Refine(e.qc, e.q, o.Vertex), epoch: e.epoch}
 	st.iv = st.refiner.Interval()
-	e.states[o.ID] = st
 	e.stats.Lookups++
 	e.maybeInsertL(st)
 	if e.admit(st.iv.Lo) {
@@ -368,19 +429,24 @@ func (e *engine) maybeInsertL(st *objState) {
 	if !e.maintainsL() || st.inL || st.refiner.OutOfRange() {
 		return
 	}
-	start := time.Now()
-	defer func() { e.pqClock += time.Since(start) }()
+	var start time.Time
+	if e.measurePQ {
+		start = time.Now()
+	}
 	if e.l.Len() < e.k {
 		st.lh = e.l.Push(st.iv.Hi, st.id)
 		st.inL = true
 		e.stats.LOps++
 	} else if st.iv.Hi < e.l.TopKey() {
-		evicted := topOf(e.l)
+		evicted := topOf(&e.l)
 		e.l.Pop()
 		e.states[evicted].inL = false
 		st.lh = e.l.Push(st.iv.Hi, st.id)
 		st.inL = true
 		e.stats.LOps += 2
+	}
+	if e.measurePQ {
+		e.pqClock += time.Since(start)
 	}
 	if n := e.l.Len(); n > e.stats.MaxL {
 		e.stats.MaxL = n
@@ -391,7 +457,7 @@ func (e *engine) maybeInsertL(st *objState) {
 		e.d0kFixed = true
 		e.d0k = e.l.TopKey()
 		e.stats.D0k = e.d0k
-		e.stats.KMinDist0 = e.states[topOf(e.l)].iv.Lo
+		e.stats.KMinDist0 = e.states[topOf(&e.l)].iv.Lo
 		if e.variant == VariantKNNI {
 			e.frozen = true
 		}
@@ -403,10 +469,14 @@ func (e *engine) updateL(st *objState) {
 		return
 	}
 	if st.inL {
-		start := time.Now()
-		e.l.Update(st.lh, st.iv.Hi)
+		if e.measurePQ {
+			start := time.Now()
+			e.l.Update(st.lh, st.iv.Hi)
+			e.pqClock += time.Since(start)
+		} else {
+			e.l.Update(st.lh, st.iv.Hi)
+		}
 		e.stats.LOps++
-		e.pqClock += time.Since(start)
 		return
 	}
 	e.maybeInsertL(st)
@@ -433,12 +503,14 @@ func (e *engine) drainL() {
 	if e.l.Len() == 0 {
 		return
 	}
-	var rest []*objState
-	for _, id := range e.l.Items() {
-		if st := e.states[id]; !st.reported {
+	e.drainIDs = e.l.AppendItems(e.drainIDs[:0])
+	rest := e.drainRest[:0]
+	for _, id := range e.drainIDs {
+		if st := &e.states[id]; !st.reported {
 			rest = append(rest, st)
 		}
 	}
+	e.drainRest = rest
 	if !math.IsInf(e.maxDist, 1) || e.eps > 0 {
 		kept := rest[:0]
 		for _, st := range rest {
@@ -461,7 +533,7 @@ func (e *engine) drainL() {
 		}
 		rest = kept
 	}
-	sort.Slice(rest, func(i, j int) bool { return rest[i].iv.Hi < rest[j].iv.Hi })
+	slices.SortFunc(rest, func(a, b *objState) int { return cmp.Compare(a.iv.Hi, b.iv.Hi) })
 	for _, st := range rest {
 		if len(e.results) >= e.k {
 			break
@@ -470,9 +542,17 @@ func (e *engine) drainL() {
 	}
 }
 
+// result snapshots the search outcome. Neighbors is copied out of the
+// scratch arena so the Result stays valid after the arena serves its next
+// query.
 func (e *engine) result() Result {
+	var ns []Neighbor
+	if len(e.results) > 0 {
+		ns = make([]Neighbor, len(e.results))
+		copy(ns, e.results)
+	}
 	return Result{
-		Neighbors: e.results,
+		Neighbors: ns,
 		Sorted:    e.variant != VariantKNNM,
 		Stats:     e.stats,
 		Err:       e.err,
@@ -506,13 +586,18 @@ func NewBrowser(ix core.QueryIndex, objs *Objects, q graph.VertexID) *Browser {
 // rank certification, MaxDist ends the stream at the distance bound.
 // Spec.K and Spec.Variant are ignored — a browser always streams the whole
 // set incrementally (INN).
+//
+// The cursor owns qc's scratch arena for its whole lifetime: do not run
+// another search on the same context while the cursor is live, and do not
+// recycle the context until the cursor is dropped.
 func NewBrowserSpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, spec Spec) *Browser {
 	if qc == nil {
 		qc = core.NewQueryContext()
 	}
-	e := newEngine(ix, qc, objs, q, objs.Len(), VariantINN)
+	e := scratchFor(qc).engineFor(ix, qc, objs, q, objs.Len(), VariantINN)
 	e.eps = spec.Epsilon
 	e.maxDist = spec.MaxDist
+	e.measurePQ = spec.MeasurePQ
 	return &Browser{e: e}
 }
 

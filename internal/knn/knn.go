@@ -136,6 +136,11 @@ type Spec struct {
 	// must say math.Inf(1), which UnboundedSpec and the package-level
 	// convenience wrappers do.
 	MaxDist float64
+	// MeasurePQ enables wall-clock instrumentation of the L/Dk priority
+	// queue operations (Stats.PQTime, the paper's KNN-PQ cost split). It is
+	// off by default because the time.Now pairs around every L operation
+	// cost a measurable fraction of a warm in-memory query.
+	MeasurePQ bool
 }
 
 // UnboundedSpec returns a Spec with the distance bound disabled.

@@ -3,7 +3,6 @@ package knn
 import (
 	"silc/internal/core"
 	"silc/internal/graph"
-	"silc/internal/pqueue"
 )
 
 // RangeSearch returns every object within network distance radius of q —
@@ -19,34 +18,36 @@ func RangeSearch(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius flo
 
 // RangeSearchCtx is RangeSearch under a caller-supplied query context, so
 // the caller attributes I/O and can cancel the search between refinements.
+// Like SearchSpec it runs on the context's reusable scratch arena and copies
+// the results out, so a pooled context answers steady-state range queries
+// without allocating.
 func RangeSearchCtx(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.VertexID, radius float64) Result {
 	clock := beginQueryWith(ix, qc)
-	stats := Stats{Algorithm: "RANGE"}
-	var res []Neighbor
-	var cancelErr error
+	// k=0 keeps the engine frame passive (no root push, no L); the range
+	// loop below drives the shared queue/state/result buffers itself.
+	e := scratchFor(clock.qc).engineFor(ix, clock.qc, objs, q, 0, VariantINN)
+	e.stats.Algorithm = "RANGE"
 
 	if radius >= 0 && objs.Len() > 0 {
-		var queue pqueue.Min[qelem]
-		states := make([]*objState, objs.Len())
-		queue.Push(0, qelem{node: objs.Tree().Root()})
-		stats.MaxQueue = 1
-		for queue.Len() > 0 {
-			if cancelErr = clock.qc.Err(); cancelErr != nil {
+		e.queue.Push(0, qelem{node: objs.Tree().Root()})
+		e.stats.MaxQueue = 1
+		for e.queue.Len() > 0 {
+			if e.err = clock.qc.Err(); e.err != nil {
 				break
 			}
-			key, el := queue.Pop()
+			key, el := e.queue.Pop()
 			if key > radius {
 				break // min-ordered: everything remaining is out of range
 			}
 			if el.node != nil {
 				if el.node.IsLeaf() {
 					for _, o := range el.node.Objects() {
-						st := &objState{id: o.ID, refiner: ix.Refine(clock.qc, q, o.Vertex)}
+						st := &e.states[o.ID]
+						*st = objState{id: o.ID, refiner: ix.Refine(clock.qc, q, o.Vertex), epoch: e.epoch}
 						st.iv = st.refiner.Interval()
-						states[o.ID] = st
-						stats.Lookups++
+						e.stats.Lookups++
 						if st.iv.Lo <= radius {
-							queue.Push(st.iv.Lo, qelem{obj: o.ID})
+							e.queue.Push(st.iv.Lo, qelem{obj: o.ID})
 						}
 					}
 				} else {
@@ -55,16 +56,14 @@ func RangeSearchCtx(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q 
 							continue
 						}
 						if lb := ix.RegionLowerBoundCtx(clock.qc, q, c.Rect()); lb <= radius {
-							queue.Push(lb, qelem{node: c})
+							e.queue.Push(lb, qelem{node: c})
 						}
 					}
 				}
-				if queue.Len() > stats.MaxQueue {
-					stats.MaxQueue = queue.Len()
-				}
+				e.noteQueue()
 				continue
 			}
-			st := states[el.obj]
+			st := &e.states[el.obj]
 			// Refine until the interval falls on one side of the radius.
 			// Out-of-range objects (proximity-bounded indexes) hold
 			// [indexRadius, +Inf) forever and are excluded below.
@@ -72,11 +71,11 @@ func RangeSearchCtx(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q 
 				!st.refiner.Done() && !st.refiner.OutOfRange() &&
 				clock.qc.Err() == nil {
 				st.refiner.Step()
-				stats.Refinements++
+				e.stats.Refinements++
 				st.iv = st.refiner.Interval()
 			}
 			if st.iv.Hi <= radius || (st.refiner.Done() && st.iv.Lo <= radius) {
-				res = append(res, Neighbor{
+				e.results = append(e.results, Neighbor{
 					Object:   objs.ByID(st.id),
 					Interval: st.iv,
 					Dist:     st.iv.Lo,
@@ -86,7 +85,8 @@ func RangeSearchCtx(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q 
 		}
 	}
 
-	out := Result{Neighbors: res, Sorted: false, Stats: stats, Err: cancelErr}
+	out := e.result()
+	out.Sorted = false
 	clock.finish(&out.Stats)
 	return out
 }
@@ -102,24 +102,19 @@ func ObjectsInRange(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius 
 	var res []Neighbor
 
 	if radius >= 0 && objs.Len() > 0 {
-		n := g.NumVertices()
-		dist := make([]float64, n)
-		settled := make([]bool, n)
-		for i := range dist {
-			dist[i] = inf
-		}
-		var frontier pqueue.Min[graph.VertexID]
-		dist[q] = 0
-		frontier.Push(0, q)
-		for frontier.Len() > 0 {
-			d, v := frontier.Pop()
-			if settled[v] || d > dist[v] {
+		ws := &scratchFor(clock.qc).ws
+		ws.reset(g.NumVertices())
+		ws.setDist(q, 0)
+		ws.frontier.Push(0, q)
+		for ws.frontier.Len() > 0 {
+			d, v := ws.frontier.Pop()
+			if ws.settled(v) || d > ws.distOf(v) {
 				continue
 			}
 			if d > radius {
 				break
 			}
-			settled[v] = true
+			ws.settle(v)
 			stats.Settled++
 			for _, id := range objs.AtVertex(v) {
 				res = append(res, Neighbor{
@@ -133,9 +128,9 @@ func ObjectsInRange(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius 
 			targets, weights := g.Neighbors(v)
 			for i, t := range targets {
 				stats.Relaxed++
-				if nd := d + weights[i]; nd < dist[t] {
-					dist[t] = nd
-					frontier.Push(nd, t)
+				if nd := d + weights[i]; nd < ws.distOf(t) {
+					ws.setDist(t, nd)
+					ws.frontier.Push(nd, t)
 				}
 			}
 		}

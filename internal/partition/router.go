@@ -27,33 +27,92 @@ type router struct {
 
 	gw    [][]float64 // per cell: A values per row offset; nil until computed
 	gwArg [][]int32   // per cell: argmin own-cell row (global row id) behind each A value
-	minA  []float64   // per cell: min over gw; NaN until computed
+	minA  []float64   // per cell: min over gw
+	// epoch stamps each cell's gw/gwArg/minA entry with the rebind epoch it
+	// was computed under; cur advances on every source change, invalidating
+	// all cached closures at once without an O(P) clear.
+	epoch []uint32
+	cur   uint32
+
+	// rrSlab recycles routeRefiners: handed out in order per query, reset en
+	// masse when the context's reuse generation moves past qcGen (i.e. at the
+	// first router use of a new query, when no refiner of the previous query
+	// can still be live).
+	rrSlab []*routeRefiner
+	rrUsed int
+	qcGen  uint64
 }
 
 // routerFor returns the context's cached router for src, building one on
-// first use. A nil context gets a fresh uncached router.
+// first use. A cached router is rebound in place on a source change —
+// keeping the du buffer and every per-cell closure slice — and recycles its
+// route-refiner slab whenever the context has been reset since its last
+// use. A nil context gets a fresh uncached router.
 func (s *Sharded) routerFor(qc *core.QueryContext, src graph.VertexID) *router {
 	if qc != nil {
-		if rt, ok := qc.Route.(*router); ok && rt.s == s && rt.src == src {
+		if rt, ok := qc.Route.(*router); ok && rt.s == s {
+			if g := qc.Gen(); g != rt.qcGen {
+				rt.qcGen = g
+				rt.recycleRefiners()
+			}
+			if rt.src != src {
+				rt.rebind(src)
+			}
 			return rt
 		}
 	}
 	rt := &router{
 		s:     s,
-		qc:    qc,
 		src:   src,
 		p:     s.asn.CellOf[src],
 		gw:    make([][]float64, s.asn.P),
 		gwArg: make([][]int32, s.asn.P),
 		minA:  make([]float64, s.asn.P),
-	}
-	for i := range rt.minA {
-		rt.minA[i] = math.NaN()
+		epoch: make([]uint32, s.asn.P),
+		cur:   1,
 	}
 	if qc != nil {
+		rt.qc = qc
+		rt.qcGen = qc.Gen()
 		qc.Route = rt
 	}
 	return rt
+}
+
+// rebind retargets the router at a new source vertex, invalidating every
+// cached closure by advancing the epoch while keeping all allocations.
+func (rt *router) rebind(src graph.VertexID) {
+	rt.src = src
+	rt.p = rt.s.asn.CellOf[src]
+	rt.duReady = false
+	rt.cur++
+	if rt.cur == 0 { // wrapped: nothing may read as valid
+		clear(rt.epoch)
+		rt.cur = 1
+	}
+}
+
+// recycleRefiners returns every handed-out routeRefiner to the slab,
+// dropping the cell-refiner references they pinned but keeping their gates
+// capacity.
+func (rt *router) recycleRefiners() {
+	for _, r := range rt.rrSlab[:rt.rrUsed] {
+		gates := r.gates[:cap(r.gates)]
+		clear(gates)
+		*r = routeRefiner{gates: gates[:0]}
+	}
+	rt.rrUsed = 0
+}
+
+// newRR hands out the next slab routeRefiner, growing past the high-water
+// mark only.
+func (rt *router) newRR() *routeRefiner {
+	if rt.rrUsed == len(rt.rrSlab) {
+		rt.rrSlab = append(rt.rrSlab, new(routeRefiner))
+	}
+	r := rt.rrSlab[rt.rrUsed]
+	rt.rrUsed++
+	return r
 }
 
 // ensureDU refines the source's distance to each of its own cell's boundary
@@ -65,7 +124,10 @@ func (rt *router) ensureDU() {
 	}
 	s := rt.s
 	lo, hi := s.cl.Rows(rt.p)
-	rt.du = make([]float64, hi-lo)
+	if cap(rt.du) < int(hi-lo) {
+		rt.du = make([]float64, hi-lo)
+	}
+	rt.du = rt.du[:hi-lo]
 	cx := s.cells[rt.p]
 	srcLocal := graph.VertexID(s.asn.LocalOf[rt.src])
 	for r := lo; r < hi; r++ {
@@ -79,7 +141,7 @@ func (rt *router) ensureDU() {
 // destination cell c, computing and caching it on first use: an
 // O(|B_p|·|B_c|) scan over the closure.
 func (rt *router) gateways(c int32) ([]float64, []int32) {
-	if rt.gw[c] != nil {
+	if rt.gw[c] != nil && rt.epoch[c] == rt.cur {
 		return rt.gw[c], rt.gwArg[c]
 	}
 	rt.ensureDU()
@@ -87,8 +149,13 @@ func (rt *router) gateways(c int32) ([]float64, []int32) {
 	plo, phi := s.cl.Rows(rt.p)
 	clo, chi := s.cl.Rows(c)
 	nb := s.cl.NB()
-	a := make([]float64, chi-clo)
-	arg := make([]int32, chi-clo)
+	// A cell's boundary-row count never changes, so a stale-epoch slice is
+	// exactly the right size to overwrite.
+	a, arg := rt.gw[c], rt.gwArg[c]
+	if a == nil {
+		a = make([]float64, chi-clo)
+		arg = make([]int32, chi-clo)
+	}
 	for j := range a {
 		a[j] = math.Inf(1)
 		arg[j] = -1
@@ -115,13 +182,14 @@ func (rt *router) gateways(c int32) ([]float64, []int32) {
 	rt.gw[c] = a
 	rt.gwArg[c] = arg
 	rt.minA[c] = m
+	rt.epoch[c] = rt.cur
 	return a, arg
 }
 
 // minInto returns a lower bound on the global distance from the source to
 // any vertex of cell c routed through c's boundary.
 func (rt *router) minInto(c int32) float64 {
-	if math.IsNaN(rt.minA[c]) {
+	if rt.gw[c] == nil || rt.epoch[c] != rt.cur {
 		rt.gateways(c)
 	}
 	return rt.minA[c]
@@ -178,7 +246,9 @@ type routeRefiner struct {
 }
 
 func (s *Sharded) newRouteRefiner(qc *core.QueryContext, src, dst graph.VertexID) *routeRefiner {
-	r := &routeRefiner{s: s, qc: qc, q: s.asn.CellOf[dst]}
+	rt := s.routerFor(qc, src)
+	r := rt.newRR()
+	r.s, r.qc, r.q = s, qc, s.asn.CellOf[dst]
 	if src == dst {
 		r.done = true
 		return r
@@ -190,11 +260,10 @@ func (s *Sharded) newRouteRefiner(qc *core.QueryContext, src, dst graph.VertexID
 		r.directIv = r.direct.Interval()
 		r.directExact = r.direct.Done() || r.direct.OutOfRange()
 	}
-	rt := s.routerFor(qc, src)
 	a, _ := rt.gateways(r.q)
 	lo, _ := s.cl.Rows(r.q)
 	cx := s.cells[r.q]
-	r.gates = make([]gate, 0, len(a))
+	r.gates = r.gates[:0]
 	for j, av := range a {
 		if math.IsInf(av, 1) {
 			continue

@@ -1,12 +1,17 @@
 // Package pqueue provides the priority-queue machinery shared by the
-// shortest-path and nearest-neighbor algorithms: a plain binary min-heap
+// shortest-path and nearest-neighbor algorithms: a plain 4-ary min-heap
 // keyed by float64 priorities, an indexed heap with update/remove by handle
 // (needed for the kNN result list L, whose members are re-keyed on every
 // refinement), and a bounded max-heap for best-k accumulation.
 package pqueue
 
-// Min is a binary min-heap of values of type T ordered by a float64 key.
+// Min is a 4-ary min-heap of values of type T ordered by a float64 key.
 // The zero value is an empty, ready-to-use heap.
+//
+// The 4-ary shape halves the sift depth of a binary heap and puts each
+// node's four child keys in 32 contiguous bytes — at most one cache line
+// per level — which matters because the pop-heavy Dijkstra frontiers spend
+// most of their heap time sifting down.
 type Min[T any] struct {
 	keys []float64
 	vals []T
@@ -54,7 +59,7 @@ func (h *Min[T]) Reset() {
 func (h *Min[T]) up(i int) {
 	key, val := h.keys[i], h.vals[i]
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) >> 2
 		if h.keys[parent] <= key {
 			break
 		}
@@ -68,18 +73,25 @@ func (h *Min[T]) down(i int) {
 	n := len(h.keys)
 	key, val := h.keys[i], h.vals[i]
 	for {
-		child := 2*i + 1
-		if child >= n {
+		first := i<<2 + 1
+		if first >= n {
 			break
 		}
-		if r := child + 1; r < n && h.keys[r] < h.keys[child] {
-			child = r
+		end := first + 4
+		if end > n {
+			end = n
 		}
-		if key <= h.keys[child] {
+		best, bestKey := first, h.keys[first]
+		for c := first + 1; c < end; c++ {
+			if h.keys[c] < bestKey {
+				best, bestKey = c, h.keys[c]
+			}
+		}
+		if key <= bestKey {
 			break
 		}
-		h.keys[i], h.vals[i] = h.keys[child], h.vals[child]
-		i = child
+		h.keys[i], h.vals[i] = bestKey, h.vals[best]
+		i = best
 	}
 	h.keys[i], h.vals[i] = key, val
 }
@@ -92,31 +104,47 @@ func clearSlice[T any](s []T) {
 }
 
 // Indexed is a binary heap whose items can be re-keyed or removed through
-// integer handles returned by Push. Ordering is controlled by max: a max-heap
-// keeps the largest key at the top (used for the kNN list L ordered by the
+// handles returned by Push. Ordering is controlled by max: a max-heap keeps
+// the largest key at the top (used for the kNN result list L ordered by the
 // interval upper bound), a min-heap the smallest.
+//
+// Storage is a slot slab plus a free list: Push reuses freed slots instead
+// of allocating, so a long-lived heap that is Reset between queries performs
+// zero allocations in steady state. Handles are generation-stamped slot
+// indices — a handle dies when its item is popped, removed, or the heap is
+// Reset, and Valid reports false from then on even if the slot is reused.
 type Indexed[T any] struct {
-	entries []*indexedEntry[T]
-	max     bool
+	slots []islot[T]
+	heap  []int32 // heap order -> slot index
+	free  []int32 // recycled slot indices
+	max   bool
 }
 
-type indexedEntry[T any] struct {
+type islot[T any] struct {
 	key float64
 	val T
-	pos int
+	pos int32  // index in heap; -1 when the slot is free
+	gen uint32 // bumped on every free, invalidating outstanding handles
 }
 
 // Handle identifies an item in an Indexed heap.
-type Handle[T any] struct{ e *indexedEntry[T] }
+type Handle[T any] struct {
+	h   *Indexed[T]
+	i   int32
+	gen uint32
+}
 
 // Valid reports whether the handle still refers to a queued item.
-func (h Handle[T]) Valid() bool { return h.e != nil && h.e.pos >= 0 }
+func (h Handle[T]) Valid() bool {
+	return h.h != nil && int(h.i) < len(h.h.slots) &&
+		h.h.slots[h.i].gen == h.gen && h.h.slots[h.i].pos >= 0
+}
 
 // Key returns the current key of the handle's item.
-func (h Handle[T]) Key() float64 { return h.e.key }
+func (h Handle[T]) Key() float64 { return h.h.slots[h.i].key }
 
 // Value returns the item stored under the handle.
-func (h Handle[T]) Value() T { return h.e.val }
+func (h Handle[T]) Value() T { return h.h.slots[h.i].val }
 
 // NewIndexedMax returns an empty max-ordered indexed heap.
 func NewIndexedMax[T any]() *Indexed[T] { return &Indexed[T]{max: true} }
@@ -124,83 +152,124 @@ func NewIndexedMax[T any]() *Indexed[T] { return &Indexed[T]{max: true} }
 // NewIndexedMin returns an empty min-ordered indexed heap.
 func NewIndexedMin[T any]() *Indexed[T] { return &Indexed[T]{} }
 
+// InitMax prepares a zero-value (or previously used) heap as an empty
+// max-ordered heap, retaining slab capacity. For embedding an Indexed by
+// value in reusable query scratch.
+func (h *Indexed[T]) InitMax() {
+	h.max = true
+	h.Reset()
+}
+
 // Len returns the number of queued items.
-func (h *Indexed[T]) Len() int { return len(h.entries) }
+func (h *Indexed[T]) Len() int { return len(h.heap) }
+
+// Reset empties the heap, invalidating every outstanding handle while
+// retaining slab capacity for reuse.
+func (h *Indexed[T]) Reset() {
+	var zero T
+	h.heap = h.heap[:0]
+	h.free = h.free[:0]
+	for i := range h.slots {
+		s := &h.slots[i]
+		s.val = zero
+		s.pos = -1
+		s.gen++
+		h.free = append(h.free, int32(i))
+	}
+}
 
 // Push inserts v with the given key and returns a handle for later updates.
 func (h *Indexed[T]) Push(key float64, v T) Handle[T] {
-	e := &indexedEntry[T]{key: key, val: v, pos: len(h.entries)}
-	h.entries = append(h.entries, e)
-	h.up(e.pos)
-	return Handle[T]{e}
+	var i int32
+	if n := len(h.free); n > 0 {
+		i = h.free[n-1]
+		h.free = h.free[:n-1]
+	} else {
+		i = int32(len(h.slots))
+		h.slots = append(h.slots, islot[T]{})
+	}
+	s := &h.slots[i]
+	s.key, s.val, s.pos = key, v, int32(len(h.heap))
+	h.heap = append(h.heap, i)
+	h.up(int(s.pos))
+	return Handle[T]{h: h, i: i, gen: s.gen}
 }
 
 // Top returns the key and value of the root item without removing it.
 // It panics on an empty heap.
 func (h *Indexed[T]) Top() (float64, T) {
-	e := h.entries[0]
-	return e.key, e.val
+	s := &h.slots[h.heap[0]]
+	return s.key, s.val
 }
 
 // TopKey returns the root key. It panics on an empty heap.
-func (h *Indexed[T]) TopKey() float64 { return h.entries[0].key }
+func (h *Indexed[T]) TopKey() float64 { return h.slots[h.heap[0]].key }
 
 // TopHandle returns a handle to the root item. It panics on an empty heap.
-func (h *Indexed[T]) TopHandle() Handle[T] { return Handle[T]{h.entries[0]} }
+func (h *Indexed[T]) TopHandle() Handle[T] {
+	i := h.heap[0]
+	return Handle[T]{h: h, i: i, gen: h.slots[i].gen}
+}
 
 // Pop removes and returns the root item.
 func (h *Indexed[T]) Pop() (float64, T) {
-	e := h.entries[0]
-	h.remove(0)
-	return e.key, e.val
+	i := h.heap[0]
+	key, val := h.slots[i].key, h.slots[i].val
+	h.removeAt(0)
+	return key, val
 }
 
 // Update changes the key of the item behind the handle and restores heap
 // order. It panics if the handle is no longer valid.
 func (h *Indexed[T]) Update(hd Handle[T], key float64) {
-	e := hd.e
-	if e == nil || e.pos < 0 {
+	if !hd.Valid() {
 		panic("pqueue: Update on invalid handle")
 	}
-	e.key = key
-	h.down(e.pos)
-	h.up(e.pos)
+	s := &h.slots[hd.i]
+	s.key = key
+	h.down(int(s.pos))
+	h.up(int(s.pos))
 }
 
 // Remove deletes the item behind the handle. It panics if the handle is no
 // longer valid.
 func (h *Indexed[T]) Remove(hd Handle[T]) {
-	e := hd.e
-	if e == nil || e.pos < 0 {
+	if !hd.Valid() {
 		panic("pqueue: Remove on invalid handle")
 	}
-	h.remove(e.pos)
+	h.removeAt(int(h.slots[hd.i].pos))
 }
 
-func (h *Indexed[T]) remove(i int) {
-	n := len(h.entries) - 1
-	e := h.entries[i]
+// removeAt deletes the item at heap position i and frees its slot.
+func (h *Indexed[T]) removeAt(i int) {
+	n := len(h.heap) - 1
+	si := h.heap[i]
 	h.swap(i, n)
-	h.entries = h.entries[:n]
+	h.heap = h.heap[:n]
 	if i < n {
 		h.down(i)
 		h.up(i)
 	}
-	e.pos = -1
+	s := &h.slots[si]
+	var zero T
+	s.val = zero
+	s.pos = -1
+	s.gen++
+	h.free = append(h.free, si)
 }
 
-// less orders i before j according to the heap's direction.
+// less orders heap position i before j according to the heap's direction.
 func (h *Indexed[T]) less(i, j int) bool {
 	if h.max {
-		return h.entries[i].key > h.entries[j].key
+		return h.slots[h.heap[i]].key > h.slots[h.heap[j]].key
 	}
-	return h.entries[i].key < h.entries[j].key
+	return h.slots[h.heap[i]].key < h.slots[h.heap[j]].key
 }
 
 func (h *Indexed[T]) swap(i, j int) {
-	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
-	h.entries[i].pos = i
-	h.entries[j].pos = j
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.slots[h.heap[i]].pos = int32(i)
+	h.slots[h.heap[j]].pos = int32(j)
 }
 
 func (h *Indexed[T]) up(i int) {
@@ -215,7 +284,7 @@ func (h *Indexed[T]) up(i int) {
 }
 
 func (h *Indexed[T]) down(i int) {
-	n := len(h.entries)
+	n := len(h.heap)
 	for {
 		child := 2*i + 1
 		if child >= n {
@@ -235,9 +304,15 @@ func (h *Indexed[T]) down(i int) {
 // Items returns the queued values in heap (not sorted) order. Intended for
 // draining results at the end of a search.
 func (h *Indexed[T]) Items() []T {
-	out := make([]T, len(h.entries))
-	for i, e := range h.entries {
-		out[i] = e.val
+	return h.AppendItems(make([]T, 0, len(h.heap)))
+}
+
+// AppendItems appends the queued values in heap (not sorted) order to dst
+// and returns the extended slice — the allocation-free form of Items for
+// callers that reuse a drain buffer.
+func (h *Indexed[T]) AppendItems(dst []T) []T {
+	for _, si := range h.heap {
+		dst = append(dst, h.slots[si].val)
 	}
-	return out
+	return dst
 }

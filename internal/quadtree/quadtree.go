@@ -53,6 +53,26 @@ type Tree struct {
 	// prune on Euclidean distance alone. At least 1 whenever edge weights
 	// dominate Euclidean segment lengths.
 	MinLambda float64
+	// codes mirrors Blocks[i].Cell.Code in a packed side array. The lookup
+	// binary search probes it instead of the 24-byte Block structs: eight
+	// codes share a cache line where two blocks do, so the tail of the
+	// search — the probes that are never prefetchable — stays in one or two
+	// lines. Built by Seal; lookups fall back to Blocks when absent.
+	codes []geom.Code
+}
+
+// Seal builds the packed code side array after Blocks reaches its final
+// state. Construction sites call it once; concurrent readers require it to
+// happen before the tree is shared (Seal is not synchronized).
+func (t *Tree) Seal() {
+	if cap(t.codes) < len(t.Blocks) {
+		t.codes = make([]geom.Code, len(t.Blocks))
+	} else {
+		t.codes = t.codes[:len(t.Blocks)]
+	}
+	for i := range t.Blocks {
+		t.codes[i] = t.Blocks[i].Cell.Code
+	}
 }
 
 // NumBlocks returns the Morton block count (the paper's storage unit).
@@ -64,29 +84,48 @@ func (t *Tree) EncodedBytes() int { return len(t.Blocks) * EncodedSizeBytes }
 // Find returns the block containing the given Morton code. ok is false when
 // the code lies in uncovered (vertex-free or source) territory.
 func (t *Tree) Find(code geom.Code) (Block, bool) {
-	i := sort.Search(len(t.Blocks), func(i int) bool {
-		return t.Blocks[i].Cell.Code > code
-	})
-	if i == 0 {
+	i, ok := t.FindIndex(code)
+	if !ok {
 		return Block{}, false
 	}
-	b := t.Blocks[i-1]
-	if !b.Cell.ContainsCode(code) {
-		return Block{}, false
-	}
-	return b, true
+	return t.Blocks[i], true
 }
 
 // FindIndex is Find but returns the block's index, for page-access
-// accounting by the disk layer.
+// accounting by the disk layer. The binary search is hand-rolled: this is
+// the single hottest call of the query path (one per interval lookup), and
+// the sort.Search closure costs more than the comparisons themselves.
 func (t *Tree) FindIndex(code geom.Code) (int, bool) {
-	i := sort.Search(len(t.Blocks), func(i int) bool {
-		return t.Blocks[i].Cell.Code > code
-	})
-	if i == 0 || !t.Blocks[i-1].Cell.ContainsCode(code) {
+	// Invariant: blocks are sorted by Cell.Code; find the last block whose
+	// code is <= the probe, i.e. lower_bound on (Code > code) minus one.
+	if codes := t.codes; len(codes) == len(t.Blocks) && len(codes) > 0 {
+		lo, hi := 0, len(codes)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if codes[mid] > code {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo == 0 || !t.Blocks[lo-1].Cell.ContainsCode(code) {
+			return -1, false
+		}
+		return lo - 1, true
+	}
+	lo, hi := 0, len(t.Blocks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.Blocks[mid].Cell.Code > code {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 || !t.Blocks[lo-1].Cell.ContainsCode(code) {
 		return -1, false
 	}
-	return i - 1, true
+	return lo - 1, true
 }
 
 // RegionLowerBound returns a lower bound on the network distance from the
@@ -99,15 +138,17 @@ func (t *Tree) RegionLowerBound(q geom.Point, rect geom.Rect) float64 {
 	if len(t.Blocks) == 0 {
 		return best
 	}
-	t.regionVisit(geom.RootCell(), 0, len(t.Blocks), q, rect, &best)
+	t.regionVisit(geom.RootCell(), geom.UnitRect(), 0, len(t.Blocks), q, rect, &best)
 	return best
 }
 
-func (t *Tree) regionVisit(cell geom.Cell, lo, hi int, q geom.Point, rect geom.Rect, best *float64) {
+// regionVisit descends the implicit quadtree over the block range [lo, hi).
+// cellRect is cell's rectangle, threaded down the recursion (child rects are
+// quadrant midpoint splits) so no level re-derives it from the Morton code.
+func (t *Tree) regionVisit(cell geom.Cell, cellRect geom.Rect, lo, hi int, q geom.Point, rect geom.Rect, best *float64) {
 	if lo == hi {
 		return
 	}
-	cellRect := cell.Rect()
 	overlap, ok := cellRect.Intersect(rect)
 	if !ok {
 		return
@@ -125,17 +166,54 @@ func (t *Tree) regionVisit(cell geom.Cell, lo, hi int, q geom.Point, rect geom.R
 		}
 		return
 	}
-	// Descend: partition the block range among the four children.
+	// Descend: partition the block range among the four children. Child i's
+	// Morton bits are (y<<1)|x, so bit 0 selects the x half, bit 1 the y
+	// half of the midpoint split.
+	midX := (cellRect.MinX + cellRect.MaxX) / 2
+	midY := (cellRect.MinY + cellRect.MaxY) / 2
 	at := lo
 	for i := 0; i < 4; i++ {
 		child := cell.Child(i)
-		end := child.End()
-		sub := at + sort.Search(hi-at, func(j int) bool {
-			return t.Blocks[at+j].Cell.Code >= end
-		})
-		t.regionVisit(child, at, sub, q, rect, best)
+		sub := t.lowerBound(at, hi, child.End())
+		childRect := cellRect
+		if i&1 == 0 {
+			childRect.MaxX = midX
+		} else {
+			childRect.MinX = midX
+		}
+		if i&2 == 0 {
+			childRect.MaxY = midY
+		} else {
+			childRect.MinY = midY
+		}
+		t.regionVisit(child, childRect, at, sub, q, rect, best)
 		at = sub
 	}
+}
+
+// lowerBound returns the first index in [lo, hi) whose block code is >= end,
+// probing the packed code array when sealed.
+func (t *Tree) lowerBound(lo, hi int, end geom.Code) int {
+	if len(t.codes) == len(t.Blocks) {
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if t.codes[mid] >= end {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.Blocks[mid].Cell.Code >= end {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // Builder constructs shortest-path quadtrees over a fixed Morton-sorted
@@ -173,6 +251,7 @@ func (b *Builder) Build(colors []int32, ratios []float64) *Tree {
 	if len(t.Blocks) == 0 {
 		t.MinLambda = 1
 	}
+	t.Seal()
 	return t
 }
 

@@ -132,6 +132,17 @@ type Store struct {
 // single-vertex cell of a lenient build).
 var emptyTree = &quadtree.Tree{MinLambda: 1}
 
+// loadScratch carries the gather buffers of one cold tree load: the
+// per-page frame pointers and the contiguous entry run handed to
+// DecodeBlocks. Both are scratch — DecodeBlocks copies values out — so they
+// recycle through a pool instead of being reallocated per cold load.
+type loadScratch struct {
+	bufs [][]byte
+	run  []byte
+}
+
+var loadPool = sync.Pool{New: func() any { return new(loadScratch) }}
+
 // Open parses a paged store image from ra, whose total size must be given
 // (files: Stat; embedded sections: the section length). The network,
 // extent table, and page CRC table load eagerly; block pages are read only
@@ -341,17 +352,24 @@ func (s *Store) Tree(ioStats *diskio.Stats, v graph.VertexID) (*quadtree.Tree, e
 	}
 	// Load: touch every page of v's run, reading missed ones, then gather
 	// the entry bytes and decode.
-	bufs := make([][]byte, last-first+1)
+	sc := loadPool.Get().(*loadScratch)
+	np := int(last - first + 1)
+	if cap(sc.bufs) < np {
+		sc.bufs = make([][]byte, np)
+	}
+	bufs := sc.bufs[:np]
 	for p := first; p <= last; p++ {
 		b, err := s.touch(p, ioStats, true)
 		if err != nil {
+			clear(bufs)
+			loadPool.Put(sc)
 			return nil, err
 		}
 		bufs[p-first] = b
 	}
 	lo, hi := s.layout.EntryRange(int(v))
 	epp := int64(s.layout.EntriesPerPage())
-	run := make([]byte, 0, (hi-lo)*entrySize)
+	run := sc.run[:0]
 	for i := lo; i < hi; {
 		page := i / epp
 		end := (page + 1) * epp
@@ -363,10 +381,14 @@ func (s *Store) Tree(ioStats *diskio.Stats, v graph.VertexID) (*quadtree.Tree, e
 		i = end
 	}
 	blocks, minLambda, err := DecodeBlocks(run, s.g.Degree(v))
+	sc.run = run // keep the grown capacity for the next load
+	clear(bufs)  // don't pin evicted frames from inside the pool
+	loadPool.Put(sc)
 	if err != nil {
 		return nil, fmt.Errorf("store: vertex %d: %w", v, err)
 	}
 	t = &quadtree.Tree{Blocks: blocks, MinLambda: minLambda}
+	t.Seal()
 	s.mu.Lock()
 	s.trees[v] = t
 	s.mu.Unlock()

@@ -1,0 +1,8 @@
+//go:build race
+
+package silc
+
+// raceEnabled reports whether the race detector instruments this build.
+// Instrumentation adds its own allocations, so the allocation-budget tests
+// skip themselves under -race and run on the plain builds CI also exercises.
+const raceEnabled = true
