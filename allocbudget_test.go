@@ -5,6 +5,8 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -43,10 +45,13 @@ type allocEngine struct {
 	eng  *Engine
 }
 
-// allocEngines builds the three Engine variants the budgets cover:
-// monolithic in-RAM, sharded, and disk-paged with a pool large enough that
-// the steady state never evicts (the warm-pool regime — cold loads real-read
-// and decode, which legitimately allocates).
+// allocEngines builds the Engine variants the budgets cover: monolithic
+// in-RAM, sharded, and disk-paged with a pool large enough that the steady
+// state never evicts (the warm-pool regime — cold loads real-read and
+// decode, which legitimately allocates). The paged variant runs in both
+// block-page encodings, and the compressed one additionally through a
+// memory mapping: decoding out of the mapping must not add a single
+// steady-state allocation over the positioned-read path.
 func allocEngines(t testing.TB, net *Network) []allocEngine {
 	t.Helper()
 	ix, err := BuildIndex(net, BuildOptions{})
@@ -65,10 +70,33 @@ func allocEngines(t testing.TB, net *Network) []allocEngine {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cix, err := BuildIndex(net, BuildOptions{Compression: CompressionDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg2 bytes.Buffer
+	if _, err := cix.WritePaged(&pg2); err != nil {
+		t.Fatal(err)
+	}
+	paged2, err := OpenIndexAt(bytes.NewReader(pg2.Bytes()), int64(pg2.Len()), BuildOptions{CacheFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "alloc.silcpg2")
+	if err := os.WriteFile(path, pg2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenIndex(path, BuildOptions{CacheFraction: 1.0, Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mapped.Close() })
 	return []allocEngine{
 		{"monolithic", ix.Engine()},
 		{"sharded", sx.Engine()},
 		{"paged-warm", paged.Engine()},
+		{"paged-pg2-warm", paged2.Engine()},
+		{"paged-pg2-mmap-warm", mapped.Engine()},
 	}
 }
 

@@ -25,7 +25,7 @@
 //	experiments -quick          # reduced sizes and query counts (~seconds)
 //	experiments -only F3,F4     # subset
 //	experiments -json           # also write BENCH_<id>.json result files
-//	experiments -baseline       # write canonical BENCH_F3/TP/ALLOC.json baselines
+//	experiments -baseline       # write canonical BENCH_F3/TP/ALLOC/PG.json baselines
 //	experiments -check          # fail on regression against committed baselines
 //
 // With -json every selected experiment additionally writes its raw
@@ -61,8 +61,8 @@ func main() {
 		seed     = flag.Int64("seed", bench.DefaultSeed, "master seed")
 		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<id>.json result files")
 		jsonDir  = flag.String("json-dir", ".", "directory for -json result files")
-		baseline = flag.Bool("baseline", false, "run the F3/TP/ALLOC smoke suite and write the canonical BENCH_*.json baselines into -json-dir")
-		regCheck = flag.Bool("check", false, "rerun the F3/TP/ALLOC smoke suite and fail on regression against the committed BENCH_*.json baselines")
+		baseline = flag.Bool("baseline", false, "run the F3/TP/ALLOC/PG smoke suite and write the canonical BENCH_*.json baselines into -json-dir")
+		regCheck = flag.Bool("check", false, "rerun the F3/TP/ALLOC/PG smoke suite and fail on regression against the committed BENCH_*.json baselines")
 	)
 	flag.Parse()
 	if *baseline || *regCheck {

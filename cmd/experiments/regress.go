@@ -1,10 +1,12 @@
 // Benchmark-trajectory regression gate.
 //
 // `experiments -baseline` runs a fixed smoke-sized measurement suite —
-// F3 (kNN execution time), TP (parallel throughput), and ALLOC
-// (steady-state allocations on the public Engine surface) — and writes the
-// results as the canonical BENCH_F3.json / BENCH_TP.json / BENCH_ALLOC.json
-// files, which are committed to the repository.
+// F3 (kNN execution time), TP (parallel throughput), ALLOC (steady-state
+// allocations on the public Engine surface), and PG (compressed block-page
+// image sizes, cold pool counters, and warm mmap-path timing) — and writes
+// the results as the canonical BENCH_F3.json / BENCH_TP.json /
+// BENCH_ALLOC.json / BENCH_PG.json files, which are committed to the
+// repository.
 //
 // `experiments -check` (the CI bench-regress job) reruns the identical suite
 // and compares it against the committed files:
@@ -26,6 +28,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -98,6 +101,40 @@ type allocRow struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// pgBaseline tracks the compressed block-page format: exact image sizes in
+// both encodings (byte-deterministic — any drift means the on-disk format
+// changed and the baseline must be consciously regenerated), exact cold-scan
+// pool counters under a 5% pool, and warm-path timing/allocations through
+// positioned reads and mmap.
+type pgBaseline struct {
+	CalibrationNs float64    `json:"calibration_ns"`
+	Lattice       int        `json:"lattice"`
+	Images        []pgImage  `json:"images"`
+	ColdIO        []pgColdIO `json:"cold_io"`
+	Rows          []allocRow `json:"rows"`
+}
+
+// pgImage records one index layout's paged image size in both encodings.
+// Ratio is fixed-width ÷ compressed over the whole image, straight from
+// ImageInfo (page alignment included, so it understates the block-section
+// compression on small images).
+type pgImage struct {
+	Name       string  `json:"name"`
+	FixedBytes int64   `json:"fixed_bytes"`
+	DeltaBytes int64   `json:"delta_bytes"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// pgColdIO records the exact pool traffic of a fixed single-threaded query
+// scan over a cold store with a 5%-sized pool. Reads, misses, and hits are
+// deterministic: same workload, same LRU, same page layout.
+type pgColdIO struct {
+	Name   string `json:"name"`
+	Reads  int64  `json:"page_reads"`
+	Misses int64  `json:"page_misses"`
+	Hits   int64  `json:"page_hits"`
 }
 
 var calibrationSink uint64
@@ -286,6 +323,147 @@ func measureAlloc(seed int64, cal float64) (allocBaseline, error) {
 	return out, nil
 }
 
+// measurePG builds the 48x48 index in both page encodings, records exact
+// image sizes, runs a fixed cold kNN scan against each encoding under a 5%
+// pool recording exact pool counters, and benchmarks the warm compressed
+// path through positioned reads and (where supported) a memory mapping.
+func measurePG(seed int64, cal float64) (pgBaseline, error) {
+	net, err := silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: regressLattice, Cols: regressLattice, Seed: seed})
+	if err != nil {
+		return pgBaseline{}, err
+	}
+	out := pgBaseline{CalibrationNs: cal, Lattice: regressLattice}
+
+	type layout struct {
+		name  string
+		build func(c silc.Compression) (interface {
+			WritePaged(w io.Writer) (int64, error)
+		}, error)
+	}
+	layouts := []layout{
+		{"mono", func(c silc.Compression) (interface {
+			WritePaged(w io.Writer) (int64, error)
+		}, error) {
+			return silc.BuildIndex(net, silc.BuildOptions{Compression: c})
+		}},
+		{"sharded-4", func(c silc.Compression) (interface {
+			WritePaged(w io.Writer) (int64, error)
+		}, error) {
+			return silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: 4, Compression: c})
+		}},
+	}
+	images := map[string]map[silc.Compression]*bytes.Buffer{}
+	for _, l := range layouts {
+		img := pgImage{Name: l.name}
+		images[l.name] = map[silc.Compression]*bytes.Buffer{}
+		for _, c := range []silc.Compression{silc.CompressionNone, silc.CompressionDelta} {
+			ix, err := l.build(c)
+			if err != nil {
+				return pgBaseline{}, err
+			}
+			var buf bytes.Buffer
+			if _, err := ix.WritePaged(&buf); err != nil {
+				return pgBaseline{}, err
+			}
+			images[l.name][c] = &buf
+			if c == silc.CompressionNone {
+				img.FixedBytes = int64(buf.Len())
+			} else {
+				img.DeltaBytes = int64(buf.Len())
+			}
+		}
+		img.Ratio = float64(img.FixedBytes) / float64(img.DeltaBytes)
+		out.Images = append(out.Images, img)
+	}
+
+	// Fixed cold scan: every 7th vertex queries kNN k=10 against a 5% pool.
+	// Single-threaded over a deterministic LRU, so the counters are exact.
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(net.NumVertices())
+	verts := make([]silc.VertexID, 48)
+	for i := range verts {
+		verts[i] = silc.VertexID(perm[i])
+	}
+	objs, err := silc.NewObjectSet(net, verts)
+	if err != nil {
+		return pgBaseline{}, err
+	}
+	ctx := context.Background()
+	for _, enc := range []struct {
+		name string
+		comp silc.Compression
+	}{{"pg1", silc.CompressionNone}, {"pg2", silc.CompressionDelta}} {
+		img := images["mono"][enc.comp].Bytes()
+		cold, err := silc.OpenIndexAt(bytes.NewReader(img), int64(len(img)), silc.BuildOptions{CacheFraction: 0.05})
+		if err != nil {
+			return pgBaseline{}, err
+		}
+		for q := 0; q < net.NumVertices(); q += 7 {
+			if _, err := cold.Engine().Query(ctx, objs, silc.VertexID(q), 10); err != nil {
+				return pgBaseline{}, fmt.Errorf("cold %s query %d: %w", enc.name, q, err)
+			}
+		}
+		io := cold.IOStats()
+		out.ColdIO = append(out.ColdIO, pgColdIO{Name: enc.name, Reads: io.PageReads, Misses: io.PageMisses, Hits: io.PageHits})
+	}
+
+	// Warm compressed path: kNN k=10 through a never-evicting pool, once per
+	// page source. The mmap open goes through a temp file; on platforms
+	// without mmap it degrades to positioned reads, which keeps the row
+	// comparable (same decode path, same steady-state allocations).
+	img2 := images["mono"][silc.CompressionDelta].Bytes()
+	warm, err := silc.OpenIndexAt(bytes.NewReader(img2), int64(len(img2)), silc.BuildOptions{CacheFraction: 1.0})
+	if err != nil {
+		return pgBaseline{}, err
+	}
+	tmp, err := os.CreateTemp("", "silc-pg-*.silcpg2")
+	if err != nil {
+		return pgBaseline{}, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(img2); err != nil {
+		return pgBaseline{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return pgBaseline{}, err
+	}
+	mapped, err := silc.OpenIndex(tmp.Name(), silc.BuildOptions{CacheFraction: 1.0, Mmap: true})
+	if err != nil {
+		return pgBaseline{}, err
+	}
+	defer mapped.Close()
+	q := silc.VertexID(perm[len(perm)-1])
+	for _, row := range []struct {
+		name string
+		eng  *silc.Engine
+	}{
+		{"knn-k10/paged-pg2-warm", warm.Engine()},
+		{"knn-k10/paged-pg2-mmap-warm", mapped.Engine()},
+	} {
+		eng := row.eng
+		for i := 0; i < 5; i++ {
+			if _, err := eng.Query(ctx, objs, q, 10); err != nil {
+				return pgBaseline{}, fmt.Errorf("%s: %w", row.name, err)
+			}
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query(ctx, objs, q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out.Rows = append(out.Rows, allocRow{
+			Op:          row.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
+}
+
 // runRegress drives both modes. In baseline mode the three canonical files
 // are (re)written into dir; in check mode fresh runs are compared against
 // the committed files and any regression returns an error.
@@ -311,6 +489,10 @@ func runRegress(baseline bool, dir string, seed int64) error {
 	if err != nil {
 		return err
 	}
+	pg, err := measurePG(seed, cal)
+	if err != nil {
+		return err
+	}
 
 	if baseline {
 		if err := writeJSON(dir, "F3", f3); err != nil {
@@ -319,12 +501,16 @@ func runRegress(baseline bool, dir string, seed int64) error {
 		if err := writeJSON(dir, "TP", tp); err != nil {
 			return err
 		}
-		return writeJSON(dir, "ALLOC", al)
+		if err := writeJSON(dir, "ALLOC", al); err != nil {
+			return err
+		}
+		return writeJSON(dir, "PG", pg)
 	}
 
 	var base3 f3Baseline
 	var baseTP tpBaseline
 	var baseAL allocBaseline
+	var basePG pgBaseline
 	if err := readBaseline(dir, "F3", &base3); err != nil {
 		return err
 	}
@@ -334,11 +520,15 @@ func runRegress(baseline bool, dir string, seed int64) error {
 	if err := readBaseline(dir, "ALLOC", &baseAL); err != nil {
 		return err
 	}
+	if err := readBaseline(dir, "PG", &basePG); err != nil {
+		return err
+	}
 
 	failures := 0
 	failures += checkF3(base3, f3, cal)
 	failures += checkTP(baseTP, tp, cal)
 	failures += checkAlloc(baseAL, al, cal)
+	failures += checkPG(basePG, pg, cal)
 	if failures > 0 {
 		return fmt.Errorf("bench-regress: %d regression(s) against committed BENCH_*.json", failures)
 	}
@@ -457,6 +647,91 @@ func checkAlloc(base, fresh allocBaseline, freshCal float64) int {
 			failures++
 		}
 		fmt.Printf("  %s %-24s base %8.0fns %3d allocs  fresh %8.0fns %3d allocs%s\n",
+			status, br.Op, br.NsPerOp, br.AllocsPerOp, fr.NsPerOp, fr.AllocsPerOp, reason)
+	}
+	return failures
+}
+
+// checkPG compares the page-format suite. Image sizes and cold pool
+// counters are byte-deterministic, so they must match EXACTLY — any drift
+// means the on-disk encoding changed, and the baseline (plus the golden
+// files) must be regenerated deliberately, never absorbed by a tolerance
+// band. The warm rows follow the ALLOC rules: allocs/op must never grow,
+// ns/op gets the calibrated band.
+func checkPG(base, fresh pgBaseline, freshCal float64) int {
+	scale := scaleFactor(freshCal, base.CalibrationNs)
+	fmt.Printf("PG (image sizes and cold pool counters exact; machine scale %.2fx for warm ns):\n", scale)
+	failures := 0
+
+	freshImg := map[string]pgImage{}
+	for _, im := range fresh.Images {
+		freshImg[im.Name] = im
+	}
+	for _, bi := range base.Images {
+		fi, ok := freshImg[bi.Name]
+		if !ok {
+			fmt.Printf("  FAIL %-10s missing from fresh run\n", bi.Name)
+			failures++
+			continue
+		}
+		status := "ok  "
+		if fi.FixedBytes != bi.FixedBytes || fi.DeltaBytes != bi.DeltaBytes {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %s %-10s fixed %9d B  delta %9d B  ratio %.2fx", status, bi.Name, fi.FixedBytes, fi.DeltaBytes, fi.Ratio)
+		if status == "FAIL" {
+			fmt.Printf("  <- baseline %d/%d B: on-disk format drifted; regenerate baselines+goldens if intended", bi.FixedBytes, bi.DeltaBytes)
+		}
+		fmt.Println()
+	}
+
+	freshIO := map[string]pgColdIO{}
+	for _, c := range fresh.ColdIO {
+		freshIO[c.Name] = c
+	}
+	for _, bc := range base.ColdIO {
+		fc, ok := freshIO[bc.Name]
+		if !ok {
+			fmt.Printf("  FAIL cold-%-5s missing from fresh run\n", bc.Name)
+			failures++
+			continue
+		}
+		status := "ok  "
+		if fc != bc {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %s cold-%-5s reads %6d  misses %6d  hits %8d", status, bc.Name, fc.Reads, fc.Misses, fc.Hits)
+		if status == "FAIL" {
+			fmt.Printf("  <- baseline %d/%d/%d: paging behavior drifted", bc.Reads, bc.Misses, bc.Hits)
+		}
+		fmt.Println()
+	}
+
+	freshByOp := map[string]allocRow{}
+	for _, r := range fresh.Rows {
+		freshByOp[r.Op] = r
+	}
+	for _, br := range base.Rows {
+		fr, ok := freshByOp[br.Op]
+		if !ok {
+			fmt.Printf("  FAIL %-28s missing from fresh run\n", br.Op)
+			failures++
+			continue
+		}
+		status := "ok  "
+		reason := ""
+		if fr.AllocsPerOp > br.AllocsPerOp {
+			status = "FAIL"
+			reason = fmt.Sprintf("  <- allocs/op grew %d -> %d", br.AllocsPerOp, fr.AllocsPerOp)
+			failures++
+		} else if fr.NsPerOp > br.NsPerOp*scale*regressBand {
+			status = "FAIL"
+			reason = "  <- ns/op outside band"
+			failures++
+		}
+		fmt.Printf("  %s %-28s base %8.0fns %3d allocs  fresh %8.0fns %3d allocs%s\n",
 			status, br.Op, br.NsPerOp, br.AllocsPerOp, fr.NsPerOp, fr.AllocsPerOp, reason)
 	}
 	return failures

@@ -9,6 +9,8 @@
 //	silcbuild -rows 128 -cols 128 -format=paged -o idx.silcpg
 //	                      # page-aligned on-disk index, network embedded:
 //	                      # open with silc.OpenIndex / silcserve -index
+//	silcbuild -rows 128 -cols 128 -format=paged -compress=delta -o idx.silcpg2
+//	                      # compressed block pages (SILCPG2), >2x smaller
 //	silcbuild -rows 256 -cols 256 -partitions 8 -format=paged -o idx.silcspg
 //
 // With -partitions N > 1 the build is sharded: the network splits into N
@@ -38,6 +40,7 @@ func main() {
 		partitions = flag.Int("partitions", 1, "spatial partitions (>1 builds the sharded index)")
 		out        = flag.String("o", "", "write the built index to this file")
 		format     = flag.String("format", "legacy", "output format: legacy (in-RAM load) or paged (page-aligned, demand-paged, network embedded; open with OpenIndex / silcserve)")
+		compress   = flag.String("compress", "none", "paged block-page encoding: none (fixed-width SILCPG1) or delta (delta+varint SILCPG2)")
 	)
 	flag.Parse()
 
@@ -49,16 +52,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "silcbuild: -format=paged requires -o")
 		os.Exit(1)
 	}
+	comp, err := silc.ParseCompression(*compress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silcbuild:", err)
+		os.Exit(1)
+	}
+	if comp != silc.CompressionNone && *format != "paged" {
+		fmt.Fprintln(os.Stderr, "silcbuild: -compress applies to -format=paged only")
+		os.Exit(1)
+	}
 	net, err := loadOrGenerate(*netFile, *rows, *cols, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silcbuild:", err)
 		os.Exit(1)
 	}
 	if *partitions > 1 {
-		buildSharded(net, *partitions, *parallel, *out, *format)
+		buildSharded(net, *partitions, *parallel, *out, *format, comp)
 		return
 	}
-	ix, err := silc.BuildIndex(net, silc.BuildOptions{Parallelism: *parallel})
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{Parallelism: *parallel, Compression: comp})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silcbuild:", err)
 		os.Exit(1)
@@ -75,6 +87,12 @@ func main() {
 
 	if *out != "" {
 		if *format == "paged" {
+			info, err := ix.PagedImageInfo()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "silcbuild:", err)
+				os.Exit(1)
+			}
+			printImageInfo(info)
 			writeIndex(*out, func(f *os.File) (int64, error) { return ix.WritePaged(f) })
 		} else {
 			writeIndex(*out, func(f *os.File) (int64, error) { return ix.WriteTo(f) })
@@ -82,10 +100,25 @@ func main() {
 	}
 }
 
-func buildSharded(net *silc.Network, partitions, parallel int, out, format string) {
+// printImageInfo prints the per-section size table of a planned paged image
+// and its compression ratio against the fixed-width encoding.
+func printImageInfo(info silc.ImageInfo) {
+	mib := func(b int64) float64 { return float64(b) / (1 << 20) }
+	fmt.Printf("paged image:     %.2f MiB, %s (%.2fx vs fixed-width %.2f MiB)\n",
+		mib(info.Total), info.Compression, info.Ratio(), mib(info.FixedWidthTotal))
+	fmt.Printf("  superblock:    %d B\n", info.Superblock)
+	fmt.Printf("  network:       %.2f MiB\n", mib(info.Network))
+	fmt.Printf("  extents:       %.2f MiB\n", mib(info.Extents))
+	fmt.Printf("  block pages:   %.2f MiB (%d pages, %d blocks, raw %.2f MiB)\n",
+		mib(info.BlockSection), info.BlockPages, info.TotalBlocks, mib(info.RawBlockBytes))
+	fmt.Printf("  crc table:     %d B\n", info.CRCTable)
+}
+
+func buildSharded(net *silc.Network, partitions, parallel int, out, format string, comp silc.Compression) {
 	ix, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{
 		Partitions:  partitions,
 		Parallelism: parallel,
+		Compression: comp,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silcbuild:", err)
@@ -110,6 +143,12 @@ func buildSharded(net *silc.Network, partitions, parallel int, out, format strin
 
 	if out != "" {
 		if format == "paged" {
+			info, err := ix.PagedImageInfo()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "silcbuild:", err)
+				os.Exit(1)
+			}
+			printImageInfo(info)
 			writeIndex(out, func(f *os.File) (int64, error) { return ix.WritePaged(f) })
 		} else {
 			writeIndex(out, func(f *os.File) (int64, error) { return ix.WriteTo(f) })

@@ -46,6 +46,7 @@ func main() {
 		maxDist = flag.Float64("max-dist", 0, "bound results to network distance ≤ d (knn; 0 = unbounded)")
 		timeout = flag.Duration("timeout", 0, "per-query timeout (0 = none)")
 		parts   = flag.Int("partitions", 1, "spatial partitions (>1 queries the sharded index)")
+		mmap    = flag.Bool("mmap", false, "open paged index files through a read-only memory mapping")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 	if *idxFile != "" {
 		// OpenEngine sniffs the format; paged indexes stay on disk and the
 		// engine owns the file handle (released on process exit).
-		eng, err = silc.OpenEngine(*idxFile, net, silc.BuildOptions{})
+		eng, err = silc.OpenEngine(*idxFile, net, silc.BuildOptions{Mmap: *mmap})
 		if err != nil {
 			fail(err)
 		}

@@ -66,6 +66,7 @@ func main() {
 		cols        = flag.Int("cols", 64, "generated network cols")
 		seed        = flag.Int64("seed", 1, "generated network seed")
 		disk        = flag.Bool("disk", false, "attach the disk-resident storage model")
+		mmap        = flag.Bool("mmap", false, "open paged index files through a read-only memory mapping (falls back to positioned reads where unsupported)")
 		cacheFrac   = flag.Float64("cache-fraction", 0.05, "buffer-pool size as a fraction of total pages")
 		missLatency = flag.Duration("miss-latency", 0, "modeled page-miss latency (0 = default 200µs)")
 		objectsPath = flag.String("objects", "", "object vertices file, one id per line; empty = random sample")
@@ -88,6 +89,7 @@ func main() {
 		DiskResident:  *disk,
 		CacheFraction: *cacheFrac,
 		MissLatency:   *missLatency,
+		Mmap:          *mmap,
 	})
 	if err != nil {
 		log.Fatalf("silcserve: %v", err)
@@ -134,8 +136,9 @@ func main() {
 }
 
 // checkFormat enforces the -format expectation against the file's magic:
-// "paged" demands a demand-paged SILCPG1/SILCSPG1 file, "legacy" a fully
-// loaded SILCIDX1/SILCSHD1 one, "auto" accepts anything OpenEngine sniffs.
+// "paged" demands a demand-paged SILCPG1/SILCPG2/SILCSPG1/SILCSPG2 file,
+// "legacy" a fully loaded SILCIDX1/SILCSHD1 one, "auto" accepts anything
+// OpenEngine sniffs.
 func checkFormat(indexPath, format string) error {
 	if format == "auto" {
 		return nil
@@ -150,7 +153,11 @@ func checkFormat(indexPath, format string) error {
 	if err != nil {
 		return err
 	}
-	paged := string(magic[:]) == "SILCPG1\x00" || string(magic[:]) == "SILCSPG1"
+	var paged bool
+	switch string(magic[:]) {
+	case "SILCPG1\x00", "SILCPG2\x00", "SILCSPG1", "SILCSPG2":
+		paged = true
+	}
 	switch format {
 	case "paged":
 		if !paged {

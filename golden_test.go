@@ -172,6 +172,57 @@ func TestGoldenMonolithicPaged(t *testing.T) {
 	checkEngineEquivalence(t, ix.Engine(), opened.Engine())
 }
 
+// TestGoldenMonolithicPagedCompressed pins the compressed paged format
+// (SILCPG2): delta+varint block runs. The open → re-serialize round trip
+// goes through the demand-paged store and must reproduce the image byte for
+// byte — the encoder is deterministic — and an index opened from a PG2
+// image re-serializes as PG2 without being asked.
+func TestGoldenMonolithicPagedCompressed(t *testing.T) {
+	net := goldenNetwork(t)
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{Compression: silc.CompressionDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WritePaged(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "grid8.silcpg2", buf.Bytes())
+
+	// The compressed image must undercut the fixed-width one.
+	var fixed bytes.Buffer
+	info, err := ix.PagedImageInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedIx, err := silc.BuildIndex(net, silc.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fixedIx.WritePaged(&fixed); err != nil {
+		t.Fatal(err)
+	}
+	if int64(fixed.Len()) != info.FixedWidthTotal {
+		t.Fatalf("ImageInfo predicts fixed-width %d bytes, actual %d", info.FixedWidthTotal, fixed.Len())
+	}
+	if buf.Len() >= fixed.Len() {
+		t.Fatalf("compressed image %d bytes, fixed-width %d", buf.Len(), fixed.Len())
+	}
+
+	opened, err := silc.OpenIndexAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()), silc.BuildOptions{})
+	if err != nil {
+		t.Fatalf("opening golden: %v", err)
+	}
+	var re bytes.Buffer
+	if _, err := opened.WritePaged(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), buf.Bytes()) {
+		t.Fatal("open → re-serialize is not byte-identical")
+	}
+	checkEngineEquivalence(t, ix.Engine(), opened.Engine())
+}
+
 func TestGoldenShardedLegacy(t *testing.T) {
 	net := goldenNetwork(t)
 	sx, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: 4})
@@ -224,6 +275,34 @@ func TestGoldenShardedPaged(t *testing.T) {
 	checkEngineEquivalence(t, sx.Engine(), opened.Engine())
 }
 
+// TestGoldenShardedPagedCompressed pins the compressed sharded paged format
+// (SILCSPG2): every embedded cell image is a SILCPG2 image.
+func TestGoldenShardedPagedCompressed(t *testing.T) {
+	net := goldenNetwork(t)
+	sx, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: 4, Compression: silc.CompressionDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sx.WritePaged(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "grid8x4.silcspg2", buf.Bytes())
+
+	opened, err := silc.OpenShardedIndexAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()), silc.ShardedBuildOptions{})
+	if err != nil {
+		t.Fatalf("opening golden: %v", err)
+	}
+	var re bytes.Buffer
+	if _, err := opened.WritePaged(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), buf.Bytes()) {
+		t.Fatal("open → re-serialize is not byte-identical")
+	}
+	checkEngineEquivalence(t, sx.Engine(), opened.Engine())
+}
+
 // TestGoldenLoadEngineSniffing loads every golden file through the
 // format-sniffing loaders and checks the right engine comes back.
 func TestGoldenLoadEngineSniffing(t *testing.T) {
@@ -234,8 +313,10 @@ func TestGoldenLoadEngineSniffing(t *testing.T) {
 	}{
 		{"grid8.silc", false},
 		{"grid8.silcpg", false},
+		{"grid8.silcpg2", false},
 		{"grid8x4.silcshd1", true},
 		{"grid8x4.silcspg", true},
+		{"grid8x4.silcspg2", true},
 	} {
 		data, err := os.ReadFile(filepath.Join("testdata", "golden", tc.file))
 		if err != nil {

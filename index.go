@@ -42,6 +42,16 @@ type BuildOptions struct {
 	// Index to release the file. (DiskResident, by contrast, only models
 	// paging over a fully in-RAM index.)
 	OnDisk string
+	// Compression selects the paged image encoding WritePaged, WriteFile,
+	// and OnDisk emit — CompressionNone (fixed-width, the default) or
+	// CompressionDelta (delta+varint runs, typically over 2x smaller).
+	// Opening sniffs the format, so this knob never affects reads.
+	Compression Compression
+	// Mmap makes OpenIndex (and OnDisk's reopen) access the paged file
+	// through a read-only memory mapping instead of positioned reads: warm
+	// pages decode straight from the mapping with no syscall and no gather
+	// copy. Falls back to positioned reads on platforms without mmap.
+	Mmap bool
 }
 
 // BuildStats summarizes a completed index build.
@@ -79,11 +89,12 @@ func pagedIndexFrom(st *store.Store, closer io.Closer) *Index {
 	g := st.Graph()
 	total, minBlocks, maxBlocks := st.BlockStats()
 	cx := core.NewPagedIndex(core.PagedConfig{
-		Graph:   g,
-		Source:  st,
-		Tracker: st.Tracker(),
-		Radius:  st.Radius(),
-		Lenient: st.Lenient(),
+		Graph:       g,
+		Source:      st,
+		Tracker:     st.Tracker(),
+		Radius:      st.Radius(),
+		Lenient:     st.Lenient(),
+		Compression: st.Compression(),
 		Stats: core.BuildStats{
 			Vertices:    g.NumVertices(),
 			Edges:       g.NumEdges(),
@@ -107,10 +118,15 @@ func pagedIndexFrom(st *store.Store, closer io.Closer) *Index {
 // therefore tracks the pool capacity, not the index size. Close the
 // returned Index to release the file.
 func OpenIndex(path string, opts BuildOptions) (*Index, error) {
-	st, err := store.OpenFile(path, store.OpenOptions{
+	sopts := store.OpenOptions{
 		CacheFraction: opts.CacheFraction,
 		MissLatency:   opts.MissLatency,
-	})
+	}
+	open := store.OpenFile
+	if opts.Mmap {
+		open = store.OpenMapped
+	}
+	st, err := open(path, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +171,7 @@ func BuildIndex(net *Network, opts BuildOptions) (*Index, error) {
 		CacheFraction:   opts.CacheFraction,
 		MissLatency:     opts.MissLatency,
 		ProximityRadius: opts.ProximityRadius,
+		Compression:     opts.Compression,
 	})
 	if err != nil {
 		return nil, err
@@ -189,6 +206,18 @@ func (ix *Index) WritePaged(w io.Writer) (int64, error) { return ix.ix.WritePage
 // WriteFile writes the paged on-disk format to path (fsynced).
 func (ix *Index) WriteFile(path string) error { return ix.ix.WriteFile(path) }
 
+// PagedImageInfo reports the section layout and compression ratio of the
+// paged image WritePaged would produce, without writing it. Under
+// CompressionDelta this encodes every block run, so it costs about as much
+// as the write itself.
+func (ix *Index) PagedImageInfo() (ImageInfo, error) {
+	p, err := ix.ix.PlanPaged()
+	if err != nil {
+		return ImageInfo{}, err
+	}
+	return p.Info(), nil
+}
+
 // LoadIndex deserializes an index produced by WriteTo and binds it to net,
 // which must be the network it was built from (structural mismatches and
 // corruption are rejected).
@@ -201,6 +230,7 @@ func LoadIndex(r io.Reader, net *Network, opts BuildOptions) (*Index, error) {
 		DiskResident:  opts.DiskResident,
 		CacheFraction: opts.CacheFraction,
 		MissLatency:   opts.MissLatency,
+		Compression:   opts.Compression,
 	})
 	if err != nil {
 		return nil, err

@@ -51,30 +51,53 @@ func (ix *Index) treeFor(v graph.VertexID) (*quadtree.Tree, error) {
 	return ix.src.Tree(nil, v)
 }
 
-// WritePaged serializes the index in the page-aligned on-disk format of
-// internal/store — the format OpenIndex / store.Open reads back with
-// demand paging. The network is embedded, so the image is self-contained.
-func (ix *Index) WritePaged(w io.Writer) (int64, error) {
-	var treeErr error
-	written, err := store.Write(w, store.Source{
-		Graph:   ix.g,
-		Radius:  ix.radius,
-		Lenient: ix.lenient,
+// pagedSource assembles the store.Source for serializing this index. Tree
+// failures (an unreadable page behind a disk-backed index) are recorded in
+// *treeErr, which the caller must check after the write/plan completes.
+func (ix *Index) pagedSource(treeErr *error) store.Source {
+	return store.Source{
+		Graph:       ix.g,
+		Radius:      ix.radius,
+		Lenient:     ix.lenient,
+		Compression: ix.comp,
 		Tree: func(v graph.VertexID) *quadtree.Tree {
 			t, err := ix.treeFor(v)
 			if err != nil {
-				if treeErr == nil {
-					treeErr = err
+				if *treeErr == nil {
+					*treeErr = err
 				}
 				return &quadtree.Tree{MinLambda: 1}
 			}
 			return t
 		},
-	})
+	}
+}
+
+// WritePaged serializes the index in the page-aligned on-disk format of
+// internal/store — the format OpenIndex / store.Open reads back with demand
+// paging. The network is embedded, so the image is self-contained. The
+// block-page encoding follows BuildOptions.Compression (or, for an index
+// opened from a paged image, that image's encoding).
+func (ix *Index) WritePaged(w io.Writer) (int64, error) {
+	var treeErr error
+	written, err := store.Write(w, ix.pagedSource(&treeErr))
 	if treeErr != nil {
 		return written, treeErr
 	}
 	return written, err
+}
+
+// PlanPaged lays out the paged image WritePaged would produce without
+// writing it: the plan reports per-section sizes and the compression ratio
+// (ImagePlan.Info) and can then be streamed once with WriteTo. The sharded
+// writer and silcbuild's size table both build on this.
+func (ix *Index) PlanPaged() (*store.ImagePlan, error) {
+	var treeErr error
+	p, err := store.PlanImage(ix.pagedSource(&treeErr))
+	if treeErr != nil {
+		return nil, treeErr
+	}
+	return p, err
 }
 
 // WriteFile writes the paged on-disk format to path — the one-call "make
@@ -246,7 +269,7 @@ func Load(r io.Reader, g *graph.Network, opts BuildOptions) (*Index, error) {
 		return nil, fmt.Errorf("core: checksum mismatch: stored %08x computed %08x", stored, computed)
 	}
 
-	ix := &Index{g: g, trees: trees, radius: radius, lenient: opts.AllowUnreachable}
+	ix := &Index{g: g, trees: trees, radius: radius, lenient: opts.AllowUnreachable, comp: opts.Compression}
 	ix.stats = BuildStats{Vertices: n, Edges: g.NumEdges(), MinBlocks: math.MaxInt}
 	for v := 0; v < n; v++ {
 		b := trees[v].NumBlocks()

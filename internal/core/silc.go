@@ -24,6 +24,7 @@ import (
 	"silc/internal/graph"
 	"silc/internal/quadtree"
 	"silc/internal/sssp"
+	"silc/internal/store"
 )
 
 // Interval is a closed network-distance interval [Lo, Hi] guaranteed to
@@ -75,6 +76,12 @@ type BuildOptions struct {
 	// Distance returns +Inf and Path returns nil for them. Proximity-bounded
 	// builds accept disconnected networks (unreachable = out of range).
 	ProximityRadius float64
+	// Compression selects the block-page encoding WritePaged/WriteFile emit:
+	// CompressionNone writes the fixed-width 16-byte entries (SILCPG1),
+	// CompressionDelta writes delta+varint run streams (SILCPG2), typically
+	// over 2x smaller. Either format reads back identically; the knob only
+	// changes the image, never query answers.
+	Compression store.Compression
 	// AllowUnreachable accepts networks that are not strongly connected:
 	// unreachable destinations are colored out-of-range instead of failing
 	// the build, and queries against them report the interval [+Inf, +Inf]
@@ -276,6 +283,7 @@ type Index struct {
 	ownerBase int
 	radius    float64 // 0 = unbounded
 	lenient   bool    // AllowUnreachable: misses mean unreachable, not corrupt
+	comp      store.Compression
 	stats     BuildStats
 }
 
@@ -286,7 +294,10 @@ type PagedConfig struct {
 	Tracker *diskio.Tracker
 	Radius  float64
 	Lenient bool
-	Stats   BuildStats
+	// Compression records the block-page encoding of the backing image, so
+	// re-serializing the opened index preserves its format.
+	Compression store.Compression
+	Stats       BuildStats
 }
 
 // NewPagedIndex returns an Index whose quadtrees live on disk behind cfg's
@@ -300,6 +311,7 @@ func NewPagedIndex(cfg PagedConfig) *Index {
 		tracker: cfg.Tracker,
 		radius:  cfg.Radius,
 		lenient: cfg.Lenient,
+		comp:    cfg.Compression,
 		stats:   cfg.Stats,
 	}
 }
@@ -396,7 +408,7 @@ func Build(g *graph.Network, opts BuildOptions) (*Index, error) {
 		}
 	}
 
-	ix := &Index{g: g, trees: trees, radius: opts.ProximityRadius, lenient: opts.AllowUnreachable}
+	ix := &Index{g: g, trees: trees, radius: opts.ProximityRadius, lenient: opts.AllowUnreachable, comp: opts.Compression}
 	ix.stats = BuildStats{
 		Vertices:  n,
 		Edges:     g.NumEdges(),
@@ -458,6 +470,10 @@ func (ix *Index) Tracker() *diskio.Tracker { return ix.tracker }
 
 // Radius returns the proximity bound of the index (0 when unbounded).
 func (ix *Index) Radius() float64 { return ix.radius }
+
+// Compression returns the block-page encoding WritePaged will emit — for a
+// paged index, the encoding of the image it was opened from.
+func (ix *Index) Compression() store.Compression { return ix.comp }
 
 // BlockCount returns the Morton block count of v's shortest-path quadtree.
 func (ix *Index) BlockCount(v graph.VertexID) int {

@@ -14,17 +14,17 @@ import (
 	"silc/internal/store"
 )
 
-// The sharded paged file format ("SILCSPG1") is the page-aligned,
-// demand-paged counterpart of SILCSHD1: partition metadata plus one
-// complete embedded store image per cell, each opened as its own
-// ReadAt-backed store while sharing ONE buffer pool — the paper's cache
-// fraction stays a property of the whole database.
+// The sharded paged file format ("SILCSPG1"; "SILCSPG2" when the cell
+// images are compressed) is the page-aligned, demand-paged counterpart of
+// SILCSHD1: partition metadata plus one complete embedded store image per
+// cell, each opened as its own ReadAt-backed store while sharing ONE buffer
+// pool — the paper's cache fraction stays a property of the whole database.
 //
 //	superblock   64 bytes   magic, page size, P, n, m, nb, section offsets
 //	network      the GLOBAL network (store network-section encoding + CRC)
 //	meta         selfContained flags, cellOf labels, closure D/hop + CRC
 //	cell table   P x (imageOff, imageSize, pageBase) + CRC
-//	cells        page-aligned embedded SILCPG1 images (one per cell)
+//	cells        page-aligned embedded SILCPG1/SILCPG2 images (one per cell)
 //
 // Everything is little-endian; offsets are absolute file offsets. The
 // global network is embedded, so a sharded paged file is self-contained
@@ -32,41 +32,120 @@ import (
 
 const shardedPagedSuperblockSize = 64
 
-// WritePaged serializes the sharded index in the paged on-disk format.
-// Every section offset is computed up front from the per-cell block
-// counts, so the write is a single streaming pass.
+// shardedLayout is the fully planned sharded paged file: section offsets
+// plus one ready-to-stream image plan per cell.
+type shardedLayout struct {
+	metaSize    int64
+	cellTabOff  int64
+	cellTabSize int64
+	plans       []*store.ImagePlan
+	offs        []int64
+	sizes       []int64
+	bases       []int64
+	fileSize    int64
+}
+
+// planPagedLayout plans every cell image and lays out the sharded file.
+// Under compression the per-cell image sizes are only known after encoding,
+// which is why planning precedes any writing.
+func (s *Sharded) planPagedLayout() (*shardedLayout, error) {
+	g := s.g
+	p := s.asn.P
+	n, m := g.NumVertices(), g.NumEdges()
+	nb := s.cl.NB()
+
+	l := &shardedLayout{
+		metaSize: int64(p) + int64(n)*4 + int64(nb)*int64(nb)*12 + 4,
+		plans:    make([]*store.ImagePlan, p),
+		offs:     make([]int64, p),
+		sizes:    make([]int64, p),
+		bases:    make([]int64, p),
+	}
+	l.cellTabOff = shardedPagedSuperblockSize + store.NetworkSectionSize(n, m) + l.metaSize
+	l.cellTabSize = int64(p)*24 + 4
+
+	// Cell layout: page-aligned embedded images, page ids concatenated.
+	at := store.Align(l.cellTabOff+l.cellTabSize, store.PageSize)
+	var pages int64
+	for c, cx := range s.cells {
+		pl, err := cx.ix.PlanPaged()
+		if err != nil {
+			return nil, fmt.Errorf("partition: planning cell %d image: %w", c, err)
+		}
+		l.plans[c] = pl
+		l.offs[c] = at
+		l.sizes[c] = pl.ImageSize()
+		l.bases[c] = pages
+		pages += pl.BlockPages()
+		at = store.Align(at+l.sizes[c], store.PageSize)
+	}
+	l.fileSize = at // already page-aligned past the last cell image
+	return l, nil
+}
+
+// PagedImageInfo reports the section layout of the sharded paged image
+// WritePaged would produce: per-cell sections summed, partition metadata
+// counted under Extents, and the fixed-width footprint of the same index
+// for the compression ratio. It plans (and under compression, encodes)
+// every cell image, so it costs about as much as a write.
+func (s *Sharded) PagedImageInfo() (store.ImageInfo, error) {
+	l, err := s.planPagedLayout()
+	if err != nil {
+		return store.ImageInfo{}, err
+	}
+	out := store.ImageInfo{
+		Compression: s.comp,
+		Superblock:  shardedPagedSuperblockSize,
+		Network:     store.NetworkSectionSize(s.g.NumVertices(), s.g.NumEdges()),
+		Extents:     l.metaSize + l.cellTabSize,
+		Total:       l.fileSize,
+	}
+	fw := store.Align(l.cellTabOff+l.cellTabSize, store.PageSize)
+	for _, pl := range l.plans {
+		info := pl.Info()
+		out.Superblock += info.Superblock
+		out.Network += info.Network
+		out.Extents += info.Extents
+		out.BlockSection += info.BlockSection
+		out.CRCTable += info.CRCTable
+		out.BlockPages += info.BlockPages
+		out.TotalBlocks += info.TotalBlocks
+		out.RawBlockBytes += info.RawBlockBytes
+		fw = store.Align(fw+info.FixedWidthTotal, store.PageSize)
+	}
+	out.FixedWidthTotal = fw
+	return out, nil
+}
+
+// WritePaged serializes the sharded index in the paged on-disk format in a
+// single streaming pass over the planned layout.
 func (s *Sharded) WritePaged(w io.Writer) (int64, error) {
 	g := s.g
 	p := s.asn.P
 	n, m := g.NumVertices(), g.NumEdges()
 	nb := s.cl.NB()
 
+	l, err := s.planPagedLayout()
+	if err != nil {
+		return 0, err
+	}
 	netOff := int64(shardedPagedSuperblockSize)
 	metaOff := netOff + store.NetworkSectionSize(n, m)
-	metaSize := int64(p) + int64(n)*4 + int64(nb)*int64(nb)*12 + 4
-	cellTabOff := metaOff + metaSize
-	cellTabSize := int64(p)*24 + 4
-
-	// Cell layout: page-aligned embedded images, page ids concatenated.
-	offs := make([]int64, p)
-	sizes := make([]int64, p)
-	bases := make([]int64, p)
-	at := store.Align(cellTabOff+cellTabSize, store.PageSize)
-	var pages int64
-	for c, cx := range s.cells {
-		offs[c] = at
-		sizes[c] = store.ImageSize(cx.sub.NumVertices(), cx.sub.NumEdges(), cx.ix.Stats().TotalBlocks)
-		bases[c] = pages
-		pages += store.BlockPages(cx.ix.Stats().TotalBlocks)
-		at = store.Align(at+sizes[c], store.PageSize)
-	}
-	fileSize := at // already page-aligned past the last cell image
+	metaSize := l.metaSize
+	cellTabOff := l.cellTabOff
+	cellTabSize := l.cellTabSize
+	offs, sizes, bases := l.offs, l.sizes, l.bases
+	fileSize := l.fileSize
 
 	cw := &countingWriter{w: bufio.NewWriter(w)}
 	le := binary.LittleEndian
 
+	magic := store.ShardedMagicString
+	if s.comp == store.CompressionDelta {
+		magic = store.ShardedMagic2String
+	}
 	head := make([]byte, shardedPagedSuperblockSize)
-	copy(head[0:8], store.ShardedMagicString)
+	copy(head[0:8], magic)
 	le.PutUint32(head[8:12], uint32(store.PageSize))
 	le.PutUint32(head[12:16], uint32(p))
 	le.PutUint32(head[16:20], uint32(n))
@@ -120,11 +199,11 @@ func (s *Sharded) WritePaged(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 
-	for c, cx := range s.cells {
+	for c := range s.cells {
 		if err := padTo(cw, offs[c]); err != nil {
 			return cw.n, err
 		}
-		written, err := cx.ix.WritePaged(cw)
+		written, err := l.plans[c].WriteTo(cw)
 		if err != nil {
 			return cw.n, err
 		}
@@ -159,7 +238,13 @@ func OpenPaged(ra io.ReaderAt, size int64, opt Options) (*Sharded, error) {
 		return nil, fmt.Errorf("partition: reading superblock: %w", err)
 	}
 	le := binary.LittleEndian
-	if string(head[0:8]) != store.ShardedMagicString {
+	var comp store.Compression
+	switch string(head[0:8]) {
+	case store.ShardedMagicString:
+		comp = store.CompressionNone
+	case store.ShardedMagic2String:
+		comp = store.CompressionDelta
+	default:
 		return nil, fmt.Errorf("partition: bad magic %q", head[0:8])
 	}
 	if stored, computed := le.Uint32(head[60:64]), crc32.ChecksumIEEE(head[:60]); stored != computed {
@@ -188,6 +273,9 @@ func OpenPaged(ra io.ReaderAt, size int64, opt Options) (*Sharded, error) {
 	}
 	if fileSize <= 0 || fileSize > size {
 		return nil, fmt.Errorf("partition: file size %d exceeds available %d bytes", fileSize, size)
+	}
+	if opt.Mapped != nil && int64(len(opt.Mapped)) < fileSize {
+		return nil, fmt.Errorf("partition: mapping of %d bytes does not cover the %d-byte file", len(opt.Mapped), fileSize)
 	}
 	if netOff != shardedPagedSuperblockSize || metaOff != netOff+store.NetworkSectionSize(n, m) {
 		return nil, fmt.Errorf("partition: inconsistent section offsets")
@@ -292,12 +380,19 @@ func OpenPaged(ra io.ReaderAt, size int64, opt Options) (*Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("partition: cell %d subnetwork: %w", c, err)
 		}
-		st, err := store.Open(io.NewSectionReader(ra, offs[c], sizes[c]), sizes[c], store.OpenOptions{
+		cellOpts := store.OpenOptions{
 			Pager:    pager,
 			PageBase: diskio.PageID(bases[c]),
-		})
+		}
+		if opt.Mapped != nil {
+			cellOpts.Mapped = opt.Mapped[offs[c] : offs[c]+sizes[c]]
+		}
+		st, err := store.Open(io.NewSectionReader(ra, offs[c], sizes[c]), sizes[c], cellOpts)
 		if err != nil {
 			return nil, fmt.Errorf("partition: cell %d store: %w", c, err)
+		}
+		if st.Compression() != comp {
+			return nil, fmt.Errorf("partition: cell %d image encoded %v, sharded header says %v", c, st.Compression(), comp)
 		}
 		if bases[c] != totalBlockPages {
 			return nil, fmt.Errorf("partition: cell %d page base %d, want %d", c, bases[c], totalBlockPages)
@@ -325,11 +420,12 @@ func OpenPaged(ra io.ReaderAt, size int64, opt Options) (*Sharded, error) {
 		st := stores[c]
 		total, minB, maxB := st.BlockStats()
 		cells[c].ix = core.NewPagedIndex(core.PagedConfig{
-			Graph:   cells[c].sub,
-			Source:  st,
-			Tracker: tracker,
-			Radius:  st.Radius(),
-			Lenient: st.Lenient(),
+			Graph:       cells[c].sub,
+			Source:      st,
+			Tracker:     tracker,
+			Radius:      st.Radius(),
+			Lenient:     st.Lenient(),
+			Compression: st.Compression(),
 			Stats: core.BuildStats{
 				Vertices:    cells[c].sub.NumVertices(),
 				Edges:       cells[c].sub.NumEdges(),
@@ -341,7 +437,7 @@ func OpenPaged(ra io.ReaderAt, size int64, opt Options) (*Sharded, error) {
 		})
 	}
 
-	s := &Sharded{g: g, asn: asn, cells: cells, cl: cl, selfContained: selfContained, tracker: tracker, pager: pager}
+	s := &Sharded{g: g, asn: asn, cells: cells, cl: cl, selfContained: selfContained, tracker: tracker, pager: pager, comp: comp}
 	s.stats = s.computeStats()
 	return s, nil
 }

@@ -1,0 +1,326 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"silc/internal/geom"
+	"silc/internal/quadtree"
+)
+
+// Compression selects the block-page encoding of a paged image.
+type Compression uint8
+
+const (
+	// CompressionNone is the fixed-width SILCPG1 layout: 16 bytes per
+	// Morton block, pageSize/16 entries per page.
+	CompressionNone Compression = iota
+	// CompressionDelta is the SILCPG2 layout: per-vertex runs compressed as
+	// delta+varint streams (Morton gaps, per-run color dictionaries,
+	// float-bit deltas for the ratio bounds), byte-packed onto pages.
+	CompressionDelta
+)
+
+// String returns the silcbuild -compress spelling of c.
+func (c Compression) String() string {
+	switch c {
+	case CompressionNone:
+		return "none"
+	case CompressionDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("Compression(%d)", uint8(c))
+	}
+}
+
+// ParseCompression maps the -compress flag spellings back to a Compression.
+func ParseCompression(s string) (Compression, error) {
+	switch s {
+	case "none":
+		return CompressionNone, nil
+	case "delta":
+		return CompressionDelta, nil
+	default:
+		return 0, fmt.Errorf("store: unknown compression %q (want none or delta)", s)
+	}
+}
+
+// The compressed run layout (one run per vertex with at least one block,
+// byte-packed; DESIGN.md §11 documents it normatively):
+//
+//	uvarint  nblocks            cross-checked against the extent count
+//	u8       ncolors            size of the per-run color dictionary (>=1)
+//	u8 x ncolors                dictionary, first-appearance order, each < deg
+//	per block:
+//	  u8     header             bits 0..4 level, bit 5 gap follows,
+//	                            bit 6 lamHi == lamLo, bit 7 color changes
+//	  uvarint gap               if bit 5: Morton gap to the previous block's
+//	                            end, aligned-encoded (value>>2t)<<4 | t
+//	  uvarint colorIdx          if bit 7: new dictionary index
+//	  uvarint zigzag(dLo)       float32-bit delta of lamLo vs the previous
+//	                            block's lamLo (seeded with bits(1.0))
+//	  uvarint dHi               if bit 6 clear: bits(lamHi) - bits(lamLo),
+//	                            non-negative because 0 <= lamLo <= lamHi
+//	                            orders their float bits
+//
+// Sorted Morton runs make the gap zero for adjacent blocks and a tiny
+// aligned multiple of 4^k across holes; ratio bounds of nearby blocks share
+// high float bits, so their bit deltas are short varints. The decoder
+// reconstructs codes by accumulating gaps, which re-establishes the
+// sorted/disjoint invariant for free; everything else is revalidated exactly
+// like the fixed-width DecodeBlocks path.
+const (
+	runFlagGap     = 1 << 5
+	runFlagHiEqLo  = 1 << 6
+	runFlagColor   = 1 << 7
+	runLevelMask   = runFlagGap - 1
+	lamSeedBits    = 0x3F800000 // float32 bits of 1.0, the ratio floor
+	gapShiftMax    = 15         // aligned-gap encoding: at most 15 code-pair shifts
+	runMinPerBlock = 2          // header byte + >=1-byte lamLo delta
+	runOverhead    = 3          // nblocks varint + ncolors + >=1 dictionary byte
+)
+
+// zigzag folds a signed delta into an unsigned varint-friendly value.
+func zigzag(x int64) uint64 { return uint64((x << 1) ^ (x >> 63)) }
+
+// unzigzag is the inverse of zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encodeGap aligned-encodes a positive Morton gap: gaps are sums of
+// level-aligned cell spans, i.e. multiples of 4^t, so shifting the factored
+// power of four into the low bits keeps the varint short.
+func encodeGap(gap uint64) uint64 {
+	t := uint64(bits.TrailingZeros64(gap)) / 2
+	if t > gapShiftMax {
+		t = gapShiftMax
+	}
+	return (gap>>(2*t))<<4 | t
+}
+
+// decodeGap inverts encodeGap. The shift cannot overflow into the guard
+// range: callers bound the reconstructed code right after.
+func decodeGap(enc uint64) (uint64, error) {
+	t := enc & 0xF
+	g := enc >> 4
+	if g == 0 {
+		return 0, fmt.Errorf("store: zero gap with gap flag set")
+	}
+	if bits.LeadingZeros64(g) < int(2*t) {
+		return 0, fmt.Errorf("store: gap %d<<%d overflows", g, 2*t)
+	}
+	return g << (2 * t), nil
+}
+
+// CompressRun appends the delta+varint encoding of one vertex's sorted
+// Morton-block run to dst. The encoder is deterministic, so re-serializing
+// a decoded image reproduces it byte for byte. Runs must be non-empty,
+// sorted, and carry colors in the disk format's 8-bit width — the same
+// preconditions the fixed-width writer enforces.
+func CompressRun(dst []byte, blocks []quadtree.Block) ([]byte, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("store: empty runs are not stored")
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(blocks)))
+
+	// Per-run color dictionary in first-appearance order: block colors become
+	// small indexes, and consecutive blocks sharing a color cost nothing.
+	var dictIdx [256]int16
+	for i := range dictIdx {
+		dictIdx[i] = -1
+	}
+	dict := make([]byte, 0, 16)
+	for i := range blocks {
+		c := blocks[i].Color
+		if c < 0 || c > 255 {
+			return nil, fmt.Errorf("store: block %d color %d exceeds the disk format's 8-bit width", i, c)
+		}
+		if dictIdx[c] < 0 {
+			dictIdx[c] = int16(len(dict))
+			dict = append(dict, byte(c))
+		}
+	}
+	if len(dict) > 255 {
+		return nil, fmt.Errorf("store: %d distinct colors overflow the dictionary byte", len(dict))
+	}
+	dst = append(dst, byte(len(dict)))
+	dst = append(dst, dict...)
+
+	var prevEnd uint64
+	prevLo := int64(lamSeedBits)
+	curIdx := int16(0)
+	for i := range blocks {
+		b := &blocks[i]
+		if b.Cell.Level > geom.MaxLevel {
+			return nil, fmt.Errorf("store: block %d has level %d beyond %d", i, b.Cell.Level, geom.MaxLevel)
+		}
+		code := uint64(b.Cell.Code)
+		if code < prevEnd {
+			return nil, fmt.Errorf("store: blocks not sorted/disjoint at %d", i)
+		}
+		gap := code - prevEnd
+		prevEnd = uint64(b.Cell.End())
+
+		loBits := int64(math.Float32bits(b.LamLo))
+		hiBits := int64(math.Float32bits(b.LamHi))
+		if hiBits < loBits {
+			// Valid ratio bounds are non-negative and ordered, which orders
+			// their float bits; anything else never came out of a build.
+			return nil, fmt.Errorf("store: block %d has uncompressible ratio bounds [%v, %v]", i, b.LamLo, b.LamHi)
+		}
+
+		h := b.Cell.Level
+		if gap != 0 {
+			h |= runFlagGap
+		}
+		if hiBits == loBits {
+			h |= runFlagHiEqLo
+		}
+		if dictIdx[b.Color] != curIdx {
+			h |= runFlagColor
+		}
+		dst = append(dst, h)
+		if gap != 0 {
+			dst = binary.AppendUvarint(dst, encodeGap(gap))
+		}
+		if h&runFlagColor != 0 {
+			curIdx = dictIdx[b.Color]
+			dst = binary.AppendUvarint(dst, uint64(curIdx))
+		}
+		dst = binary.AppendUvarint(dst, zigzag(loBits-prevLo))
+		prevLo = loBits
+		if h&runFlagHiEqLo == 0 {
+			dst = binary.AppendUvarint(dst, uint64(hiBits-loBits))
+		}
+	}
+	return dst, nil
+}
+
+// DecompressRun decodes one vertex's compressed run, revalidating every
+// structural invariant the query path relies on — exactly the checks of the
+// fixed-width DecodeBlocks, plus the run must declare the expected block
+// count and consume its bytes exactly. It returns the blocks and the
+// minimum LamLo (1 for an empty run, matching Tree.MinLambda semantics).
+//
+// count comes from the validated extent table (counts[v] < n), and the
+// length guard below bounds the allocation by len(data) — a corrupt page
+// cannot demand more memory than its own size times a small constant.
+func DecompressRun(data []byte, count, deg int) ([]quadtree.Block, float64, error) {
+	if count == 0 {
+		if len(data) != 0 {
+			return nil, 0, fmt.Errorf("store: %d bytes for an empty run", len(data))
+		}
+		return nil, 1, nil
+	}
+	if count < 0 || len(data) < runMinPerBlock*count+runOverhead {
+		return nil, 0, fmt.Errorf("store: run of %d bytes cannot hold %d blocks", len(data), count)
+	}
+	nb, at := binary.Uvarint(data)
+	if at <= 0 || nb != uint64(count) {
+		return nil, 0, fmt.Errorf("store: run declares %d blocks, extent records %d", nb, count)
+	}
+	ncolors := int(data[at])
+	at++
+	if ncolors == 0 || ncolors > deg || len(data)-at < ncolors {
+		return nil, 0, fmt.Errorf("store: invalid color dictionary of %d entries for out-degree %d", ncolors, deg)
+	}
+	dict := data[at : at+ncolors]
+	at += ncolors
+	for _, c := range dict {
+		if int(c) >= deg {
+			return nil, 0, fmt.Errorf("store: dictionary color %d exceeds out-degree %d", c, deg)
+		}
+	}
+
+	uvarint := func() (uint64, bool) {
+		v, w := binary.Uvarint(data[at:])
+		if w <= 0 {
+			return 0, false
+		}
+		at += w
+		return v, true
+	}
+
+	blocks := make([]quadtree.Block, count)
+	minLambda := math.Inf(1)
+	var prevEnd uint64
+	prevLo := int64(lamSeedBits)
+	curIdx := 0
+	for i := range blocks {
+		if at >= len(data) {
+			return nil, 0, fmt.Errorf("store: run truncated at block %d", i)
+		}
+		h := data[at]
+		at++
+		b := &blocks[i]
+		b.Cell.Level = h & runLevelMask
+		if b.Cell.Level > geom.MaxLevel {
+			return nil, 0, fmt.Errorf("store: block %d has level %d beyond %d", i, b.Cell.Level, geom.MaxLevel)
+		}
+		code := prevEnd
+		if h&runFlagGap != 0 {
+			enc, ok := uvarint()
+			if !ok {
+				return nil, 0, fmt.Errorf("store: block %d gap truncated", i)
+			}
+			gap, err := decodeGap(enc)
+			if err != nil {
+				return nil, 0, fmt.Errorf("store: block %d: %w", i, err)
+			}
+			if gap > 1<<(2*geom.MaxLevel) {
+				return nil, 0, fmt.Errorf("store: block %d gap %d beyond the grid", i, gap)
+			}
+			code += gap
+		}
+		if code >= 1<<(2*geom.MaxLevel) {
+			return nil, 0, fmt.Errorf("store: block %d code %x beyond the grid", i, code)
+		}
+		b.Cell.Code = geom.Code(code)
+		if code%b.Cell.Span() != 0 {
+			return nil, 0, fmt.Errorf("store: block %d code %x not aligned to level %d", i, code, b.Cell.Level)
+		}
+		prevEnd = uint64(b.Cell.End())
+		if h&runFlagColor != 0 {
+			idx, ok := uvarint()
+			if !ok || idx >= uint64(ncolors) {
+				return nil, 0, fmt.Errorf("store: block %d color index out of dictionary", i)
+			}
+			curIdx = int(idx)
+		}
+		b.Color = int32(dict[curIdx])
+		dLo, ok := uvarint()
+		if !ok {
+			return nil, 0, fmt.Errorf("store: block %d ratio delta truncated", i)
+		}
+		loBits := prevLo + unzigzag(dLo)
+		if loBits < 0 || loBits > math.MaxUint32 {
+			return nil, 0, fmt.Errorf("store: block %d ratio bits out of range", i)
+		}
+		prevLo = loBits
+		hiBits := loBits
+		if h&runFlagHiEqLo == 0 {
+			dHi, ok := uvarint()
+			if !ok {
+				return nil, 0, fmt.Errorf("store: block %d ratio span truncated", i)
+			}
+			hiBits = loBits + int64(dHi&math.MaxUint32) // mask keeps the sum in int64 range
+			if dHi > math.MaxUint32 || hiBits > math.MaxUint32 {
+				return nil, 0, fmt.Errorf("store: block %d ratio bits out of range", i)
+			}
+		}
+		b.LamLo = math.Float32frombits(uint32(loBits))
+		b.LamHi = math.Float32frombits(uint32(hiBits))
+		lo, hi := float64(b.LamLo), float64(b.LamHi)
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+			return nil, 0, fmt.Errorf("store: block %d has invalid ratio bounds [%v, %v]", i, lo, hi)
+		}
+		if lo < minLambda {
+			minLambda = lo
+		}
+	}
+	if at != len(data) {
+		return nil, 0, fmt.Errorf("store: %d trailing bytes after %d blocks", len(data)-at, count)
+	}
+	return blocks, minLambda, nil
+}

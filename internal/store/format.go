@@ -56,20 +56,33 @@ const superblockSize = 92
 
 const flagLenient = 1 << 0
 
-// superblock is the decoded leading block of a monolithic image.
+// superblock is the decoded leading block of a monolithic image. version 1
+// ("SILCPG1\0") lays fixed 16-byte entries on the block pages; version 2
+// ("SILCPG2\0", format2.go) byte-packs compressed runs and additionally
+// records compBytes, the dense length of the block section.
 type superblock struct {
+	version     int // 1 or 2; zero value means 1
 	pageSize    int
 	lenient     bool
 	n           int
 	m           int
 	radius      float64
 	totalBlocks int64
+	compBytes   int64 // version 2 only
 	netOff      int64
 	extentOff   int64
 	blockOff    int64
 	blockPages  int64
 	crcTabOff   int64
 	imageSize   int64
+}
+
+// headerSize returns the byte size of the encoded superblock.
+func (sb *superblock) headerSize() int64 {
+	if sb.version == 2 {
+		return superblockSize2
+	}
+	return superblockSize
 }
 
 func (sb *superblock) encode() []byte {
@@ -110,6 +123,7 @@ func decodeSuperblock(buf []byte, size int64) (*superblock, error) {
 		return nil, fmt.Errorf("store: superblock checksum mismatch: stored %08x computed %08x", stored, computed)
 	}
 	sb := &superblock{
+		version:     1,
 		pageSize:    int(le.Uint32(buf[8:12])),
 		lenient:     le.Uint32(buf[12:16])&flagLenient != 0,
 		n:           int(le.Uint32(buf[16:20])),

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// The compressed monolithic image ("SILCPG2\0") shares the SILCPG1 section
+// plan — superblock, eager network and extent sections, page-aligned
+// demand-paged block section, trailing per-page CRC table — but the block
+// section holds the byte-packed delta+varint runs of compress.go instead of
+// fixed 16-byte entries, and the extent section carries each vertex's
+// compressed byte length next to its block count so the page layout stays
+// computable without touching the block section. Offsets stay image-relative,
+// so SILCPG2 images embed inside the sharded format ("SILCSPG2") exactly
+// like their v1 counterparts.
+
+// Magic2String identifies a compressed (delta) monolithic paged image.
+const Magic2String = "SILCPG2\x00"
+
+// ShardedMagic2String identifies a sharded paged file whose embedded cell
+// images are compressed.
+const ShardedMagic2String = "SILCSPG2"
+
+// superblockSize2 is the fixed byte size of the v2 superblock: the v1
+// fields plus the total compressed block-section byte count.
+const superblockSize2 = 100
+
+func (sb *superblock) encode2() []byte {
+	buf := make([]byte, superblockSize2)
+	copy(buf[0:8], Magic2String)
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:12], uint32(sb.pageSize))
+	var flags uint32
+	if sb.lenient {
+		flags |= flagLenient
+	}
+	le.PutUint32(buf[12:16], flags)
+	le.PutUint32(buf[16:20], uint32(sb.n))
+	le.PutUint32(buf[20:24], uint32(sb.m))
+	le.PutUint64(buf[24:32], math.Float64bits(sb.radius))
+	le.PutUint64(buf[32:40], uint64(sb.totalBlocks))
+	le.PutUint64(buf[40:48], uint64(sb.compBytes))
+	le.PutUint64(buf[48:56], uint64(sb.netOff))
+	le.PutUint64(buf[56:64], uint64(sb.extentOff))
+	le.PutUint64(buf[64:72], uint64(sb.blockOff))
+	le.PutUint64(buf[72:80], uint64(sb.blockPages))
+	le.PutUint64(buf[80:88], uint64(sb.crcTabOff))
+	le.PutUint64(buf[88:96], uint64(sb.imageSize))
+	le.PutUint32(buf[96:100], crc32.ChecksumIEEE(buf[:96]))
+	return buf
+}
+
+// decodeSuperblock2 parses and sanity-checks a v2 superblock, mirroring the
+// v1 validation chain with the byte-packed block-section arithmetic.
+func decodeSuperblock2(buf []byte, size int64) (*superblock, error) {
+	if len(buf) != superblockSize2 {
+		return nil, fmt.Errorf("store: v2 superblock is %d bytes, want %d", len(buf), superblockSize2)
+	}
+	if string(buf[0:8]) != Magic2String {
+		return nil, fmt.Errorf("store: bad magic %q", buf[0:8])
+	}
+	le := binary.LittleEndian
+	if stored, computed := le.Uint32(buf[96:100]), crc32.ChecksumIEEE(buf[:96]); stored != computed {
+		return nil, fmt.Errorf("store: superblock checksum mismatch: stored %08x computed %08x", stored, computed)
+	}
+	sb := &superblock{
+		version:     2,
+		pageSize:    int(le.Uint32(buf[8:12])),
+		lenient:     le.Uint32(buf[12:16])&flagLenient != 0,
+		n:           int(le.Uint32(buf[16:20])),
+		m:           int(le.Uint32(buf[20:24])),
+		radius:      math.Float64frombits(le.Uint64(buf[24:32])),
+		totalBlocks: int64(le.Uint64(buf[32:40])),
+		compBytes:   int64(le.Uint64(buf[40:48])),
+		netOff:      int64(le.Uint64(buf[48:56])),
+		extentOff:   int64(le.Uint64(buf[56:64])),
+		blockOff:    int64(le.Uint64(buf[64:72])),
+		blockPages:  int64(le.Uint64(buf[72:80])),
+		crcTabOff:   int64(le.Uint64(buf[80:88])),
+		imageSize:   int64(le.Uint64(buf[88:96])),
+	}
+	if sb.pageSize < entrySize || sb.pageSize > 1<<20 || sb.pageSize%entrySize != 0 {
+		return nil, fmt.Errorf("store: invalid page size %d", sb.pageSize)
+	}
+	if sb.n <= 0 {
+		return nil, fmt.Errorf("store: invalid vertex count %d", sb.n)
+	}
+	if sb.m < 0 {
+		return nil, fmt.Errorf("store: invalid edge count %d", sb.m)
+	}
+	if math.IsNaN(sb.radius) || sb.radius < 0 {
+		return nil, fmt.Errorf("store: invalid proximity radius %v", sb.radius)
+	}
+	if sb.imageSize <= 0 || sb.imageSize > size {
+		return nil, fmt.Errorf("store: image size %d exceeds available %d bytes", sb.imageSize, size)
+	}
+	if sb.netOff != superblockSize2 {
+		return nil, fmt.Errorf("store: network section at %d, want %d", sb.netOff, superblockSize2)
+	}
+	if sb.extentOff != sb.netOff+NetworkSectionSize(sb.n, sb.m) {
+		return nil, fmt.Errorf("store: extent section at %d, inconsistent with n=%d m=%d", sb.extentOff, sb.n, sb.m)
+	}
+	if sb.blockOff != Align(sb.extentOff+extent2SectionSize(sb.n), int64(sb.pageSize)) {
+		return nil, fmt.Errorf("store: block section at %d not page-aligned after extents", sb.blockOff)
+	}
+	if sb.totalBlocks < 0 || sb.totalBlocks > int64(sb.n)*int64(sb.n) {
+		return nil, fmt.Errorf("store: implausible total block count %d for %d vertices", sb.totalBlocks, sb.n)
+	}
+	// Every stored block costs at least runMinPerBlock bytes, so compBytes
+	// bounds totalBlocks from above before any run is decoded.
+	if sb.compBytes < runMinPerBlock*sb.totalBlocks || (sb.compBytes > 0) != (sb.totalBlocks > 0) {
+		return nil, fmt.Errorf("store: %d compressed bytes implausible for %d blocks", sb.compBytes, sb.totalBlocks)
+	}
+	ps := int64(sb.pageSize)
+	if wantPages := (sb.compBytes + ps - 1) / ps; sb.blockPages != wantPages {
+		return nil, fmt.Errorf("store: %d block pages recorded, %d compressed bytes imply %d", sb.blockPages, sb.compBytes, wantPages)
+	}
+	if sb.crcTabOff != sb.blockOff+sb.blockPages*ps {
+		return nil, fmt.Errorf("store: page CRC table at %d, inconsistent with %d block pages", sb.crcTabOff, sb.blockPages)
+	}
+	if sb.imageSize != sb.crcTabOff+sb.blockPages*4+4 {
+		return nil, fmt.Errorf("store: image size %d inconsistent with section layout", sb.imageSize)
+	}
+	return sb, nil
+}
+
+// extent2SectionSize returns the byte size of the v2 extent table — block
+// count plus compressed byte length per vertex — including its trailing CRC.
+func extent2SectionSize(n int) int64 {
+	return int64(n)*8 + 4
+}
+
+// encodeExtent2Section serializes the per-vertex block counts followed by
+// the per-vertex compressed run lengths.
+func encodeExtent2Section(counts, byteLens []uint32) []byte {
+	n := len(counts)
+	buf := make([]byte, extent2SectionSize(n))
+	le := binary.LittleEndian
+	for i, c := range counts {
+		le.PutUint32(buf[i*4:], c)
+	}
+	for i, l := range byteLens {
+		le.PutUint32(buf[(n+i)*4:], l)
+	}
+	le.PutUint32(buf[n*8:], crc32.ChecksumIEEE(buf[:n*8]))
+	return buf
+}
+
+// decodeExtent2Section parses and validates the v2 extent table. The same
+// counts<n alloc-bomb guard as v1 applies, and the byte lengths must tile
+// compBytes exactly with a plausible floor per stored block — a corrupt
+// table cannot make a vertex's run claim more bytes than the section holds
+// or fewer than its blocks need.
+func decodeExtent2Section(buf []byte, n int, totalBlocks, compBytes int64) (counts, byteLens []uint32, err error) {
+	if int64(len(buf)) != extent2SectionSize(n) {
+		return nil, nil, fmt.Errorf("store: extent section is %d bytes, want %d", len(buf), extent2SectionSize(n))
+	}
+	le := binary.LittleEndian
+	payload := buf[:n*8]
+	if stored, computed := le.Uint32(buf[n*8:]), crc32.ChecksumIEEE(payload); stored != computed {
+		return nil, nil, fmt.Errorf("store: extent section checksum mismatch: stored %08x computed %08x", stored, computed)
+	}
+	counts = make([]uint32, n)
+	byteLens = make([]uint32, n)
+	var total, totalBytes int64
+	for v := range counts {
+		counts[v] = le.Uint32(payload[v*4:])
+		byteLens[v] = le.Uint32(payload[(n+v)*4:])
+		if counts[v] >= uint32(n) {
+			return nil, nil, fmt.Errorf("store: vertex %d records %d blocks, impossible for %d vertices", v, counts[v], n)
+		}
+		if counts[v] == 0 {
+			if byteLens[v] != 0 {
+				return nil, nil, fmt.Errorf("store: vertex %d has no blocks but %d run bytes", v, byteLens[v])
+			}
+		} else if int64(byteLens[v]) < runMinPerBlock*int64(counts[v])+runOverhead {
+			return nil, nil, fmt.Errorf("store: vertex %d run of %d bytes cannot hold %d blocks", v, byteLens[v], counts[v])
+		}
+		total += int64(counts[v])
+		totalBytes += int64(byteLens[v])
+	}
+	if total != totalBlocks {
+		return nil, nil, fmt.Errorf("store: extent counts sum to %d blocks, superblock records %d", total, totalBlocks)
+	}
+	if totalBytes != compBytes {
+		return nil, nil, fmt.Errorf("store: extent run lengths sum to %d bytes, superblock records %d", totalBytes, compBytes)
+	}
+	return counts, byteLens, nil
+}

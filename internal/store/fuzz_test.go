@@ -87,7 +87,116 @@ func FuzzQuadtreeDecode(f *testing.F) {
 	})
 }
 
-// openPagedSeeds builds seed images for the store opener.
+// pageDecodeSeeds builds seed inputs for the compressed-run decoder: a real
+// delta-compressed vertex run plus hand-mangled variants.
+func pageDecodeSeeds(tb testing.TB) []struct {
+	data  []byte
+	count uint16
+} {
+	tb.Helper()
+	g, err := graph.GenerateGrid(5, 5)
+	if err != nil {
+		tb.Fatalf("grid: %v", err)
+	}
+	ix, err := core.Build(g, core.BuildOptions{})
+	if err != nil {
+		tb.Fatalf("build: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WritePaged(&buf); err != nil {
+		tb.Fatalf("write: %v", err)
+	}
+	img := buf.Bytes()
+	st, err := store.Open(bytes.NewReader(img), int64(len(img)), store.OpenOptions{})
+	if err != nil {
+		tb.Fatalf("open: %v", err)
+	}
+	t0, err := st.Tree(nil, 0)
+	if err != nil {
+		tb.Fatalf("tree: %v", err)
+	}
+	run, err := store.CompressRun(nil, t0.Blocks)
+	if err != nil {
+		tb.Fatalf("compress: %v", err)
+	}
+	count := uint16(len(t0.Blocks))
+	flipGap := append([]byte(nil), run...)
+	if len(flipGap) > 3 {
+		flipGap[3] ^= 0x80 // extend a varint into the following stream
+	}
+	flipHeader := append([]byte(nil), run...)
+	if len(flipHeader) > 2 {
+		flipHeader[2] = 0x1F // absurd level in the first block header
+	}
+	return []struct {
+		data  []byte
+		count uint16
+	}{
+		{run, count},
+		{run[:len(run)/2], count},
+		{run, count / 2},
+		{flipGap, count},
+		{flipHeader, count},
+		{nil, 0},
+		{make([]byte, 64), 7},
+	}
+}
+
+// FuzzPageDecode feeds arbitrary byte streams, block counts, and out-degrees
+// to the compressed-run decoder. Error-not-panic, allocation bounded by the
+// input length, and any accepted run must satisfy the structural invariants
+// the query path relies on AND survive a re-encode/re-decode round trip
+// bit-identically — the encoder is canonical, so a decode that cannot be
+// reproduced by the writer indicates the decoder accepted garbage.
+func FuzzPageDecode(f *testing.F) {
+	for _, seed := range pageDecodeSeeds(f) {
+		f.Add(seed.data, seed.count, uint8(4))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, count uint16, deg uint8) {
+		blocks, minLambda, err := store.DecompressRun(data, int(count), int(deg))
+		if err != nil {
+			return
+		}
+		if len(blocks) != int(count) {
+			t.Fatalf("accepted %d blocks, extent declared %d", len(blocks), count)
+		}
+		prevEnd := uint64(0)
+		for _, b := range blocks {
+			if int(b.Color) >= int(deg) || b.Color < 0 {
+				t.Fatalf("accepted block with color %d for out-degree %d", b.Color, deg)
+			}
+			if uint64(b.Cell.Code) < prevEnd {
+				t.Fatal("accepted unsorted blocks")
+			}
+			prevEnd = uint64(b.Cell.End())
+			if float64(b.LamLo) < minLambda {
+				t.Fatalf("minLambda %v above block lower bound %v", minLambda, b.LamLo)
+			}
+		}
+		if len(blocks) == 0 {
+			return
+		}
+		reenc, err := store.CompressRun(nil, blocks)
+		if err != nil {
+			t.Fatalf("accepted run fails to re-encode: %v", err)
+		}
+		again, minLambda2, err := store.DecompressRun(reenc, int(count), int(deg))
+		if err != nil {
+			t.Fatalf("re-encoded run fails to decode: %v", err)
+		}
+		if minLambda2 != minLambda {
+			t.Fatalf("minLambda drifted across round trip: %v vs %v", minLambda2, minLambda)
+		}
+		for i := range blocks {
+			if blocks[i] != again[i] {
+				t.Fatalf("block %d drifted across round trip: %+v vs %+v", i, blocks[i], again[i])
+			}
+		}
+	})
+}
+
+// openPagedSeeds builds seed images for the store opener, in both the
+// fixed-width v1 and delta-compressed v2 encodings.
 func openPagedSeeds(tb testing.TB) [][]byte {
 	tb.Helper()
 	g, err := graph.GenerateGrid(5, 5)
@@ -107,6 +216,18 @@ func openPagedSeeds(tb testing.TB) [][]byte {
 	flipHeader[30] ^= 0xFF
 	flipPage := append([]byte(nil), valid...)
 	flipPage[len(flipPage)-64] ^= 0x01 // inside the last block page / CRC table
+
+	cix, err := core.Build(g, core.BuildOptions{Compression: store.CompressionDelta})
+	if err != nil {
+		tb.Fatalf("build compressed: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if _, err := cix.WritePaged(&buf2); err != nil {
+		tb.Fatalf("write compressed: %v", err)
+	}
+	valid2 := buf2.Bytes()
+	flipRun := append([]byte(nil), valid2...)
+	flipRun[len(flipRun)-64] ^= 0x01 // inside the last compressed page / CRC table
 	return [][]byte{
 		valid,
 		valid[:40],
@@ -115,6 +236,10 @@ func openPagedSeeds(tb testing.TB) [][]byte {
 		flipPage,
 		{},
 		[]byte("SILCPG1\x00short"),
+		valid2,
+		valid2[:len(valid2)/2],
+		flipRun,
+		[]byte("SILCPG2\x00short"),
 	}
 }
 
@@ -162,5 +287,10 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	for i, seed := range openPagedSeeds(t) {
 		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
 		write(filepath.Join("testdata", "fuzz", "FuzzOpenPaged"), "seed-"+strconv.Itoa(i), body)
+	}
+	for i, seed := range pageDecodeSeeds(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed.data)) + ")\nuint16(" +
+			strconv.Itoa(int(seed.count)) + ")\nbyte('\\x04')\n"
+		write(filepath.Join("testdata", "fuzz", "FuzzPageDecode"), "seed-"+strconv.Itoa(i), body)
 	}
 }

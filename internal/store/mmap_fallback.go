@@ -1,0 +1,20 @@
+//go:build !linux && !darwin
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform maps files natively;
+// OpenMapped falls back to ReadAt elsewhere.
+const mmapSupported = false
+
+var errNoMmap = errors.New("store: memory mapping not supported on this platform")
+
+// mmapFile is the portable stub: OpenMapped degrades to a plain
+// ReadAt-backed store.
+func mmapFile(*os.File, int64) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

@@ -33,6 +33,12 @@ type OpenOptions struct {
 	// private pool or tracker is created.
 	Pager    *Pager
 	PageBase diskio.PageID
+	// Mapped, when non-nil, is the whole image held in (usually mmap'd)
+	// memory: page frames become subslices of it — no ReadAt syscall, no
+	// gather copy — while pool accounting, eviction feedback, and CRC
+	// verification on first touch keep working unchanged. The slice must
+	// cover the image and stay valid until Close.
+	Mapped []byte
 }
 
 // Pager owns one shared buffer pool and routes eviction feedback to the
@@ -113,6 +119,8 @@ type Store struct {
 	sb       *superblock
 	g        *graph.Network
 	counts   []uint32
+	byteLens []uint32 // v2 images: per-vertex compressed run lengths
+	mapped   []byte   // whole image in memory; nil for ReadAt-backed stores
 	layout   *diskio.Layout
 	pageCRCs []uint32
 	pageBase diskio.PageID
@@ -144,17 +152,38 @@ type loadScratch struct {
 var loadPool = sync.Pool{New: func() any { return new(loadScratch) }}
 
 // Open parses a paged store image from ra, whose total size must be given
-// (files: Stat; embedded sections: the section length). The network,
-// extent table, and page CRC table load eagerly; block pages are read only
-// on demand.
+// (files: Stat; embedded sections: the section length). Both the
+// fixed-width SILCPG1 and the compressed SILCPG2 layouts are accepted — the
+// magic decides. The network, extent table, and page CRC table load
+// eagerly; block pages are read only on demand.
 func Open(ra io.ReaderAt, size int64, opts OpenOptions) (*Store, error) {
-	head, err := readSection(ra, 0, superblockSize)
+	magic, err := readSection(ra, 0, 8)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading superblock: %w", err)
 	}
-	sb, err := decodeSuperblock(head, size)
-	if err != nil {
-		return nil, err
+	var sb *superblock
+	switch string(magic) {
+	case Magic2String:
+		head, err := readSection(ra, 0, superblockSize2)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading superblock: %w", err)
+		}
+		sb, err = decodeSuperblock2(head, size)
+		if err != nil {
+			return nil, err
+		}
+	default: // v1 path also produces the canonical bad-magic error
+		head, err := readSection(ra, 0, superblockSize)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading superblock: %w", err)
+		}
+		sb, err = decodeSuperblock(head, size)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.Mapped != nil && int64(len(opts.Mapped)) < sb.imageSize {
+		return nil, fmt.Errorf("store: mapped image of %d bytes shorter than recorded size %d", len(opts.Mapped), sb.imageSize)
 	}
 	netBuf, err := readSection(ra, sb.netOff, NetworkSectionSize(sb.n, sb.m))
 	if err != nil {
@@ -164,13 +193,25 @@ func Open(ra io.ReaderAt, size int64, opts OpenOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	extBuf, err := readSection(ra, sb.extentOff, extentSectionSize(sb.n))
-	if err != nil {
-		return nil, fmt.Errorf("store: reading extent section: %w", err)
-	}
-	counts, err := decodeExtentSection(extBuf, sb.n, sb.totalBlocks)
-	if err != nil {
-		return nil, err
+	var counts, byteLens []uint32
+	if sb.version == 2 {
+		extBuf, err := readSection(ra, sb.extentOff, extent2SectionSize(sb.n))
+		if err != nil {
+			return nil, fmt.Errorf("store: reading extent section: %w", err)
+		}
+		counts, byteLens, err = decodeExtent2Section(extBuf, sb.n, sb.totalBlocks, sb.compBytes)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		extBuf, err := readSection(ra, sb.extentOff, extentSectionSize(sb.n))
+		if err != nil {
+			return nil, fmt.Errorf("store: reading extent section: %w", err)
+		}
+		counts, err = decodeExtentSection(extBuf, sb.n, sb.totalBlocks)
+		if err != nil {
+			return nil, err
+		}
 	}
 	tabBuf, err := readSection(ra, sb.crcTabOff, sb.blockPages*4+4)
 	if err != nil {
@@ -183,11 +224,23 @@ func Open(ra io.ReaderAt, size int64, opts OpenOptions) (*Store, error) {
 	for i := range pageCRCs {
 		pageCRCs[i] = leU32(tabBuf[i*4:])
 	}
-	intCounts := make([]int, sb.n)
-	for v, c := range counts {
-		intCounts[v] = int(c)
+	// The page layout maps each vertex's entry run to its pages: 16-byte
+	// entries for v1, single bytes for v2's byte-packed compressed runs —
+	// OwnerPages/OwnerRange and the eviction feedback work identically.
+	var layout *diskio.Layout
+	if sb.version == 2 {
+		intLens := make([]int, sb.n)
+		for v, l := range byteLens {
+			intLens[v] = int(l)
+		}
+		layout = diskio.NewLayout(intLens, 1, sb.pageSize)
+	} else {
+		intCounts := make([]int, sb.n)
+		for v, c := range counts {
+			intCounts[v] = int(c)
+		}
+		layout = diskio.NewLayout(intCounts, entrySize, sb.pageSize)
 	}
-	layout := diskio.NewLayout(intCounts, entrySize, sb.pageSize)
 	if layout.TotalPages() != sb.blockPages {
 		return nil, fmt.Errorf("store: layout spans %d pages, superblock records %d", layout.TotalPages(), sb.blockPages)
 	}
@@ -197,6 +250,8 @@ func Open(ra io.ReaderAt, size int64, opts OpenOptions) (*Store, error) {
 		sb:       sb,
 		g:        g,
 		counts:   counts,
+		byteLens: byteLens,
+		mapped:   opts.Mapped,
 		layout:   layout,
 		pageCRCs: pageCRCs,
 		frames:   make(map[diskio.PageID][]byte),
@@ -265,6 +320,18 @@ func (s *Store) Radius() float64 { return s.sb.radius }
 
 // Lenient reports whether the index was built with AllowUnreachable.
 func (s *Store) Lenient() bool { return s.sb.lenient }
+
+// Compression returns the block-page encoding of the opened image.
+func (s *Store) Compression() Compression {
+	if s.sb.version == 2 {
+		return CompressionDelta
+	}
+	return CompressionNone
+}
+
+// Mapped reports whether page frames alias an in-memory image instead of
+// being read through ReadAt.
+func (s *Store) Mapped() bool { return s.mapped != nil }
 
 // Tracker returns the store's private tracker (nil when the store shares a
 // Pager owned by someone else).
@@ -350,40 +417,58 @@ func (s *Store) Tree(ioStats *diskio.Stats, v graph.VertexID) (*quadtree.Tree, e
 		}
 		return t, nil
 	}
-	// Load: touch every page of v's run, reading missed ones, then gather
-	// the entry bytes and decode.
-	sc := loadPool.Get().(*loadScratch)
-	np := int(last - first + 1)
-	if cap(sc.bufs) < np {
-		sc.bufs = make([][]byte, np)
-	}
-	bufs := sc.bufs[:np]
-	for p := first; p <= last; p++ {
-		b, err := s.touch(p, ioStats, true)
-		if err != nil {
-			clear(bufs)
-			loadPool.Put(sc)
-			return nil, err
+	// Load: touch every page of v's run, reading missed ones, then decode —
+	// straight out of the mapping when one is attached (the run is
+	// contiguous there, so no gather copy happens), otherwise gathering the
+	// per-page frames into pooled scratch first.
+	var blocks []quadtree.Block
+	var minLambda float64
+	var err error
+	if s.mapped != nil {
+		for p := first; p <= last; p++ {
+			if _, err := s.touch(p, ioStats, false); err != nil {
+				return nil, err
+			}
 		}
-		bufs[p-first] = b
-	}
-	lo, hi := s.layout.EntryRange(int(v))
-	epp := int64(s.layout.EntriesPerPage())
-	run := sc.run[:0]
-	for i := lo; i < hi; {
-		page := i / epp
-		end := (page + 1) * epp
-		if end > hi {
-			end = hi
+		lo, hi := s.layout.EntryRange(int(v))
+		w := s.entryWidth()
+		run := s.mapped[s.sb.blockOff+lo*w : s.sb.blockOff+hi*w]
+		blocks, minLambda, err = s.decodeRun(run, v)
+	} else {
+		sc := loadPool.Get().(*loadScratch)
+		np := int(last - first + 1)
+		if cap(sc.bufs) < np {
+			sc.bufs = make([][]byte, np)
 		}
-		buf := bufs[page-int64(first)]
-		run = append(run, buf[(i%epp)*entrySize:(i%epp+end-i)*entrySize]...)
-		i = end
+		bufs := sc.bufs[:np]
+		for p := first; p <= last; p++ {
+			b, err := s.touch(p, ioStats, true)
+			if err != nil {
+				clear(bufs)
+				loadPool.Put(sc)
+				return nil, err
+			}
+			bufs[p-first] = b
+		}
+		lo, hi := s.layout.EntryRange(int(v))
+		epp := int64(s.layout.EntriesPerPage())
+		w := s.entryWidth()
+		run := sc.run[:0]
+		for i := lo; i < hi; {
+			page := i / epp
+			end := (page + 1) * epp
+			if end > hi {
+				end = hi
+			}
+			buf := bufs[page-int64(first)]
+			run = append(run, buf[(i%epp)*w:(i%epp+end-i)*w]...)
+			i = end
+		}
+		blocks, minLambda, err = s.decodeRun(run, v)
+		sc.run = run // keep the grown capacity for the next load
+		clear(bufs)  // don't pin evicted frames from inside the pool
+		loadPool.Put(sc)
 	}
-	blocks, minLambda, err := DecodeBlocks(run, s.g.Degree(v))
-	sc.run = run // keep the grown capacity for the next load
-	clear(bufs)  // don't pin evicted frames from inside the pool
-	loadPool.Put(sc)
 	if err != nil {
 		return nil, fmt.Errorf("store: vertex %d: %w", v, err)
 	}
@@ -430,21 +515,49 @@ func (s *Store) touch(p diskio.PageID, ioStats *diskio.Stats, want bool) ([]byte
 	return b, nil
 }
 
-// readPage performs the actual disk read of one block page and verifies its
-// checksum.
+// readPage materializes one block page: an actual disk read for
+// ReadAt-backed stores, a checksum-verified subslice of the mapping for
+// mapped ones. Either way the page counts as one read in ReadStats — for a
+// mapping, "read" means first-touch verification, the moment the page
+// faults in.
 func (s *Store) readPage(p diskio.PageID) ([]byte, error) {
-	buf := make([]byte, s.sb.pageSize)
+	off := s.sb.blockOff + int64(p)*int64(s.sb.pageSize)
+	var buf []byte
 	start := time.Now()
-	if _, err := s.ra.ReadAt(buf, s.sb.blockOff+int64(p)*int64(s.sb.pageSize)); err != nil {
-		return nil, fmt.Errorf("store: reading block page %d: %w", p, err)
+	if s.mapped != nil {
+		buf = s.mapped[off : off+int64(s.sb.pageSize)]
+	} else {
+		buf = make([]byte, s.sb.pageSize)
+		if _, err := s.ra.ReadAt(buf, off); err != nil {
+			return nil, fmt.Errorf("store: reading block page %d: %w", p, err)
+		}
 	}
+	sum := crc32.ChecksumIEEE(buf)
 	s.readNanos.Add(time.Since(start).Nanoseconds())
 	s.reads.Add(1)
 	s.readBytes.Add(int64(s.sb.pageSize))
-	if sum := crc32.ChecksumIEEE(buf); sum != s.pageCRCs[p] {
+	if sum != s.pageCRCs[p] {
 		return nil, fmt.Errorf("store: block page %d checksum mismatch: stored %08x computed %08x", p, s.pageCRCs[p], sum)
 	}
 	return buf, nil
+}
+
+// entryWidth returns the byte width of one layout entry: 16-byte fixed
+// entries for v1 images, single bytes for v2's compressed runs.
+func (s *Store) entryWidth() int64 {
+	if s.sb.version == 2 {
+		return 1
+	}
+	return entrySize
+}
+
+// decodeRun decodes one vertex's gathered (or mapped) run bytes through the
+// image's codec.
+func (s *Store) decodeRun(run []byte, v graph.VertexID) ([]quadtree.Block, float64, error) {
+	if s.sb.version == 2 {
+		return DecompressRun(run, int(s.counts[v]), s.g.Degree(v))
+	}
+	return DecodeBlocks(run, s.g.Degree(v))
 }
 
 // dropPage releases the frame of local page p and every decoded tree whose

@@ -1,10 +1,12 @@
 package silc_test
 
 import (
-	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -13,29 +15,28 @@ import (
 )
 
 // The equivalence property: the in-RAM Index, the demand-paged PagedIndex
-// (pool squeezed to ~1% to force heavy eviction), and the ShardedIndex (in
-// RAM and paged) must answer identical KNN, range, and Browser queries on
-// every network family. Run under -race in CI, with a concurrent phase
-// hammering the shared pool from many goroutines.
+// in both block-page encodings and both page sources (positioned reads and
+// mmap, pool squeezed to ~1% to force heavy eviction), and the ShardedIndex
+// (in RAM and paged, both encodings) must answer identical KNN, range, and
+// Browser queries on every network family. Run under -race in CI, with a
+// concurrent phase hammering the shared pool from many goroutines.
 
 type equivEngine struct {
-	name string
-	eng  *silc.Engine
+	name  string
+	eng   *silc.Engine
+	paged bool // reads real pages: the pool-traffic check applies
 }
 
-// buildEquivEngines assembles the four engines over one network, the paged
-// ones reading real pages through a deliberately tiny pool.
+// buildEquivEngines assembles the engine matrix over one network — in-RAM /
+// paged-PG1 / paged-PG2 / sharded-SPG1 / sharded-SPG2 crossed with
+// positioned reads and mmap — the paged ones reading real pages through a
+// deliberately tiny pool. The mmap opens go through temp files; on
+// platforms without mmap support they silently degrade to positioned reads,
+// which still must answer identically.
 func buildEquivEngines(t *testing.T, net *silc.Network) []equivEngine {
 	t.Helper()
+	dir := t.TempDir()
 	ix, err := silc.BuildIndex(net, silc.BuildOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var pg bytes.Buffer
-	if _, err := ix.WritePaged(&pg); err != nil {
-		t.Fatal(err)
-	}
-	paged, err := silc.OpenIndexAt(bytes.NewReader(pg.Bytes()), int64(pg.Len()), silc.BuildOptions{CacheFraction: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,20 +44,57 @@ func buildEquivEngines(t *testing.T, net *silc.Network) []equivEngine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var spg bytes.Buffer
-	if _, err := sx.WritePaged(&spg); err != nil {
-		t.Fatal(err)
+	engines := []equivEngine{
+		{"in-RAM", ix.Engine(), false},
+		{"sharded", sx.Engine(), false},
 	}
-	pagedShard, err := silc.OpenShardedIndexAt(bytes.NewReader(spg.Bytes()), int64(spg.Len()), silc.ShardedBuildOptions{CacheFraction: 0.01})
-	if err != nil {
-		t.Fatal(err)
+
+	writeTemp := func(name string, write func(io.Writer) (int64, error)) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
 	}
-	return []equivEngine{
-		{"in-RAM", ix.Engine()},
-		{"paged", paged.Engine()},
-		{"sharded", sx.Engine()},
-		{"sharded-paged", pagedShard.Engine()},
+
+	for _, comp := range []silc.Compression{silc.CompressionNone, silc.CompressionDelta} {
+		cix, err := silc.BuildIndex(net, silc.BuildOptions{Compression: comp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		csx, err := silc.BuildShardedIndex(net, silc.ShardedBuildOptions{Partitions: 4, Compression: comp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mono := writeTemp("mono-"+comp.String(), cix.WritePaged)
+		shard := writeTemp("shard-"+comp.String(), csx.WritePaged)
+		for _, mmap := range []bool{false, true} {
+			src := "readat"
+			if mmap {
+				src = "mmap"
+			}
+			px, err := silc.OpenIndex(mono, silc.BuildOptions{CacheFraction: 0.01, Mmap: mmap})
+			if err != nil {
+				t.Fatalf("open paged %s %s: %v", comp, src, err)
+			}
+			t.Cleanup(func() { px.Close() })
+			engines = append(engines, equivEngine{fmt.Sprintf("paged-%s-%s", comp, src), px.Engine(), true})
+			psx, err := silc.OpenShardedIndex(shard, silc.ShardedBuildOptions{CacheFraction: 0.01, Mmap: mmap})
+			if err != nil {
+				t.Fatalf("open sharded %s %s: %v", comp, src, err)
+			}
+			t.Cleanup(func() { psx.Close() })
+			engines = append(engines, equivEngine{fmt.Sprintf("sharded-%s-%s", comp, src), psx.Engine(), true})
+		}
 	}
+	return engines
 }
 
 func equivNetworks(t *testing.T) map[string]*silc.Network {
@@ -156,8 +194,10 @@ func TestEquivalenceAcrossBackends(t *testing.T) {
 
 			// The paged engines must have actually paged: real reads
 			// happened and the working set exceeded the squeezed pool.
+			// (Under mmap a "read" is the first-touch CRC verification of a
+			// mapped page frame — the counters keep working.)
 			for _, ee := range engines {
-				if ee.name != "paged" && ee.name != "sharded-paged" {
+				if !ee.paged {
 					continue
 				}
 				io := ee.eng.IOStats()

@@ -2,6 +2,7 @@ package silc
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -32,6 +33,14 @@ type ShardedBuildOptions struct {
 	// MissLatency is the modeled cost of one page miss (0 = the 200µs
 	// default).
 	MissLatency time.Duration
+	// Compression selects the paged image encoding WritePaged/WriteFile
+	// emit for every cell image — CompressionNone (fixed-width SILCSPG1) or
+	// CompressionDelta (delta+varint SILCSPG2). Opening sniffs the format.
+	Compression Compression
+	// Mmap makes OpenShardedIndex access the file through one read-only
+	// memory mapping shared by every cell store, falling back to positioned
+	// reads on platforms without mmap.
+	Mmap bool
 }
 
 // ShardedStats describes a completed sharded build: per-cell index
@@ -81,6 +90,7 @@ func shardedOptions(opts ShardedBuildOptions) partition.Options {
 		DiskResident:  opts.DiskResident,
 		CacheFraction: opts.CacheFraction,
 		MissLatency:   opts.MissLatency,
+		Compression:   opts.Compression,
 	}
 }
 
@@ -93,6 +103,12 @@ func (sx *ShardedIndex) WritePaged(w io.Writer) (int64, error) { return sx.sx.Wr
 // WriteFile writes the paged on-disk format to path (fsynced).
 func (sx *ShardedIndex) WriteFile(path string) error {
 	return writeFileSynced(path, sx.WritePaged)
+}
+
+// PagedImageInfo reports the section layout and compression ratio of the
+// sharded paged image WritePaged would produce, without writing it.
+func (sx *ShardedIndex) PagedImageInfo() (ImageInfo, error) {
+	return sx.sx.PagedImageInfo()
 }
 
 // writeFileSynced writes one serialization to path, fsyncing before close
@@ -119,6 +135,21 @@ func writeFileSynced(path string, write func(io.Writer) (int64, error)) error {
 // sized by opts.CacheFraction of the whole database. Close the returned
 // index to release the file.
 func OpenShardedIndex(path string, opts ShardedBuildOptions) (*ShardedIndex, error) {
+	if opts.Mmap {
+		if data, closer, err := store.MapFile(path); err == nil {
+			po := shardedOptions(opts)
+			po.Mapped = data
+			sx, err := partition.OpenPaged(bytes.NewReader(data), int64(len(data)), po)
+			if err != nil {
+				closer.Close()
+				return nil, err
+			}
+			ix := newShardedIndex(&Network{g: sx.Network()}, sx)
+			ix.closer = closer
+			return ix, nil
+		}
+		// mmap unavailable: fall through to the positioned-read open.
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -274,9 +305,10 @@ func (sx *ShardedIndex) IOStats() IOStats { return sx.eng.IOStats() }
 // warm.
 func (sx *ShardedIndex) ResetIOStats() { sx.eng.ResetIOStats() }
 
-// LoadEngine sniffs the index file format and loads any of the four index
+// LoadEngine sniffs the index file format and loads any of the six index
 // formats — legacy monolithic (SILCIDX1), legacy sharded (SILCSHD1), paged
-// monolithic (SILCPG1), paged sharded (SILCSPG1) — returning its unified
+// monolithic fixed-width or compressed (SILCPG1, SILCPG2), paged sharded
+// fixed-width or compressed (SILCSPG1, SILCSPG2) — returning its unified
 // query Engine; this is the loader the CLI tools use so one -index flag
 // accepts every format. The concrete index is reachable through
 // Engine.Monolithic / Engine.Sharded.
@@ -293,13 +325,13 @@ func LoadEngine(r io.Reader, net *Network, opts BuildOptions) (*Engine, error) {
 		return nil, err
 	}
 	switch string(magic) {
-	case store.MagicString, store.ShardedMagicString:
+	case store.MagicString, store.Magic2String, store.ShardedMagicString, store.ShardedMagic2String:
 		ra, size, err := readerAtSize(r)
 		if err != nil {
 			return nil, err
 		}
 		var eng *Engine
-		if string(magic) == store.MagicString {
+		if m := string(magic); m == store.MagicString || m == store.Magic2String {
 			ix, err := OpenIndexAt(ra, size, opts)
 			if err != nil {
 				return nil, err
@@ -379,7 +411,36 @@ func OpenEngine(path string, net *Network, opts BuildOptions) (*Engine, error) {
 		return nil, err
 	}
 	switch string(magic[:]) {
-	case store.MagicString, store.ShardedMagicString:
+	case store.MagicString, store.Magic2String, store.ShardedMagicString, store.ShardedMagic2String:
+		if opts.Mmap {
+			// Route by path so the paged stores read through a memory
+			// mapping; the mapped opens own their file handle.
+			f.Close()
+			var eng *Engine
+			if m := string(magic[:]); m == store.MagicString || m == store.Magic2String {
+				ix, err := OpenIndex(path, opts)
+				if err != nil {
+					return nil, err
+				}
+				eng = ix.Engine()
+			} else {
+				sx, err := OpenShardedIndex(path, ShardedBuildOptions{
+					CacheFraction: opts.CacheFraction,
+					MissLatency:   opts.MissLatency,
+					Mmap:          true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				eng = sx.Engine()
+			}
+			if net != nil && (net.NumVertices() != eng.Network().NumVertices() || net.NumEdges() != eng.Network().NumEdges()) {
+				eng.Close()
+				return nil, fmt.Errorf("silc: paged index embeds a %d-vertex network, supplied network has %d",
+					eng.Network().NumVertices(), net.NumVertices())
+			}
+			return eng, nil
+		}
 		eng, err := LoadEngine(f, net, opts)
 		if err != nil {
 			f.Close()
