@@ -328,3 +328,107 @@ func TestCancellationReturnsContextToPool(t *testing.T) {
 		})
 	}
 }
+
+// TestAllocBudgetTraced re-runs the query budgets with metrics recording
+// AND phase tracing enabled (Engine.SetTracing — the silcserve
+// configuration): the span is a struct field on the pooled context and
+// fold-at-release is pure atomics, so full observability must not add a
+// single steady-state allocation on any backend.
+func TestAllocBudgetTraced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	net, objs, _, queries := allocFixture(t)
+	ctx := context.Background()
+	for _, ae := range allocEngines(t, net) {
+		ae.eng.SetTracing(true)
+		t.Run(ae.name+"/knn", func(t *testing.T) {
+			got := measureAllocs(func() {
+				if _, err := ae.eng.Query(ctx, objs, queries[0], 10); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("%s traced: %.1f allocs/op (budget %d)", ae.name, got, budgetKNNAllocs)
+			if got > budgetKNNAllocs {
+				t.Fatalf("traced KNN allocates %.1f/op, budget %d — tracing added per-query garbage", got, budgetKNNAllocs)
+			}
+		})
+		t.Run(ae.name+"/range", func(t *testing.T) {
+			got := measureAllocs(func() {
+				if _, err := ae.eng.WithinDistance(ctx, objs, queries[1], 0.25); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got > budgetRangeAllocs {
+				t.Fatalf("traced range allocates %.1f/op, budget %d", got, budgetRangeAllocs)
+			}
+		})
+		t.Run(ae.name+"/stats-opt", func(t *testing.T) {
+			// WithStats on the scalar queries rides the same span; the
+			// caller-supplied struct is the only destination, so the stats
+			// fill itself must be allocation-free. A zero-option Distance
+			// is fully stack-allocated; passing any Option costs exactly
+			// one allocation in applyOptions (the resolved queryOptions
+			// escapes through the indirect opt(&o) call) — an options-API
+			// cost, not a metrics cost, so the bound here is bare+1.
+			bare := measureAllocs(func() {
+				if _, err := ae.eng.Distance(ctx, queries[2], queries[3]); err != nil {
+					t.Fatal(err)
+				}
+			})
+			var st QueryStats
+			opt := WithStats(&st)
+			got := measureAllocs(func() {
+				if _, err := ae.eng.Distance(ctx, queries[2], queries[3], opt); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("%s traced distance: bare %.1f, +stats %.1f allocs/op", ae.name, bare, got)
+			if bare > 0 {
+				t.Fatalf("traced bare Distance allocates %.1f/op, want 0", bare)
+			}
+			if got > bare+1 {
+				t.Fatalf("traced Distance with WithStats allocates %.1f/op, want ≤ %.1f", got, bare+1)
+			}
+		})
+	}
+}
+
+// TestAllocBudgetScrapeDuringQueries proves a concurrent /metrics scrape
+// never adds allocations to the query hot path: scrape-time allocation is
+// the scraper's own cost, recording stays plain atomics.
+func TestAllocBudgetScrapeDuringQueries(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	net, objs, _, queries := allocFixture(t)
+	ctx := context.Background()
+	ae := allocEngines(t, net)[0] // monolithic: the tightest baseline
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sink bytes.Buffer
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sink.Reset()
+				ae.eng.WriteMetrics(&sink)
+			}
+		}
+	}()
+	got := measureAllocs(func() {
+		if _, err := ae.eng.Query(ctx, objs, queries[0], 10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	close(stop)
+	wg.Wait()
+	t.Logf("KNN under concurrent scrape: %.1f allocs/op (budget %d)", got, budgetKNNAllocs)
+	if got > budgetKNNAllocs {
+		t.Fatalf("KNN under concurrent scrapes allocates %.1f/op, budget %d", got, budgetKNNAllocs)
+	}
+}

@@ -94,15 +94,21 @@ func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []Vert
 				if i >= int64(len(queries)) {
 					return
 				}
+				// Batch contexts bypass the engine pool (each worker's
+				// queries are independent), so the span is armed and
+				// folded here instead of in acquire/release.
 				qc := core.NewQueryContextFor(ctx)
+				e.beginSpan(qc, opBatch)
 				res, err := e.runSpec(qc, objs, queries[i], k, o)
 				if err == nil && o.exact {
 					err = e.exactify(qc, queries[i], &res)
 				}
 				if err != nil {
+					e.obs.fold(qc)
 					return // cancelled: leave this and later slots zero
 				}
 				e.foldIO(qc, &res.Stats)
+				e.obs.fold(qc)
 				results[i] = res
 			}
 		}()

@@ -16,11 +16,15 @@
 // ε-approximate ranking (fewer refinements, distances certified within
 // (1+ε)×); -max-dist bounds results to a radius. -timeout aborts a query
 // through context cancellation. The refine trace mode requires a monolithic
-// index.
+// index. -stats appends one JSON object per query to stdout with the
+// query's own statistics (refinements, page traffic, phase timings) and
+// the engine-wide I/O aggregates; -trace additionally times the
+// filter/refinement phase split.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -47,6 +51,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-query timeout (0 = none)")
 		parts   = flag.Int("partitions", 1, "spatial partitions (>1 queries the sharded index)")
 		mmap    = flag.Bool("mmap", false, "open paged index files through a read-only memory mapping")
+		stats   = flag.Bool("stats", false, "print per-query statistics and engine I/O aggregates as JSON")
+		trace   = flag.Bool("trace", false, "time the filter/refinement phase split (implies the timing columns in -stats)")
 	)
 	flag.Parse()
 
@@ -76,6 +82,9 @@ func main() {
 		eng = ix.Engine()
 	}
 	src, dst := silc.VertexID(*q), silc.VertexID(*dest)
+	if *trace {
+		eng.SetTracing(true)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -86,21 +95,26 @@ func main() {
 
 	switch *mode {
 	case "knn":
-		runKNN(ctx, net, eng, src, *k, *objFrac, *method, *eps, *maxDist, *seed)
+		runKNN(ctx, net, eng, src, *k, *objFrac, *method, *eps, *maxDist, *seed, *stats)
 	case "dist":
 		iv, err := eng.DistanceInterval(ctx, src, dst)
 		if err != nil {
 			fail(err)
 		}
-		d, err := eng.Distance(ctx, src, dst)
+		var st silc.QueryStats
+		d, err := eng.Distance(ctx, src, dst, silc.WithStats(&st))
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("interval (no refinement): [%.6f, %.6f]\n", iv.Lo, iv.Hi)
 		fmt.Printf("exact network distance:   %.6f\n", d)
 		fmt.Printf("euclidean distance:       %.6f\n", net.Euclid(src, dst))
+		if *stats {
+			printStats(eng, st)
+		}
 	case "path":
-		path, err := eng.ShortestPath(ctx, src, dst)
+		var st silc.QueryStats
+		path, err := eng.ShortestPath(ctx, src, dst, silc.WithStats(&st))
 		if err != nil {
 			fail(err)
 		}
@@ -108,6 +122,9 @@ func main() {
 		for _, v := range path {
 			p := net.Point(v)
 			fmt.Printf("  %6d  (%.4f, %.4f)\n", v, p.X, p.Y)
+		}
+		if *stats {
+			printStats(eng, st)
 		}
 	case "refine":
 		mono, ok := eng.Monolithic()
@@ -132,7 +149,7 @@ func main() {
 	}
 }
 
-func runKNN(ctx context.Context, net *silc.Network, eng *silc.Engine, q silc.VertexID, k int, frac float64, methodName string, eps, maxDist float64, seed int64) {
+func runKNN(ctx context.Context, net *silc.Network, eng *silc.Engine, q silc.VertexID, k int, frac float64, methodName string, eps, maxDist float64, seed int64, stats bool) {
 	rng := rand.New(rand.NewSource(seed + 1))
 	m := int(frac * float64(net.NumVertices()))
 	if m < 1 {
@@ -176,6 +193,47 @@ func runKNN(ctx context.Context, net *silc.Network, eng *silc.Engine, q silc.Ver
 	s := res.Stats
 	fmt.Printf("stats: maxQueue=%d refinements=%d lookups=%d settled=%d cpu=%v\n",
 		s.MaxQueue, s.Refinements, s.Lookups, s.Settled, s.CPUTime)
+	if stats {
+		printStats(eng, s)
+	}
+}
+
+// printStats emits one JSON object pairing the finished query's own
+// statistics with the engine-wide I/O aggregates — on a warm pool the
+// per-query figures explain which part of the pool-wide traffic this
+// query caused. Durations are reported in microseconds.
+func printStats(eng *silc.Engine, st silc.QueryStats) {
+	io := eng.IOStats()
+	out := map[string]any{
+		"query": map[string]any{
+			"method":         st.Method,
+			"max_queue":      st.MaxQueue,
+			"refinements":    st.Refinements,
+			"lookups":        st.Lookups,
+			"settled":        st.Settled,
+			"heap_pushes":    st.HeapPushes,
+			"page_hits":      st.PageHits,
+			"page_misses":    st.PageMisses,
+			"page_reads":     st.PageReads,
+			"evictions":      st.Evictions,
+			"blocks_decoded": st.BlocksDecoded,
+			"gateway_routes": st.GatewayRoutes,
+			"io_time_us":     st.IOTime.Microseconds(),
+			"cpu_time_us":    st.CPUTime.Microseconds(),
+			"filter_time_us": st.FilterTime.Microseconds(),
+			"refine_time_us": st.RefineTime.Microseconds(),
+		},
+		"engine_io": map[string]any{
+			"page_hits":           io.PageHits,
+			"page_misses":         io.PageMisses,
+			"page_reads":          io.PageReads,
+			"modeled_io_time_us":  io.ModeledIOTime.Microseconds(),
+			"measured_io_time_us": io.MeasuredIOTime.Microseconds(),
+		},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
 }
 
 func loadOrGenerate(file string, rows, cols int, seed int64) (*silc.Network, error) {

@@ -16,7 +16,19 @@
 //	GET  /path?src=U&dst=V           exact shortest path
 //	GET  /range?q=V&radius=R         objects within network distance R
 //	GET  /stats                      build, buffer-pool, and server counters
+//	                                 plus per-endpoint latency quantiles
+//	GET  /metrics                    Prometheus text exposition: the
+//	                                 engine's silc_* families plus the
+//	                                 server's silcserve_* request metrics
+//	GET  /debug/pprof/*              Go runtime profiles (with -pprof)
 //	GET  /healthz                    liveness probe
+//
+// The engine runs with tracing enabled, so per-query filter/refinement
+// phase timings feed the silc_knn_*_seconds_total counters and the
+// structured slow-query log: -slowlog FILE appends one NDJSON line per
+// request slower than -slow-threshold, carrying the endpoint, raw query,
+// wall time, and the query's own statistics (refinements, page traffic,
+// phase split).
 //
 // Every handler threads its request context into the query engine, so a
 // client disconnect or the -request-timeout deadline cancels the in-flight
@@ -45,15 +57,18 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"silc"
+	"silc/internal/obs"
 )
 
 func main() {
@@ -76,6 +91,9 @@ func main() {
 		maxK        = flag.Int("max-k", 1000, "largest k a request may ask for")
 		maxBatch    = flag.Int("max-batch", 10000, "largest batch request size")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline cancelling in-flight queries (0 = none)")
+		pprofOn     = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/")
+		slowlogPath = flag.String("slowlog", "", "append slow-query NDJSON entries to this file (empty = disabled)")
+		slowThresh  = flag.Duration("slow-threshold", 100*time.Millisecond, "minimum request latency for a -slowlog entry")
 	)
 	flag.Parse()
 
@@ -108,8 +126,23 @@ func main() {
 			st.Vertices, st.Edges, nObjs, st.BlocksPerVertex())
 	}
 
+	// Tracing stamps each query's filter/refinement phase split onto its
+	// span — the serving deployment trades the extra clock reads for
+	// phase-attributed metrics and slow-log entries.
+	eng.SetTracing(true)
+
 	s := newServer(eng, objs, *maxK, *maxBatch)
 	s.timeout = *reqTimeout
+	s.pprof = *pprofOn
+	if *slowlogPath != "" {
+		slow, err := openSlowLog(*slowlogPath, *slowThresh)
+		if err != nil {
+			log.Fatalf("silcserve: %v", err)
+		}
+		defer slow.Close()
+		s.slow = slow
+		log.Printf("slow-query log: %s (threshold %v)", *slowlogPath, *slowThresh)
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
@@ -268,44 +301,165 @@ type server struct {
 	maxK     int
 	maxBatch int
 	timeout  time.Duration // per-request deadline (0 = none)
+	pprof    bool          // mount /debug/pprof/
 	started  time.Time
 	requests atomic.Int64
 	queries  atomic.Int64 // logical queries answered (a batch counts each)
+
+	// Server-side metrics live in their own registry: /metrics emits the
+	// engine's silc_* families followed by these silcserve_* ones — the
+	// family names are disjoint, so the concatenation is a valid text-
+	// format exposition.
+	reg       *obs.Registry
+	inflight  *obs.Gauge
+	endpoints map[string]*endpointMetrics
+	slow      *slowLog
 }
 
+// endpointMetrics is one HTTP endpoint's request counter and latency
+// histogram.
+type endpointMetrics struct {
+	requests *obs.Counter
+	latency  *obs.Histogram
+}
+
+// endpointNames lists the instrumented query endpoints; /metrics and
+// /healthz are deliberately excluded so scrapes and probes don't pollute
+// the latency distributions.
+var endpointNames = []string{"/knn", "/browse", "/distance", "/path", "/range", "/stats"}
+
 func newServer(eng *silc.Engine, objs *silc.ObjectSet, maxK, maxBatch int) *server {
-	return &server{eng: eng, objs: objs, maxK: maxK, maxBatch: maxBatch, started: time.Now()}
+	s := &server{eng: eng, objs: objs, maxK: maxK, maxBatch: maxBatch, started: time.Now()}
+	s.reg = obs.NewRegistry()
+	s.inflight = s.reg.Gauge("silcserve_inflight_requests", "",
+		"HTTP requests currently being handled.")
+	s.endpoints = make(map[string]*endpointMetrics, len(endpointNames))
+	for _, name := range endpointNames {
+		label := `endpoint="` + name + `"`
+		s.endpoints[name] = &endpointMetrics{
+			requests: s.reg.Counter("silcserve_requests_total", label,
+				"HTTP requests handled per endpoint."),
+			latency: s.reg.Histogram("silcserve_request_seconds", label,
+				"HTTP request latency per endpoint."),
+		}
+	}
+	return s
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/knn", s.count(s.handleKNN))
-	mux.HandleFunc("/browse", s.count(s.handleBrowse))
-	mux.HandleFunc("/distance", s.count(s.handleDistance))
-	mux.HandleFunc("/path", s.count(s.handlePath))
-	mux.HandleFunc("/range", s.count(s.handleRange))
-	mux.HandleFunc("/stats", s.count(s.handleStats))
+	mux.HandleFunc("/knn", s.observe("/knn", s.handleKNN))
+	mux.HandleFunc("/browse", s.observe("/browse", s.handleBrowse))
+	mux.HandleFunc("/distance", s.observe("/distance", s.handleDistance))
+	mux.HandleFunc("/path", s.observe("/path", s.handlePath))
+	mux.HandleFunc("/range", s.observe("/range", s.handleRange))
+	mux.HandleFunc("/stats", s.observe("/stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// count is the request middleware: it bumps the counters and applies the
-// -request-timeout deadline to the request context, so a slow query is
-// cancelled inside the engine rather than left running after the client
-// gave up. (http.TimeoutHandler is unsuitable here: it buffers responses,
-// which would break /browse streaming.)
-func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
+// statsCtxKey carries a per-request holder the handler fills with the
+// query's own statistics, so the middleware can attach them to slow-log
+// entries without re-plumbing every handler signature.
+type statsCtxKey struct{}
+
+type statsHolder struct{ st *silc.QueryStats }
+
+// noteStats records one finished query's statistics against the current
+// request (for the slow-query log).
+func noteStats(r *http.Request, st silc.QueryStats) {
+	if h, ok := r.Context().Value(statsCtxKey{}).(*statsHolder); ok {
+		h.st = &st
+	}
+}
+
+// observe is the request middleware: it bumps the counters, observes the
+// endpoint's latency histogram, applies the -request-timeout deadline to
+// the request context — so a slow query is cancelled inside the engine
+// rather than left running after the client gave up — and appends a
+// slow-log entry when the request crosses the threshold.
+// (http.TimeoutHandler is unsuitable here: it buffers responses, which
+// would break /browse streaming.)
+func (s *server) observe(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.endpoints[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		em.requests.Inc()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		ctx := r.Context()
 		if s.timeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
 			defer cancel()
-			r = r.WithContext(ctx)
 		}
+		holder := &statsHolder{}
+		r = r.WithContext(context.WithValue(ctx, statsCtxKey{}, holder))
+		start := time.Now()
 		h(w, r)
+		d := time.Since(start)
+		em.latency.Observe(d)
+		if s.slow != nil && d >= s.slow.threshold {
+			s.slow.record(endpoint, r, d, holder.st)
+		}
 	}
+}
+
+// handleMetrics serves the Prometheus text exposition: engine families
+// first (silc_engine_*, silc_knn_*, silc_diskio_*, silc_store_*,
+// silc_partition_*), then the server's silcserve_* request metrics.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.eng.WriteMetrics(w); err != nil {
+		return // client went away mid-scrape; nothing to salvage
+	}
+	s.reg.WritePrometheus(w)
+}
+
+// slowLog appends one NDJSON entry per slow request. Writes are
+// serialized under a mutex — slow requests are rare by definition, so
+// contention here is negligible.
+type slowLog struct {
+	mu        sync.Mutex
+	f         *os.File
+	enc       *json.Encoder
+	threshold time.Duration
+}
+
+func openSlowLog(path string, threshold time.Duration) (*slowLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("slowlog: %w", err)
+	}
+	return &slowLog{f: f, enc: json.NewEncoder(f), threshold: threshold}, nil
+}
+
+func (l *slowLog) Close() error { return l.f.Close() }
+
+func (l *slowLog) record(endpoint string, r *http.Request, d time.Duration, st *silc.QueryStats) {
+	entry := map[string]any{
+		"ts":          time.Now().UTC().Format(time.RFC3339Nano),
+		"endpoint":    endpoint,
+		"method":      r.Method,
+		"query":       r.URL.RawQuery,
+		"duration_us": d.Microseconds(),
+	}
+	if st != nil {
+		entry["stats"] = toStats(*st)
+	}
+	l.mu.Lock()
+	l.enc.Encode(entry)
+	l.mu.Unlock()
 }
 
 type httpError struct {
@@ -398,14 +552,21 @@ type neighborJSON struct {
 }
 
 type queryStatsJSON struct {
-	Method      string `json:"method"`
-	Refinements int    `json:"refinements"`
-	Lookups     int    `json:"lookups"`
-	Settled     int    `json:"settled,omitempty"`
-	PageHits    int64  `json:"page_hits"`
-	PageMisses  int64  `json:"page_misses"`
-	IOTimeUS    int64  `json:"io_time_us"`
-	CPUTimeUS   int64  `json:"cpu_time_us"`
+	Method        string `json:"method"`
+	Refinements   int    `json:"refinements"`
+	Lookups       int    `json:"lookups"`
+	Settled       int    `json:"settled,omitempty"`
+	HeapPushes    int64  `json:"heap_pushes,omitempty"`
+	PageHits      int64  `json:"page_hits"`
+	PageMisses    int64  `json:"page_misses"`
+	PageReads     int64  `json:"page_reads,omitempty"`
+	Evictions     int64  `json:"evictions,omitempty"`
+	BlocksDecoded int64  `json:"blocks_decoded,omitempty"`
+	GatewayRoutes int64  `json:"gateway_routes,omitempty"`
+	IOTimeUS      int64  `json:"io_time_us"`
+	CPUTimeUS     int64  `json:"cpu_time_us"`
+	FilterTimeUS  int64  `json:"filter_time_us,omitempty"`
+	RefineTimeUS  int64  `json:"refine_time_us,omitempty"`
 }
 
 func toNeighbors(ns []silc.Neighbor) []neighborJSON {
@@ -418,14 +579,21 @@ func toNeighbors(ns []silc.Neighbor) []neighborJSON {
 
 func toStats(st silc.QueryStats) queryStatsJSON {
 	return queryStatsJSON{
-		Method:      st.Method,
-		Refinements: st.Refinements,
-		Lookups:     st.Lookups,
-		Settled:     st.Settled,
-		PageHits:    st.PageHits,
-		PageMisses:  st.PageMisses,
-		IOTimeUS:    st.IOTime.Microseconds(),
-		CPUTimeUS:   st.CPUTime.Microseconds(),
+		Method:        st.Method,
+		Refinements:   st.Refinements,
+		Lookups:       st.Lookups,
+		Settled:       st.Settled,
+		HeapPushes:    st.HeapPushes,
+		PageHits:      st.PageHits,
+		PageMisses:    st.PageMisses,
+		PageReads:     st.PageReads,
+		Evictions:     st.Evictions,
+		BlocksDecoded: st.BlocksDecoded,
+		GatewayRoutes: st.GatewayRoutes,
+		IOTimeUS:      st.IOTime.Microseconds(),
+		CPUTimeUS:     st.CPUTime.Microseconds(),
+		FilterTimeUS:  st.FilterTime.Microseconds(),
+		RefineTimeUS:  st.RefineTime.Microseconds(),
 	}
 }
 
@@ -477,6 +645,7 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	noteStats(r, res.Stats)
 	writeJSON(w, map[string]any{
 		"query":     int64(q),
 		"k":         k,
@@ -582,16 +751,19 @@ func (s *server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	d, err := s.eng.Distance(r.Context(), src, dst)
+	var st silc.QueryStats
+	d, err := s.eng.Distance(r.Context(), src, dst, silc.WithStats(&st))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	s.queries.Add(1)
+	noteStats(r, st)
 	resp := map[string]any{
 		"src":       int64(src),
 		"dst":       int64(dst),
 		"reachable": !math.IsInf(d, 1),
+		"stats":     toStats(st),
 	}
 	if !math.IsInf(d, 1) {
 		resp["distance"] = d
@@ -610,14 +782,16 @@ func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	path, err := s.eng.ShortestPath(r.Context(), src, dst)
+	var st silc.QueryStats
+	path, err := s.eng.ShortestPath(r.Context(), src, dst, silc.WithStats(&st))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	s.queries.Add(1)
+	noteStats(r, st)
 	if path == nil {
-		writeJSON(w, map[string]any{"src": int64(src), "dst": int64(dst), "reachable": false})
+		writeJSON(w, map[string]any{"src": int64(src), "dst": int64(dst), "reachable": false, "stats": toStats(st)})
 		return
 	}
 	ids := make([]int64, len(path))
@@ -630,6 +804,7 @@ func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
 		"reachable": true,
 		"distance":  pathCost(s.eng.Network(), path),
 		"path":      ids,
+		"stats":     toStats(st),
 	})
 }
 
@@ -667,6 +842,7 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	noteStats(r, res.Stats)
 	writeJSON(w, map[string]any{
 		"query":     int64(q),
 		"radius":    radius,
@@ -706,6 +882,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	io := s.eng.IOStats()
+	endpoints := make(map[string]any, len(s.endpoints))
+	for name, em := range s.endpoints {
+		n := em.latency.Count()
+		if n == 0 {
+			continue
+		}
+		endpoints[name] = map[string]any{
+			"requests": em.requests.Value(),
+			"p50_us":   em.latency.Quantile(0.50).Microseconds(),
+			"p90_us":   em.latency.Quantile(0.90).Microseconds(),
+			"p99_us":   em.latency.Quantile(0.99).Microseconds(),
+		}
+	}
 	writeJSON(w, map[string]any{
 		"index":   index,
 		"objects": s.objs.Len(),
@@ -715,9 +904,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"modeled_io_time_us": io.ModeledIOTime.Microseconds(),
 		},
 		"server": map[string]any{
-			"uptime_s": int64(time.Since(s.started).Seconds()),
-			"requests": s.requests.Load(),
-			"queries":  s.queries.Load(),
+			"uptime_s":  int64(time.Since(s.started).Seconds()),
+			"requests":  s.requests.Load(),
+			"queries":   s.queries.Load(),
+			"inflight":  s.inflight.Value(),
+			"tracing":   s.eng.TracingEnabled(),
+			"endpoints": endpoints,
 		},
 	})
 }
@@ -791,4 +983,5 @@ func (s *server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 		"stats":    toStats(st),
 	})
 	s.queries.Add(1)
+	noteStats(r, st)
 }

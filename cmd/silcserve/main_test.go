@@ -3,8 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -418,5 +422,258 @@ func TestServerShardedEndpoints(t *testing.T) {
 	}
 	if resp := getJSON(t, ts, "/knn?q=3&k=4", &knn); resp.StatusCode != 200 || len(knn.Neighbors) != 4 {
 		t.Fatalf("sharded /knn failed: %d %+v", resp.StatusCode, knn)
+	}
+}
+
+// scrapeMetrics drives a few queries through the server and returns the
+// /metrics body.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	for _, path := range []string{"/knn?q=3&k=4", "/distance?src=0&dst=9", "/range?q=5&radius=4", "/browse?src=2&n=3"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServerMetrics(t *testing.T) {
+	srv := testServer(t)
+	srv.eng.SetTracing(true)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	out := scrapeMetrics(t, ts)
+
+	// Engine, knn, diskio, store, and server families must all be
+	// populated after real traffic on a disk-resident index.
+	for _, want := range []string{
+		`silc_engine_queries_total{op="knn"}`,
+		`silc_engine_query_seconds_bucket{op="knn",le="+Inf"}`,
+		`silc_engine_query_seconds_count{op="distance"}`,
+		"silc_knn_refinements_total",
+		"silc_knn_lookups_total",
+		"silc_knn_heap_pushes_total",
+		"silc_diskio_pool_hits_total",
+		"silc_diskio_pool_capacity_pages",
+		`silc_diskio_shard_hits_total{shard="0"}`,
+		`silcserve_requests_total{endpoint="/knn"}`,
+		`silcserve_request_seconds_bucket{endpoint="/knn"`,
+		"silcserve_inflight_requests",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Each family header must appear exactly once even with many series.
+	for _, fam := range []string{"silc_engine_queries_total", "silc_diskio_shard_hits_total", "silcserve_requests_total"} {
+		if n := strings.Count(out, "# TYPE "+fam+" "); n != 1 {
+			t.Errorf("family %s has %d TYPE headers, want 1", fam, n)
+		}
+	}
+	// Non-trivial values: the knn query counter must have advanced.
+	var knnQueries float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `silc_engine_queries_total{op="knn"} `) {
+			fmt.Sscanf(line, `silc_engine_queries_total{op="knn"} %f`, &knnQueries)
+		}
+	}
+	if knnQueries < 1 {
+		t.Errorf("silc_engine_queries_total{op=\"knn\"} = %v, want >= 1", knnQueries)
+	}
+}
+
+// TestServerMetricsPaged checks the per-store silc_store_* families that
+// only a paged (SILCPG) engine registers.
+func TestServerMetricsPaged(t *testing.T) {
+	dir := t.TempDir()
+	net, err := silc.GenerateGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := silc.BuildIndex(net, silc.BuildOptions{DiskResident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/idx.pg"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WritePaged(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := silc.OpenEngine(path, nil, silc.BuildOptions{DiskResident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]silc.VertexID, net.NumVertices())
+	for i := range vs {
+		vs[i] = silc.VertexID(i)
+	}
+	srv := newServer(eng, mustObjects(t, eng.Network(), vs), 100, 1000)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	out := scrapeMetrics(t, ts)
+	for _, want := range []string{
+		`silc_store_page_reads_total{store="0",source="readat"}`,
+		`silc_store_blocks_decoded_total{store="0",source="readat"}`,
+		`silc_store_resident_pages{store="0",source="readat"}`,
+		"silc_engine_page_reads_total",
+		"silc_engine_blocks_decoded_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("paged /metrics missing %q", want)
+		}
+	}
+}
+
+func TestServerSlowLog(t *testing.T) {
+	srv := testServer(t)
+	srv.eng.SetTracing(true)
+	logPath := t.TempDir() + "/slow.ndjson"
+	slow, err := openSlowLog(logPath, 0) // threshold 0: log everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.slow = slow
+	ts := httptest.NewServer(srv.routes())
+	for _, path := range []string{"/knn?q=3&k=4", "/distance?src=0&dst=9"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	ts.Close()
+	slow.Close()
+
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("slowlog has %d entries, want 2:\n%s", len(lines), data)
+	}
+	sawKNN := false
+	for _, line := range lines {
+		var entry struct {
+			TS         string `json:"ts"`
+			Endpoint   string `json:"endpoint"`
+			Method     string `json:"method"`
+			Query      string `json:"query"`
+			DurationUS *int64 `json:"duration_us"`
+			Stats      *struct {
+				Method      string `json:"method"`
+				Refinements int    `json:"refinements"`
+			} `json:"stats"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("slowlog line is not valid JSON: %v\n%s", err, line)
+		}
+		if entry.TS == "" || entry.Endpoint == "" || entry.DurationUS == nil {
+			t.Fatalf("slowlog entry missing fields: %s", line)
+		}
+		if entry.Endpoint == "/knn" {
+			sawKNN = true
+			if entry.Stats == nil || entry.Stats.Method == "" {
+				t.Fatalf("knn slowlog entry missing query stats: %s", line)
+			}
+			if entry.Query != "q=3&k=4" {
+				t.Fatalf("knn slowlog entry query = %q", entry.Query)
+			}
+		}
+	}
+	if !sawKNN {
+		t.Fatalf("no /knn entry in slowlog:\n%s", data)
+	}
+}
+
+func TestServerStatsEndpointLatency(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).routes())
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := ts.Client().Get(ts.URL + "/knn?q=3&k=4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	var stats struct {
+		Server struct {
+			Requests  int64 `json:"requests"`
+			Tracing   bool  `json:"tracing"`
+			Endpoints map[string]struct {
+				Requests int64 `json:"requests"`
+				P50US    int64 `json:"p50_us"`
+				P99US    int64 `json:"p99_us"`
+			} `json:"endpoints"`
+		} `json:"server"`
+	}
+	if resp := getJSON(t, ts, "/stats", &stats); resp.StatusCode != 200 {
+		t.Fatalf("/stats status %d", resp.StatusCode)
+	}
+	ep, ok := stats.Server.Endpoints["/knn"]
+	if !ok {
+		t.Fatalf("/stats has no /knn endpoint block: %+v", stats.Server.Endpoints)
+	}
+	if ep.Requests != 5 {
+		t.Fatalf("/knn endpoint requests = %d, want 5", ep.Requests)
+	}
+	if ep.P50US <= 0 || ep.P99US < ep.P50US {
+		t.Fatalf("bad quantiles: p50=%d p99=%d", ep.P50US, ep.P99US)
+	}
+}
+
+func TestServerPprofGate(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("pprof served without -pprof: status %d", resp.StatusCode)
+	}
+
+	srv2 := testServer(t)
+	srv2.pprof = true
+	ts2 := httptest.NewServer(srv2.routes())
+	defer ts2.Close()
+	resp2, err := ts2.Client().Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("pprof index with -pprof: status %d", resp2.StatusCode)
 	}
 }

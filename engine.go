@@ -5,6 +5,7 @@ import (
 	"iter"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"silc/internal/core"
 	"silc/internal/graph"
@@ -55,24 +56,47 @@ type Engine struct {
 	// is in flight (the cancellation-leak test asserts exactly that).
 	qcPool sync.Pool
 	qcLive atomic.Int64
+
+	// obs holds the engine's metric aggregates (see metrics.go). Always
+	// non-nil on engines built through the package constructors; each
+	// query's trace span is folded into it on context release, which is
+	// what keeps recording off the per-query allocation budget.
+	obs *engineObs
+}
+
+// newEngine is the single Engine constructor behind both index kinds;
+// it wires the metric aggregates before the first query can run.
+// Callers fill in mono/shard/pager afterwards — the scrape-time
+// collectors read those fields lazily.
+func newEngine(net *Network, qx queryBackend) *Engine {
+	e := &Engine{net: net, qx: qx}
+	e.obs = newEngineObs(e)
+	return e
 }
 
 // acquireQC checks a query context out of the engine's pool, re-armed for
-// ctx. Contexts carry their search scratch (knn arenas, refiner slabs)
-// across queries; ResetForReuse rewinds everything else.
-func (e *Engine) acquireQC(ctx context.Context) *core.QueryContext {
+// ctx with its trace span stamped for entry point op. Contexts carry their
+// search scratch (knn arenas, refiner slabs) across queries; ResetForReuse
+// rewinds everything else.
+func (e *Engine) acquireQC(ctx context.Context, op uint8) *core.QueryContext {
 	e.qcLive.Add(1)
-	if qc, ok := e.qcPool.Get().(*core.QueryContext); ok {
+	qc, ok := e.qcPool.Get().(*core.QueryContext)
+	if ok {
 		qc.ResetForReuse(ctx)
-		return qc
+	} else {
+		qc = core.NewQueryContextFor(ctx)
 	}
-	return core.NewQueryContextFor(ctx)
+	e.beginSpan(qc, op)
+	return qc
 }
 
-// releaseQC returns a context to the pool. Every acquire must be paired with
-// exactly one release on every exit path — including error returns and
-// cancellation — or the scratch arena leaks and qcLive drifts upward.
+// releaseQC folds the finished span into the engine aggregates and returns
+// the context to the pool. Every acquire must be paired with exactly one
+// release on every exit path — including error returns and cancellation
+// (cancelled queries fold their partial span) — or the scratch arena leaks
+// and qcLive drifts upward.
 func (e *Engine) releaseQC(qc *core.QueryContext) {
+	e.obs.fold(qc)
 	e.qcLive.Add(-1)
 	e.qcPool.Put(qc)
 }
@@ -93,9 +117,15 @@ func (e *Engine) Monolithic() (*Index, bool) { return e.mono, e.mono != nil }
 func (e *Engine) Sharded() (*ShardedIndex, bool) { return e.shard, e.shard != nil }
 
 // IOStats returns cumulative pool-wide buffer-pool statistics (zeros for
-// memory-resident indexes). Per-query traffic is on each Result's Stats.
-// For disk-backed engines (OpenIndex / OpenEngine) the actual read count
-// and measured read time appear next to the modeled figures.
+// memory-resident indexes). Per-query traffic is on each Result's Stats;
+// summing the per-query counters over a workload reproduces these
+// pool-wide totals exactly, because the pool charges each touch to both
+// at once. For disk-backed engines (OpenIndex / OpenEngine) the actual
+// read count and measured read time appear next to the modeled figures;
+// on a sharded paged engine (OpenShardedIndex) all cell stores share one
+// pool and one pager, so every figure here aggregates across all cells —
+// there is no per-cell breakdown at this level (WriteMetrics exposes
+// per-store series).
 func (e *Engine) IOStats() IOStats {
 	t := e.qx.Tracker()
 	s := t.Stats()
@@ -121,9 +151,11 @@ func (e *Engine) Close() error {
 }
 
 // ResetIOStats zeroes the buffer-pool counters — and, on a disk-backed
-// engine, the actual read counters with them, so a measurement window's
+// engine, the actual read counters of every registered store with them
+// (all cells of a sharded paged engine), so a measurement window's
 // modeled and measured figures describe the same workload. Cache contents
-// stay warm.
+// stay warm. The Prometheus counters (WriteMetrics) are monotone and are
+// deliberately NOT reset.
 func (e *Engine) ResetIOStats() {
 	if t := e.qx.Tracker(); t != nil {
 		t.ResetStats()
@@ -136,56 +168,80 @@ func (e *Engine) ResetIOStats() {
 // Distance returns the exact network distance from u to v by full
 // progressive refinement (+Inf when v is unreachable or beyond a
 // proximity-bounded index's radius). Cancelling ctx stops the refinement
-// and returns ctx's error.
-func (e *Engine) Distance(ctx context.Context, u, v VertexID) (float64, error) {
+// and returns ctx's error. WithStats captures the query's execution
+// statistics; other options are accepted and ignored.
+func (e *Engine) Distance(ctx context.Context, u, v VertexID, opts ...Option) (float64, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return 0, err
+	}
 	if err := checkVertex(e.net, "src", u); err != nil {
 		return 0, err
 	}
 	if err := checkVertex(e.net, "dst", v); err != nil {
 		return 0, err
 	}
-	qc := e.acquireQC(ctx)
+	qc := e.acquireQC(ctx, opDistance)
 	defer e.releaseQC(qc)
 	d := core.ExactDistance(e.qx, qc, u, v)
 	if err := qc.Err(); err != nil {
 		return 0, err
+	}
+	if o.statsInto != nil {
+		e.fillStats(qc, "DISTANCE", o.statsInto)
 	}
 	return d, nil
 }
 
 // DistanceInterval returns the zero-refinement network-distance interval
 // between u and v: a bounded number of lookups, no graph search.
-func (e *Engine) DistanceInterval(ctx context.Context, u, v VertexID) (Interval, error) {
+// WithStats captures the query's execution statistics.
+func (e *Engine) DistanceInterval(ctx context.Context, u, v VertexID, opts ...Option) (Interval, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return Interval{}, err
+	}
 	if err := checkVertex(e.net, "src", u); err != nil {
 		return Interval{}, err
 	}
 	if err := checkVertex(e.net, "dst", v); err != nil {
 		return Interval{}, err
 	}
-	qc := e.acquireQC(ctx)
+	qc := e.acquireQC(ctx, opInterval)
 	defer e.releaseQC(qc)
 	iv := e.qx.DistanceIntervalCtx(qc, u, v)
 	if err := qc.Err(); err != nil {
 		return Interval{}, err
+	}
+	if o.statsInto != nil {
+		e.fillStats(qc, "INTERVAL", o.statsInto)
 	}
 	return iv, nil
 }
 
 // ShortestPath retrieves the exact shortest path from u to v, inclusive of
 // both endpoints (nil when v is unreachable). Cancelling ctx abandons the
-// retrieval and returns ctx's error.
-func (e *Engine) ShortestPath(ctx context.Context, u, v VertexID) ([]VertexID, error) {
+// retrieval and returns ctx's error. WithStats captures the query's
+// execution statistics.
+func (e *Engine) ShortestPath(ctx context.Context, u, v VertexID, opts ...Option) ([]VertexID, error) {
+	o, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	if err := checkVertex(e.net, "src", u); err != nil {
 		return nil, err
 	}
 	if err := checkVertex(e.net, "dst", v); err != nil {
 		return nil, err
 	}
-	qc := e.acquireQC(ctx)
+	qc := e.acquireQC(ctx, opPath)
 	defer e.releaseQC(qc)
 	path := e.qx.PathCtx(qc, u, v)
 	if err := qc.Err(); err != nil {
 		return nil, err
+	}
+	if o.statsInto != nil {
+		e.fillStats(qc, "PATH", o.statsInto)
 	}
 	return path, nil
 }
@@ -202,7 +258,7 @@ func (e *Engine) IsCloser(ctx context.Context, u, a, b VertexID) (bool, error) {
 	if err := checkVertex(e.net, "b", b); err != nil {
 		return false, err
 	}
-	qc := e.acquireQC(ctx)
+	qc := e.acquireQC(ctx, opIsCloser)
 	defer e.releaseQC(qc)
 	ra := e.qx.Refine(qc, u, a)
 	rb := e.qx.Refine(qc, u, b)
@@ -250,7 +306,7 @@ func (e *Engine) Query(ctx context.Context, objs *ObjectSet, q VertexID, k int, 
 	if err != nil {
 		return Result{}, err
 	}
-	qc := e.acquireQC(ctx)
+	qc := e.acquireQC(ctx, opKNN)
 	defer e.releaseQC(qc)
 	res, err := e.runSpec(qc, objs, q, k, o)
 	if err != nil {
@@ -329,13 +385,36 @@ func (e *Engine) exactify(qc *core.QueryContext, q VertexID, res *Result) error 
 	return nil
 }
 
-// foldIO re-reads the query context's accumulated buffer-pool traffic into
-// the result statistics, covering follow-up work (exactification) performed
-// after the algorithm's own clock stopped.
+// foldIO re-reads the query context's accumulated buffer-pool traffic and
+// trace span into the result statistics, covering follow-up work
+// (exactification) performed after the algorithm's own clock stopped.
 func (e *Engine) foldIO(qc *core.QueryContext, s *QueryStats) {
 	s.PageHits = qc.IO.Hits
 	s.PageMisses = qc.IO.Misses
+	s.PageReads = qc.IO.Reads
+	s.Evictions = qc.IO.Evictions
+	s.BlocksDecoded = qc.IO.BlocksDecoded
 	s.IOTime = qc.IO.ModeledIOTime(e.qx.Tracker().MissLatency())
+	s.HeapPushes = qc.Span.HeapPushes
+	s.GatewayRoutes = qc.Span.GatewayRoutes
+	if qc.Span.Timed {
+		s.FilterTime = time.Duration(qc.Span.FilterNanos)
+		if s.CPUTime > s.FilterTime {
+			s.RefineTime = s.CPUTime - s.FilterTime
+		}
+	}
+}
+
+// fillStats builds QueryStats for the point-query entry points (Distance,
+// DistanceInterval, ShortestPath), which have no knn.Stats to convert: the
+// refinement count and clock come from the trace span.
+func (e *Engine) fillStats(qc *core.QueryContext, method string, s *QueryStats) {
+	*s = QueryStats{
+		Method:      method,
+		Refinements: int(qc.Span.Refinements),
+		CPUTime:     time.Since(qc.Span.Begin),
+	}
+	e.foldIO(qc, s)
 }
 
 // WithinDistance returns every object whose network distance from q is at
@@ -356,7 +435,7 @@ func (e *Engine) WithinDistance(ctx context.Context, objs *ObjectSet, q VertexID
 	if err := checkRadius(radius); err != nil {
 		return Result{}, err
 	}
-	qc := e.acquireQC(ctx)
+	qc := e.acquireQC(ctx, opRange)
 	defer e.releaseQC(qc)
 	raw := knn.RangeSearchCtx(e.qx, qc, objs.objs, q, radius)
 	res := convertResult(raw)
@@ -399,12 +478,13 @@ func (e *Engine) Neighbors(ctx context.Context, objs *ObjectSet, q VertexID, opt
 		}
 		// The context is released when the iterator ends — whether the
 		// stream drains, the consumer breaks, or cancellation cuts it short.
-		qc := e.acquireQC(ctx)
+		qc := e.acquireQC(ctx, opNeighbors)
 		defer e.releaseQC(qc)
 		br := knn.NewBrowserSpec(e.qx, qc, objs.objs, q, knn.Spec{Epsilon: o.epsilon, MaxDist: o.maxDist})
 		flushStats := func() {
 			if o.statsInto != nil {
 				*o.statsInto = convertBrowserStats(br.Stats())
+				e.foldIO(qc, o.statsInto)
 			}
 		}
 		defer flushStats()

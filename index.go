@@ -79,7 +79,8 @@ type Index struct {
 // newIndex wires a built core index to its unified query engine.
 func newIndex(net *Network, cx *core.Index) *Index {
 	ix := &Index{net: net, ix: cx}
-	ix.eng = &Engine{net: net, qx: cx, mono: ix}
+	ix.eng = newEngine(net, cx)
+	ix.eng.mono = ix
 	return ix
 }
 
@@ -364,5 +365,8 @@ type IOStats struct {
 // Result's QueryStats.
 func (ix *Index) IOStats() IOStats { return ix.eng.IOStats() }
 
-// ResetIOStats zeroes the buffer-pool counters, keeping cache contents warm.
-func (ix *Index) ResetIOStats() { ix.ix.Tracker().ResetStats() }
+// ResetIOStats zeroes the buffer-pool counters — and, on a disk-backed
+// index, the store's actual read counters with them, exactly like
+// Engine.ResetIOStats (the two were previously inconsistent: this shim
+// left the measured read figures running). Cache contents stay warm.
+func (ix *Index) ResetIOStats() { ix.eng.ResetIOStats() }

@@ -22,6 +22,7 @@ import (
 	"silc/internal/diskio"
 	"silc/internal/geom"
 	"silc/internal/graph"
+	"silc/internal/obs"
 	"silc/internal/quadtree"
 	"silc/internal/sssp"
 	"silc/internal/store"
@@ -122,6 +123,12 @@ func (s BuildStats) BlocksPerVertex() float64 {
 type QueryContext struct {
 	// IO counts the buffer-pool traffic this query caused.
 	IO diskio.Stats
+	// Span is the per-query trace record: refinement/lookup/heap-push
+	// counters incremented inline by the query algorithms and folded
+	// into engine-level aggregates when the context is released. Like
+	// IO it is zeroed (not preserved) by ResetForReuse; the engine
+	// layer stamps Begin/Op/Timed right after acquiring a context.
+	Span obs.Span
 	// Route is a per-query cache slot owned by whichever index implementation
 	// the query runs against. The partition subsystem stores its per-source
 	// gateway closure here, so one kNN query amortizes the boundary-distance
@@ -190,6 +197,7 @@ func (s *refinerSlab) reset() {
 // last exit point.
 func (qc *QueryContext) ResetForReuse(ctx context.Context) {
 	qc.IO = diskio.Stats{}
+	qc.Span = obs.Span{}
 	qc.ioErr = nil
 	qc.refiners.reset()
 	qc.gen++
@@ -707,6 +715,9 @@ func (r *Refiner) Step() bool {
 		return false
 	}
 	r.steps++
+	if r.qc != nil {
+		r.qc.Span.Refinements++
+	}
 	g := r.ix.g
 	targets, weights := g.Neighbors(r.cur)
 	next := targets[r.color]

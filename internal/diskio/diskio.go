@@ -37,10 +37,25 @@ const DefaultMissLatency = 200 * time.Microsecond
 // geometry) that real road databases carry alongside connectivity.
 const AdjacencyEntrySize = 48
 
-// Stats counts buffer-pool traffic.
+// Stats counts buffer-pool traffic. Hits/Misses/Evictions are charged
+// by the pool itself; Reads and BlocksDecoded are charged by the paged
+// store (the only layer that knows whether a miss turned into a real
+// positioned read and how many quadtree blocks a cold load decoded) —
+// they ride here so one counter follows the per-query attribution
+// plumbing through every layer.
 type Stats struct {
 	Hits   int64
 	Misses int64
+	// Evictions counts pages this counter's touches displaced from the
+	// pool. Like Hits/Misses it is charged exactly once per displaced
+	// page, so per-query sums reproduce pool aggregates.
+	Evictions int64
+	// Reads counts real positioned page reads a paged store performed
+	// (zero on modeled pools, where a miss only costs modeled latency).
+	Reads int64
+	// BlocksDecoded counts quadtree blocks decoded on cold tree
+	// materializations (zero on in-RAM indexes).
+	BlocksDecoded int64
 }
 
 // Accesses returns total page touches.
@@ -50,6 +65,9 @@ func (s Stats) Accesses() int64 { return s.Hits + s.Misses }
 func (s *Stats) Add(o Stats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Reads += o.Reads
+	s.BlocksDecoded += o.BlocksDecoded
 }
 
 // ModeledIOTime converts the miss count into modeled elapsed I/O time.
@@ -211,6 +229,7 @@ func (c *Cache) touchSmall(p PageID) (hit bool, evicted PageID, hasEvict bool) {
 		c.used++
 	} else {
 		evicted, hasEvict = pages[c.used-1], true
+		c.stats.Evictions++
 	}
 	copy(pages[1:c.used], pages[:c.used-1])
 	pages[0] = p
@@ -246,6 +265,7 @@ func (c *Cache) TouchEvict(p PageID) (hit bool, evicted PageID, hasEvict bool) {
 		slot = c.tail
 		c.detach(slot)
 		evicted, hasEvict = c.pages[slot], true
+		c.stats.Evictions++
 		evIdx, _ := c.find(evicted)
 		c.unlink(evIdx)
 		// The backward shift may have filled the probe endpoint found for p;
@@ -384,6 +404,9 @@ func (p *Pool) TouchEvict(id PageID, qs *Stats) (hit bool, evicted PageID, hasEv
 		} else {
 			qs.Misses++
 		}
+		if hasEvict {
+			qs.Evictions++
+		}
 	}
 	return hit, evicted, hasEvict
 }
@@ -399,6 +422,25 @@ func (p *Pool) Capacity() int {
 
 // NumShards returns the shard count.
 func (p *Pool) NumShards() int { return len(p.shards) }
+
+// ShardStats returns shard i's hit/miss/eviction counters — the
+// per-shard breakdown behind the Stats aggregate, for observability.
+func (p *Pool) ShardStats(i int) Stats {
+	s := &p.shards[i]
+	s.mu.Lock()
+	st := s.lru.Stats()
+	s.mu.Unlock()
+	return st
+}
+
+// ShardLen returns shard i's resident page count.
+func (p *Pool) ShardLen(i int) int {
+	s := &p.shards[i]
+	s.mu.Lock()
+	n := s.lru.Len()
+	s.mu.Unlock()
+	return n
+}
 
 // Len returns the number of resident pages across shards.
 func (p *Pool) Len() int {

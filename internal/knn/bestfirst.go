@@ -258,7 +258,10 @@ func (e *engine) halted(key float64) bool {
 	}
 }
 
+// noteQueue is called once after every queue push: it tracks the
+// high-water mark and counts the push into the query's trace span.
 func (e *engine) noteQueue() {
+	e.qc.Span.HeapPushes++
 	if n := e.queue.Len(); n > e.stats.MaxQueue {
 		e.stats.MaxQueue = n
 	}
@@ -382,7 +385,16 @@ func (e *engine) step() bool {
 	return true
 }
 
+// expand processes one object-hierarchy node — the filter phase of the
+// search, as opposed to the interval-refinement phase step drives. Its
+// wall clock is only taken when the span opted in (Timed): time.Now
+// pairs cost real time against a warm in-memory query, the same
+// trade-off MeasurePQ makes.
 func (e *engine) expand(n *pmr.Node) {
+	if e.qc.Span.Timed {
+		start := time.Now()
+		defer func() { e.qc.Span.FilterNanos += time.Since(start).Nanoseconds() }()
+	}
 	if n.IsLeaf() {
 		for _, o := range n.Objects() {
 			e.discover(o)
@@ -406,6 +418,7 @@ func (e *engine) discover(o pmr.Object) {
 	*st = objState{id: o.ID, refiner: e.ix.Refine(e.qc, e.q, o.Vertex), epoch: e.epoch}
 	st.iv = st.refiner.Interval()
 	e.stats.Lookups++
+	e.qc.Span.Lookups++
 	e.maybeInsertL(st)
 	if e.admit(st.iv.Lo) {
 		e.queue.Push(st.iv.Lo, qelem{obj: o.ID, seq: st.seq})

@@ -1,0 +1,227 @@
+// Package obs is the repo's observability core: dependency-free atomic
+// counters, gauges, and lock-free log-spaced latency histograms, plus a
+// per-query trace Span that rides the pooled core.QueryContext.
+//
+// Design constraints, in order:
+//
+//  1. Zero allocation on the hot path. Recording — Counter.Add,
+//     Gauge.Set, Histogram.Observe, and every Span field increment — is
+//     a plain atomic op or a struct-field write. All allocation happens
+//     at registration time or at scrape time.
+//  2. No dependencies. The exposition side speaks the Prometheus text
+//     format (version 0.0.4) directly, so serving binaries need nothing
+//     beyond net/http.
+//  3. Scrape-time reads may be slightly torn. Counters are monotone and
+//     scrapes are advisory; we do not pay for a consistent snapshot.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is one registered exposition unit: a single series for
+// counters/gauges, a whole bucket family for histograms.
+type metric interface {
+	familyName() string
+	familyType() string
+	familyHelp() string
+	writeSeries(w io.Writer) error
+}
+
+// Registry owns a set of metrics and writes them in Prometheus text
+// format. Registration is synchronized; recording on the returned
+// handles is lock-free. Series of the same family (same name, different
+// labels) are grouped under one HELP/TYPE header at write time
+// regardless of registration order, as the format requires.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(m metric) {
+	r.mu.Lock()
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+}
+
+// WritePrometheus writes every registered metric to w in Prometheus
+// text exposition format, one HELP/TYPE header per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	var order []string
+	fams := make(map[string][]metric, len(ms))
+	for _, m := range ms {
+		n := m.familyName()
+		if _, ok := fams[n]; !ok {
+			order = append(order, n)
+		}
+		fams[n] = append(fams[n], m)
+	}
+	for _, n := range order {
+		g := fams[n]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", n, g[0].familyHelp(), n, g[0].familyType()); err != nil {
+			return err
+		}
+		for _, m := range g {
+			if err := m.writeSeries(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seriesHead writes `name` or `name{labels}` without the value.
+func seriesHead(w io.Writer, name, labels string) error {
+	var err error
+	if labels == "" {
+		_, err = io.WriteString(w, name)
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s}", name, labels)
+	}
+	return err
+}
+
+// Counter is a monotone atomic int64. A non-unit scale multiplies the
+// exported value, letting hot paths accumulate raw nanoseconds while
+// the scrape exports seconds.
+type Counter struct {
+	v      atomic.Int64
+	name   string
+	labels string
+	help   string
+	scale  float64
+}
+
+// Counter registers a counter series. labels is a pre-rendered label
+// set like `op="knn"` (no braces), or empty.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	c := &Counter{name: name, labels: labels, help: help, scale: 1}
+	r.add(c)
+	return c
+}
+
+// CounterScaled registers a counter whose exported value is the raw
+// count multiplied by scale (e.g. 1e-9 to export nanoseconds as
+// seconds).
+func (r *Registry) CounterScaled(name, labels, help string, scale float64) *Counter {
+	c := &Counter{name: name, labels: labels, help: help, scale: scale}
+	r.add(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters are monotone; callers must not pass negatives.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the raw (unscaled) count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) familyName() string { return c.name }
+func (c *Counter) familyType() string { return "counter" }
+func (c *Counter) familyHelp() string { return c.help }
+
+func (c *Counter) writeSeries(w io.Writer) error {
+	if err := seriesHead(w, c.name, c.labels); err != nil {
+		return err
+	}
+	v := c.v.Load()
+	if c.scale == 1 {
+		_, err := fmt.Fprintf(w, " %d\n", v)
+		return err
+	}
+	_, err := fmt.Fprintf(w, " %s\n", formatFloat(float64(v)*c.scale))
+	return err
+}
+
+// Gauge is an atomic int64 that can move both ways.
+type Gauge struct {
+	v      atomic.Int64
+	name   string
+	labels string
+	help   string
+}
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	g := &Gauge{name: name, labels: labels, help: help}
+	r.add(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) familyName() string { return g.name }
+func (g *Gauge) familyType() string { return "gauge" }
+func (g *Gauge) familyHelp() string { return g.help }
+
+func (g *Gauge) writeSeries(w io.Writer) error {
+	if err := seriesHead(w, g.name, g.labels); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, " %d\n", g.v.Load())
+	return err
+}
+
+// funcMetric evaluates a closure at scrape time — the bridge to state
+// that already has its own atomic aggregates (buffer-pool stats, store
+// read counters) without double-counting or extra hot-path writes.
+type funcMetric struct {
+	name   string
+	labels string
+	help   string
+	typ    string
+	fn     func() float64
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time. fn must be monotone and safe for concurrent use.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
+	r.add(&funcMetric{name: name, labels: labels, help: help, typ: "counter", fn: fn})
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// scrape time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.add(&funcMetric{name: name, labels: labels, help: help, typ: "gauge", fn: fn})
+}
+
+func (f *funcMetric) familyName() string { return f.name }
+func (f *funcMetric) familyType() string { return f.typ }
+func (f *funcMetric) familyHelp() string { return f.help }
+
+func (f *funcMetric) writeSeries(w io.Writer) error {
+	if err := seriesHead(w, f.name, f.labels); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, " %s\n", formatFloat(f.fn()))
+	return err
+}
+
+// formatFloat renders a value the Prometheus text parser accepts,
+// preferring the integer form when exact.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -274,6 +274,10 @@ func (s *Sharded) newRouteRefiner(qc *core.QueryContext, src, dst graph.VertexID
 		g.exact = civ.Lo >= civ.Hi || math.IsInf(civ.Lo, 1)
 		r.gates = append(r.gates, g)
 	}
+	if qc != nil {
+		qc.Span.CrossCell++
+		qc.Span.GatewayRoutes += int64(len(r.gates))
+	}
 	r.recompute()
 	return r
 }
@@ -386,7 +390,7 @@ func (s *Sharded) RegionLowerBoundCtx(qc *core.QueryContext, q graph.VertexID, r
 		}
 		var m float64
 		if c == p {
-			m = s.cells[p].ix.RegionLowerBound(graph.VertexID(s.asn.LocalOf[q]), rect)
+			m = s.cells[p].ix.RegionLowerBoundCtx(qc, graph.VertexID(s.asn.LocalOf[q]), rect)
 			if !s.selfContained[p] {
 				if rt == nil {
 					rt = s.routerFor(qc, q)

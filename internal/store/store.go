@@ -89,17 +89,31 @@ func (pg *Pager) ReadStats() ReadStats {
 		total.Reads += rs.Reads
 		total.Bytes += rs.Bytes
 		total.Time += rs.Time
+		total.CRCTime += rs.CRCTime
+		total.BlocksDecoded += rs.BlocksDecoded
 	}
 	return total
 }
+
+// Stores returns the registered stores, in registration order (cell
+// order for sharded images). Callers must treat the slice as read-only.
+func (pg *Pager) Stores() []*Store { return pg.stores }
 
 // ReadStats counts the actual disk reads a store performed.
 type ReadStats struct {
 	Reads int64
 	Bytes int64
 	// Time is the wall-clock time spent inside ReadAt — the measured I/O
-	// time reported next to the modeled (misses × latency) one.
+	// time reported next to the modeled (misses × latency) one. For
+	// mapped stores the subslice itself is free; the first-touch cost is
+	// the checksum, reported separately as CRCTime.
 	Time time.Duration
+	// CRCTime is the wall-clock time spent checksum-verifying cold
+	// pages — the dominant first-touch cost of the mmap page source.
+	CRCTime time.Duration
+	// BlocksDecoded counts quadtree blocks decoded on cold tree
+	// materializations.
+	BlocksDecoded int64
 }
 
 // Store is an open paged index image: the network and extent table resident
@@ -134,6 +148,8 @@ type Store struct {
 	reads     atomic.Int64
 	readBytes atomic.Int64
 	readNanos atomic.Int64
+	crcNanos  atomic.Int64
+	decoded   atomic.Int64 // quadtree blocks decoded on cold loads
 }
 
 // emptyTree is shared by every vertex with no blocks (the degenerate
@@ -384,14 +400,18 @@ func (s *Store) ResetReadStats() {
 	s.reads.Store(0)
 	s.readBytes.Store(0)
 	s.readNanos.Store(0)
+	s.crcNanos.Store(0)
+	s.decoded.Store(0)
 }
 
 // ReadStats returns the actual read counters.
 func (s *Store) ReadStats() ReadStats {
 	return ReadStats{
-		Reads: s.reads.Load(),
-		Bytes: s.readBytes.Load(),
-		Time:  time.Duration(s.readNanos.Load()),
+		Reads:         s.reads.Load(),
+		Bytes:         s.readBytes.Load(),
+		Time:          time.Duration(s.readNanos.Load()),
+		CRCTime:       time.Duration(s.crcNanos.Load()),
+		BlocksDecoded: s.decoded.Load(),
 	}
 }
 
@@ -472,6 +492,10 @@ func (s *Store) Tree(ioStats *diskio.Stats, v graph.VertexID) (*quadtree.Tree, e
 	if err != nil {
 		return nil, fmt.Errorf("store: vertex %d: %w", v, err)
 	}
+	s.decoded.Add(int64(s.counts[v]))
+	if ioStats != nil {
+		ioStats.BlocksDecoded += int64(s.counts[v])
+	}
 	t = &quadtree.Tree{Blocks: blocks, MinLambda: minLambda}
 	t.Seal()
 	s.mu.Lock()
@@ -506,6 +530,9 @@ func (s *Store) touch(p diskio.PageID, ioStats *diskio.Stats, want bool) ([]byte
 	if err != nil {
 		return nil, err
 	}
+	if ioStats != nil {
+		ioStats.Reads++
+	}
 	s.mu.Lock()
 	s.frames[p] = b
 	s.mu.Unlock()
@@ -532,8 +559,10 @@ func (s *Store) readPage(p diskio.PageID) ([]byte, error) {
 			return nil, fmt.Errorf("store: reading block page %d: %w", p, err)
 		}
 	}
-	sum := crc32.ChecksumIEEE(buf)
 	s.readNanos.Add(time.Since(start).Nanoseconds())
+	crcStart := time.Now()
+	sum := crc32.ChecksumIEEE(buf)
+	s.crcNanos.Add(time.Since(crcStart).Nanoseconds())
 	s.reads.Add(1)
 	s.readBytes.Add(int64(s.sb.pageSize))
 	if sum != s.pageCRCs[p] {

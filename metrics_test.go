@@ -1,0 +1,361 @@
+package silc
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// pagedTestEngine writes a grid index in the paged format and reopens it
+// through a deliberately tiny buffer pool, so a query sweep is cold:
+// misses, real page reads, block decodes, and evictions are all forced.
+func pagedTestEngine(t *testing.T) (*Engine, *ObjectSet) {
+	t.Helper()
+	net, err := GenerateGrid(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(net, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg bytes.Buffer
+	if _, err := ix.WritePaged(&pg); err != nil {
+		t.Fatal(err)
+	}
+	paged, err := OpenIndexAt(bytes.NewReader(pg.Bytes()), int64(pg.Len()), BuildOptions{CacheFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]VertexID, net.NumVertices())
+	for i := range vs {
+		vs[i] = VertexID(i)
+	}
+	objs, err := NewObjectSet(paged.Engine().Network(), vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paged.Engine(), objs
+}
+
+// TestMetricsColdScanCounts runs a deterministic sequential cold scan and
+// checks the triple equality the observability layer promises: per-query
+// stats sum to the pool-wide aggregates, and both match the folded
+// Prometheus counters — with every storage counter (hits, misses, reads,
+// evictions, decodes) nonzero under pressure.
+func TestMetricsColdScanCounts(t *testing.T) {
+	eng, objs := pagedTestEngine(t)
+	tracker := eng.qx.Tracker()
+	base := tracker.Stats()
+	baseReads := eng.pager.ReadStats()
+
+	var sum QueryStats
+	const queries = 40
+	for q := 0; q < queries; q++ {
+		res, err := eng.Query(context.Background(), objs, VertexID(q*6), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Stats
+		sum.PageHits += s.PageHits
+		sum.PageMisses += s.PageMisses
+		sum.PageReads += s.PageReads
+		sum.Evictions += s.Evictions
+		sum.BlocksDecoded += s.BlocksDecoded
+	}
+
+	// Under a 5% pool every counter must have moved.
+	if sum.PageMisses == 0 || sum.PageReads == 0 || sum.BlocksDecoded == 0 || sum.Evictions == 0 {
+		t.Fatalf("cold scan left counters at zero: %+v", sum)
+	}
+
+	// Per-query sums == pool-wide deltas (the statsum invariant surfaced
+	// through the engine).
+	agg := tracker.Stats()
+	if got := agg.Hits - base.Hits; got != sum.PageHits {
+		t.Errorf("pool hits delta %d != per-query sum %d", got, sum.PageHits)
+	}
+	if got := agg.Misses - base.Misses; got != sum.PageMisses {
+		t.Errorf("pool misses delta %d != per-query sum %d", got, sum.PageMisses)
+	}
+	if got := agg.Evictions - base.Evictions; got != sum.Evictions {
+		t.Errorf("pool evictions delta %d != per-query sum %d", got, sum.Evictions)
+	}
+	reads := eng.pager.ReadStats()
+	if got := reads.Reads - baseReads.Reads; got != sum.PageReads {
+		t.Errorf("pager reads delta %d != per-query sum %d", got, sum.PageReads)
+	}
+	if got := reads.BlocksDecoded - baseReads.BlocksDecoded; got != sum.BlocksDecoded {
+		t.Errorf("pager decodes delta %d != per-query sum %d", got, sum.BlocksDecoded)
+	}
+
+	// The folded Prometheus counters saw exactly the query-attributed
+	// traffic (they start at zero on a fresh engine).
+	m := eng.obs
+	if got := m.queries[opKNN].Value(); got != queries {
+		t.Errorf("queries_total{op=knn} = %d, want %d", got, queries)
+	}
+	if got := m.latency[opKNN].Count(); got != queries {
+		t.Errorf("query_seconds count = %d, want %d", got, queries)
+	}
+	for _, c := range []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"page_hits", m.pageHits.Value(), sum.PageHits},
+		{"page_misses", m.pageMisses.Value(), sum.PageMisses},
+		{"page_reads", m.pageReads.Value(), sum.PageReads},
+		{"evictions", m.evictions.Value(), sum.Evictions},
+		{"blocks_decoded", m.blocksDecoded.Value(), sum.BlocksDecoded},
+	} {
+		if c.got != c.want {
+			t.Errorf("folded %s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestShardedPagedIOStatsSum is the regression test for the IOStats doc
+// fix: on a sharded paged engine one pool and one pager serve every cell
+// store, so per-query stats must still sum to the engine-wide aggregates
+// — and ResetIOStats must zero the read counters of ALL cell stores.
+func TestShardedPagedIOStatsSum(t *testing.T) {
+	net, err := GenerateRoadNetwork(RoadNetworkOptions{Rows: 12, Cols: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := BuildShardedIndex(net, ShardedBuildOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg bytes.Buffer
+	if _, err := sx.WritePaged(&pg); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenShardedIndexAt(bytes.NewReader(pg.Bytes()), int64(pg.Len()), ShardedBuildOptions{CacheFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := opened.Engine()
+	eng.ResetIOStats()
+
+	vs := make([]VertexID, net.NumVertices())
+	for i := range vs {
+		vs[i] = VertexID(i)
+	}
+	objs, err := NewObjectSet(eng.Network(), vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sum QueryStats
+	const queries = 30
+	for q := 0; q < queries; q++ {
+		res, err := eng.Query(context.Background(), objs, VertexID(q*4), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.PageHits += res.Stats.PageHits
+		sum.PageMisses += res.Stats.PageMisses
+		sum.PageReads += res.Stats.PageReads
+	}
+	if sum.PageMisses == 0 || sum.PageReads == 0 {
+		t.Fatalf("sharded cold scan recorded no page traffic: %+v", sum)
+	}
+	io := eng.IOStats()
+	if io.PageHits != sum.PageHits || io.PageMisses != sum.PageMisses {
+		t.Errorf("IOStats pool {hits %d misses %d} != per-query sums {%d %d}",
+			io.PageHits, io.PageMisses, sum.PageHits, sum.PageMisses)
+	}
+	if io.PageReads != sum.PageReads {
+		t.Errorf("IOStats reads %d (all cell stores) != per-query sum %d", io.PageReads, sum.PageReads)
+	}
+
+	// ResetIOStats zeroes tracker and every cell store's read counters.
+	eng.ResetIOStats()
+	if after := eng.IOStats(); after.PageHits != 0 || after.PageMisses != 0 || after.PageReads != 0 {
+		t.Errorf("ResetIOStats left counters: %+v", after)
+	}
+	// The monotone Prometheus counters survive the reset.
+	if eng.obs.pageMisses.Value() == 0 {
+		t.Error("Prometheus miss counter was reset alongside IOStats")
+	}
+}
+
+// TestIndexResetIOStatsCoversPager is the regression test for the old
+// Index.ResetIOStats inconsistency: it used to reset only the tracker,
+// leaving the pager's read counters running.
+func TestIndexResetIOStatsCoversPager(t *testing.T) {
+	net, err := GenerateGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(net, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg bytes.Buffer
+	if _, err := ix.WritePaged(&pg); err != nil {
+		t.Fatal(err)
+	}
+	paged, err := OpenIndexAt(bytes.NewReader(pg.Bytes()), int64(pg.Len()), BuildOptions{CacheFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := paged.Engine()
+	vs := []VertexID{0, 5, 9, 20, 33}
+	objs, err := NewObjectSet(eng.Network(), vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(context.Background(), objs, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if eng.IOStats().PageReads == 0 {
+		t.Fatal("cold query performed no reads; test is vacuous")
+	}
+	paged.ResetIOStats()
+	if after := eng.IOStats(); after.PageReads != 0 || after.PageMisses != 0 {
+		t.Fatalf("Index.ResetIOStats left pager/tracker counters: %+v", after)
+	}
+}
+
+// TestWriteMetricsFamilies scrapes a loaded engine and checks the
+// exposition is populated and well-formed at the family level.
+func TestWriteMetricsFamilies(t *testing.T) {
+	eng, objs := pagedTestEngine(t)
+	eng.SetTracing(true)
+	ctx := context.Background()
+	for q := 0; q < 10; q++ {
+		if _, err := eng.Query(ctx, objs, VertexID(q*17), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Distance(ctx, 3, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WithinDistance(ctx, objs, 9, 2.0); err != nil {
+		t.Fatal(err)
+	}
+
+	var b bytes.Buffer
+	if err := eng.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`silc_engine_queries_total{op="knn"} 10`,
+		`silc_engine_queries_total{op="distance"} 1`,
+		`silc_engine_queries_total{op="range"} 1`,
+		`silc_engine_query_seconds_count{op="knn"} 10`,
+		"silc_knn_refinements_total",
+		"silc_knn_filter_seconds_total",
+		"silc_diskio_pool_hits_total",
+		`silc_diskio_shard_hits_total{shard="0"}`,
+		`silc_store_page_reads_total{store="0",source="readat"}`,
+		"silc_engine_inflight_queries 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteMetrics missing %q", want)
+		}
+	}
+	for _, fam := range []string{
+		"silc_engine_queries_total", "silc_engine_query_seconds",
+		"silc_diskio_shard_hits_total", "silc_store_page_reads_total",
+	} {
+		if n := strings.Count(out, "# TYPE "+fam+" "); n != 1 {
+			t.Errorf("family %s has %d TYPE headers, want 1", fam, n)
+		}
+	}
+	// A second scrape must not re-register the dynamic series.
+	var b2 bytes.Buffer
+	if err := eng.WriteMetrics(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b2.String(), `silc_diskio_shard_hits_total{shard="0"}`); n != 1 {
+		t.Errorf("shard series appears %d times after second scrape, want 1", n)
+	}
+}
+
+// TestStatsOptionOnScalarQueries covers the new WithStats support on
+// Distance, DistanceInterval, and ShortestPath.
+func TestStatsOptionOnScalarQueries(t *testing.T) {
+	net, err := GenerateGrid(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(net, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.Engine()
+	eng.SetTracing(true)
+	ctx := context.Background()
+
+	var st QueryStats
+	if _, err := eng.Distance(ctx, 0, 87, WithStats(&st)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Method != "DISTANCE" || st.Refinements == 0 || st.CPUTime <= 0 {
+		t.Errorf("Distance stats not filled: %+v", st)
+	}
+
+	st = QueryStats{}
+	if _, err := eng.DistanceInterval(ctx, 0, 87, WithStats(&st)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Method != "INTERVAL" || st.CPUTime <= 0 {
+		t.Errorf("DistanceInterval stats not filled: %+v", st)
+	}
+	if st.Refinements != 0 {
+		t.Errorf("DistanceInterval should not refine, got %d steps", st.Refinements)
+	}
+
+	// Monolithic path retrieval follows quadtree colors hop by hop — no
+	// refiner steps — so only the method tag and clock are asserted.
+	st = QueryStats{}
+	if _, err := eng.ShortestPath(ctx, 0, 87, WithStats(&st)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Method != "PATH" || st.CPUTime <= 0 {
+		t.Errorf("ShortestPath stats not filled: %+v", st)
+	}
+	if eng.obs.queries[opPath].Value() != 1 || eng.obs.queries[opInterval].Value() != 1 {
+		t.Error("per-op counters did not advance for path/interval")
+	}
+}
+
+// TestBatchFoldsMetrics checks that batch workers — whose contexts bypass
+// the engine pool — still fold their spans into the op="batch" series.
+func TestBatchFoldsMetrics(t *testing.T) {
+	eng, objs := pagedTestEngine(t)
+	queries := make([]VertexID, 20)
+	for i := range queries {
+		queries[i] = VertexID(i * 11)
+	}
+	br, err := eng.QueryBatch(context.Background(), objs, queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(queries) {
+		t.Fatalf("batch returned %d results", len(br.Results))
+	}
+	if got := eng.obs.queries[opBatch].Value(); got != int64(len(queries)) {
+		t.Errorf("queries_total{op=batch} = %d, want %d", got, len(queries))
+	}
+	if got := eng.obs.latency[opBatch].Count(); got != int64(len(queries)) {
+		t.Errorf("batch latency count = %d, want %d", got, len(queries))
+	}
+	// The per-query page traffic folded into the engine counters too.
+	var sum int64
+	for _, r := range br.Results {
+		sum += r.Stats.PageMisses
+	}
+	if sum == 0 {
+		t.Fatal("batch cold scan missed nothing; test is vacuous")
+	}
+	if got := eng.obs.pageMisses.Value(); got != sum {
+		t.Errorf("folded misses %d != batch per-query sum %d", got, sum)
+	}
+}

@@ -28,10 +28,13 @@ func defaultOptions() queryOptions {
 
 // resolveOptions applies opts over the defaults and validates the knob
 // values, so every query entry point rejects bad options uniformly.
+// Option application lives in applyOptions so that the common zero-option
+// call never heap-allocates: opt(&o) is an indirect call, which makes
+// escape analysis move o to the heap in any function containing it.
 func resolveOptions(opts []Option) (queryOptions, error) {
 	o := defaultOptions()
-	for _, opt := range opts {
-		opt(&o)
+	if len(opts) > 0 {
+		o = applyOptions(opts)
 	}
 	if o.method < MethodKNN || o.method > MethodIER {
 		return o, fmt.Errorf("silc: unknown method %d", o.method)
@@ -43,6 +46,17 @@ func resolveOptions(opts []Option) (queryOptions, error) {
 		return o, err
 	}
 	return o, nil
+}
+
+// applyOptions folds opts over the defaults. The receiver copy escapes
+// (its address is passed to caller-supplied closures), costing one
+// allocation — paid only by calls that actually pass options.
+func applyOptions(opts []Option) queryOptions {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
 }
 
 // WithMethod selects the kNN algorithm (default MethodKNN). Honored by

@@ -158,17 +158,37 @@ type Neighbor struct {
 	Exact bool
 }
 
-// QueryStats describes one query's execution.
+// QueryStats describes one query's execution. The storage counters
+// (PageReads, Evictions, BlocksDecoded) and the phase clocks are filled
+// from the query's trace span; per-query PageHits/PageMisses/PageReads
+// summed over a workload reproduce the engine's pool-wide IOStats
+// exactly when every touch is query-attributed.
 type QueryStats struct {
 	Method      string
-	MaxQueue    int           // peak search-queue size
-	Refinements int           // progressive-refinement steps
-	Lookups     int           // interval computations
-	Settled     int           // graph vertices settled (INE/IER)
-	PageHits    int64         // buffer-pool hits (DiskResident indexes)
-	PageMisses  int64         // buffer-pool misses
-	IOTime      time.Duration // modeled I/O time
-	CPUTime     time.Duration // measured computation time
+	MaxQueue    int   // peak search-queue size
+	Refinements int   // progressive-refinement steps
+	Lookups     int   // interval computations
+	Settled     int   // graph vertices settled (INE/IER)
+	HeapPushes  int64 // search-queue pushes (best-first family)
+	PageHits    int64 // buffer-pool hits (DiskResident indexes)
+	PageMisses  int64 // buffer-pool misses
+	// PageReads counts real positioned reads a paged store performed for
+	// this query (zero on modeled/in-RAM indexes).
+	PageReads int64
+	// Evictions counts pool pages this query's touches displaced.
+	Evictions int64
+	// BlocksDecoded counts quadtree blocks decoded on cold tree loads.
+	BlocksDecoded int64
+	// GatewayRoutes counts candidate gateway routes raced by cross-cell
+	// refiners (sharded indexes only).
+	GatewayRoutes int64
+	IOTime        time.Duration // modeled I/O time
+	CPUTime       time.Duration // measured computation time
+	// FilterTime is the object-hierarchy filter phase's wall clock and
+	// RefineTime the remainder (CPUTime − FilterTime); both are zero
+	// unless the engine's tracing is enabled (Engine.SetTracing).
+	FilterTime time.Duration
+	RefineTime time.Duration
 }
 
 // Result is the outcome of a kNN query.

@@ -66,7 +66,9 @@ type ShardedIndex struct {
 // newShardedIndex wires a built partition index to its unified query engine.
 func newShardedIndex(net *Network, sx *partition.Sharded) *ShardedIndex {
 	ix := &ShardedIndex{net: net, sx: sx}
-	ix.eng = &Engine{net: net, qx: sx, shard: ix, pager: sx.StorePager()}
+	ix.eng = newEngine(net, sx)
+	ix.eng.shard = ix
+	ix.eng.pager = sx.StorePager()
 	return ix
 }
 
