@@ -52,7 +52,10 @@ type BatchResult struct {
 // All query vertices are validated up front. Cancelling ctx stops the
 // in-flight queries within one refinement step and abandons the unstarted
 // remainder; the partial BatchResult is returned alongside ctx's error
-// (unfinished slots hold zero Results).
+// (unfinished slots hold zero Results). A per-query failure that is not a
+// cancellation — a storage fault on a DiskResident index, say — does not
+// abandon the batch: the failed query's slot stays zero, the rest still
+// run, and the first such error is returned alongside the results.
 func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []VertexID, k int, opts ...Option) (BatchResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -85,6 +88,8 @@ func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []Vert
 	results := make([]Result, len(queries))
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -105,7 +110,20 @@ func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []Vert
 				}
 				if err != nil {
 					e.obs.fold(qc)
-					return // cancelled: leave this and later slots zero
+					if ctx.Err() != nil {
+						return // cancelled: leave this and later slots zero
+					}
+					// A failure local to this query — a storage fault, not
+					// a cancellation — must not make the worker abandon the
+					// rest of the batch (and with it, silently drop queries
+					// no other worker will ever claim): record the first
+					// one, leave this slot zero, and keep pulling work.
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("queries[%d]=%d: %w", i, queries[i], err)
+					}
+					mu.Unlock()
+					continue
 				}
 				e.foldIO(qc, &res.Stats)
 				e.obs.fold(qc)
@@ -126,7 +144,11 @@ func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []Vert
 	if agg.Wall > 0 {
 		agg.QPS = float64(agg.Queries) / agg.Wall.Seconds()
 	}
-	return BatchResult{Results: results, Stats: agg}, ctx.Err()
+	err = ctx.Err()
+	if err == nil {
+		err = firstErr // wg.Wait() ordered every worker's write before this read
+	}
+	return BatchResult{Results: results, Stats: agg}, err
 }
 
 // legacyBatch adapts the pre-Engine batch convention (k ≤ 0 or an empty

@@ -29,20 +29,7 @@ func main() {
 	)
 	flag.Parse()
 
-	var (
-		net *silc.Network
-		err error
-	)
-	switch *kind {
-	case "road":
-		net, err = silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: *rows, Cols: *cols, Seed: *seed})
-	case "grid":
-		net, err = silc.GenerateGrid(*rows, *cols)
-	case "town":
-		net, err = silc.GenerateRingRadial(*rings, *spokes, *seed)
-	default:
-		err = fmt.Errorf("unknown kind %q", *kind)
-	}
+	net, err := generate(*kind, *rows, *cols, *rings, *spokes, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netgen:", err)
 		os.Exit(1)
@@ -63,4 +50,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "netgen: %d vertices, %d directed edges\n", net.NumVertices(), net.NumEdges())
+}
+
+// generate builds one network from the flag values. The output is a pure
+// function of the arguments — the same seed must reproduce the same network
+// byte for byte, which is what makes a manifest-referenced index rebuildable
+// anywhere.
+func generate(kind string, rows, cols, rings, spokes int, seed int64) (*silc.Network, error) {
+	switch kind {
+	case "road":
+		return silc.GenerateRoadNetwork(silc.RoadNetworkOptions{Rows: rows, Cols: cols, Seed: seed})
+	case "grid":
+		return silc.GenerateGrid(rows, cols)
+	case "town":
+		return silc.GenerateRingRadial(rings, spokes, seed)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
 }

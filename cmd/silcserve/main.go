@@ -2,11 +2,12 @@
 // shared SILC index — the "heavy traffic" deployment the concurrent query
 // engine enables. Endpoints:
 //
-//	GET  /knn?q=V&k=K[&method=KNN][&eps=E][&max_dist=D]
+//	GET  /knn?q=V&k=K[&method=KNN][&eps=E][&max_dist=D][&exact=1]
 //	                                 k nearest objects to vertex V; eps asks
 //	                                 for ε-approximate ranking, max_dist for
-//	                                 the hybrid kNN∩range query
-//	POST /knn {"queries":[...],"k":K[,"method":"KNN","eps":E,"max_dist":D]}
+//	                                 the hybrid kNN∩range query, exact=1
+//	                                 refines every reported distance to exact
+//	POST /knn {"queries":[...],"k":K[,"method":"KNN","eps":E,"max_dist":D,"exact":true]}
 //	                                 batch kNN over a bounded worker pool
 //	GET  /browse?src=V&n=N[&eps=E]   stream the first N neighbors of V
 //	                                 incrementally (NDJSON, one line per
@@ -14,7 +15,8 @@
 //	                                 browsing over HTTP
 //	GET  /distance?src=U&dst=V       exact network distance
 //	GET  /path?src=U&dst=V           exact shortest path
-//	GET  /range?q=V&radius=R         objects within network distance R
+//	GET  /range?q=V&radius=R[&exact=1]
+//	                                 objects within network distance R
 //	GET  /stats                      build, buffer-pool, and server counters
 //	                                 plus per-endpoint latency quantiles
 //	GET  /metrics                    Prometheus text exposition: the
@@ -22,6 +24,20 @@
 //	                                 server's silcserve_* request metrics
 //	GET  /debug/pprof/*              Go runtime profiles (with -pprof)
 //	GET  /healthz                    liveness probe
+//	GET  /readyz                     readiness probe: 503 while draining
+//
+// On SIGTERM/SIGINT the server drains before it stops: /readyz flips to 503
+// so load balancers and the cluster router's health probes steer new work
+// away, -drain-grace elapses, and only then does the listener close and
+// http.Server.Shutdown finish the in-flight requests.
+//
+// Cluster modes (-cluster, with -manifest): "node" serves the internal
+// cell RPC surface for the cells the manifest assigns -node-name — the
+// demand-paged index means only those cells' pages ever materialize —
+// while "router" serves this same public query API statelessly, holding
+// only the index metadata (network, cell labels, boundary closure) and
+// fanning per-cell work out to the owning nodes. Router answers are
+// bit-identical to a monolithic server over the same index.
 //
 // The engine runs with tracing enabled, so per-query filter/refinement
 // phase timings feed the silc_knn_*_seconds_total counters and the
@@ -94,8 +110,30 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/")
 		slowlogPath = flag.String("slowlog", "", "append slow-query NDJSON entries to this file (empty = disabled)")
 		slowThresh  = flag.Duration("slow-threshold", 100*time.Millisecond, "minimum request latency for a -slowlog entry")
+
+		clusterMode   = flag.String("cluster", "", `cluster role: "node" (serve owned cells' RPC surface) or "router" (stateless query router); empty = standalone`)
+		manifestPath  = flag.String("manifest", "", "cluster manifest JSON file (required with -cluster)")
+		nodeName      = flag.String("node-name", "", "this node's name in the manifest (required with -cluster node)")
+		drainGrace    = flag.Duration("drain-grace", 5*time.Second, "on SIGTERM, time between failing /readyz and closing the listener")
+		probeInterval = flag.Duration("probe-interval", time.Second, "router: how often to re-probe failed replicas on /readyz")
+		hedgeDelay    = flag.Duration("hedge-delay", 0, "router: hedge a slow RPC onto another replica after this delay (0 = off)")
+		readyWait     = flag.Duration("ready-wait", 30*time.Second, "router: how long to wait at startup for every manifest node's /readyz")
 	)
 	flag.Parse()
+
+	switch *clusterMode {
+	case "node":
+		runClusterNode(*addr, *manifestPath, *nodeName, *indexPath, silc.ShardedBuildOptions{
+			DiskResident:  *disk,
+			CacheFraction: *cacheFrac,
+			MissLatency:   *missLatency,
+			Mmap:          *mmap,
+		}, *drainGrace)
+		return
+	case "router", "":
+	default:
+		log.Fatalf("silcserve: unknown -cluster %q (node, router)", *clusterMode)
+	}
 
 	if *format != "auto" && *format != "paged" && *format != "legacy" {
 		log.Fatalf("silcserve: unknown -format %q (auto, paged, legacy)", *format)
@@ -103,14 +141,31 @@ func main() {
 	if *format != "auto" && *indexPath == "" {
 		log.Fatal("silcserve: -format asserts the -index file's format; it requires -index")
 	}
-	net, eng, err := loadOrBuild(*networkPath, *indexPath, *format, *rows, *cols, *seed, *partitions, silc.BuildOptions{
-		DiskResident:  *disk,
-		CacheFraction: *cacheFrac,
-		MissLatency:   *missLatency,
-		Mmap:          *mmap,
-	})
-	if err != nil {
-		log.Fatalf("silcserve: %v", err)
+	var (
+		net    *silc.Network
+		eng    *silc.Engine
+		router *silc.ClusterRouter
+		err    error
+	)
+	if *clusterMode == "router" {
+		router, err = openRouter(*manifestPath, *indexPath, silc.ClusterRouterOptions{
+			HedgeDelay: *hedgeDelay,
+		}, *readyWait)
+		if err != nil {
+			log.Fatalf("silcserve: %v", err)
+		}
+		eng = router.Engine()
+		net = eng.Network()
+	} else {
+		net, eng, err = loadOrBuild(*networkPath, *indexPath, *format, *rows, *cols, *seed, *partitions, silc.BuildOptions{
+			DiskResident:  *disk,
+			CacheFraction: *cacheFrac,
+			MissLatency:   *missLatency,
+			Mmap:          *mmap,
+		})
+		if err != nil {
+			log.Fatalf("silcserve: %v", err)
+		}
 	}
 	objs, nObjs, err := loadObjects(net, *objectsPath, *objectFrac, *objectSeed)
 	if err != nil {
@@ -134,6 +189,12 @@ func main() {
 	s := newServer(eng, objs, *maxK, *maxBatch)
 	s.timeout = *reqTimeout
 	s.pprof = *pprofOn
+	if router != nil {
+		s.aux = router.Registry() // adds the silc_cluster_* families to /metrics
+		probeCtx, stopProbing := context.WithCancel(context.Background())
+		defer stopProbing()
+		router.StartProbing(probeCtx, *probeInterval)
+	}
 	if *slowlogPath != "" {
 		slow, err := openSlowLog(*slowlogPath, *slowThresh)
 		if err != nil {
@@ -148,24 +209,122 @@ func main() {
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	serveAndDrain(httpServer, *drainGrace, func() { s.draining.Store(true) })
+}
 
+// serveAndDrain runs the server until SIGTERM/SIGINT, then drains before
+// stopping: onDrain flips /readyz to 503 so load balancers (and the cluster
+// router's replica probes) steer new work away, the grace period gives them
+// time to notice, and only then does Shutdown close the listener and finish
+// the in-flight requests.
+func serveAndDrain(srv *http.Server, grace time.Duration, onDrain func()) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- httpServer.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s", srv.Addr)
 
 	select {
 	case err := <-errc:
 		log.Fatalf("silcserve: %v", err)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
+	onDrain()
+	log.Printf("draining: /readyz failing, shutdown in %v", grace)
+	time.Sleep(grace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("silcserve: shutdown: %v", err)
 	}
+}
+
+// runClusterNode is the -cluster node main: open the shared paged index,
+// bind this node's manifest entry, and serve the internal RPC surface until
+// a drain-then-shutdown signal. Only the owned cells' pages ever
+// materialize, so a node's memory footprint is its share of the database,
+// not the whole file.
+func runClusterNode(addr, manifestPath, name, indexPath string, opts silc.ShardedBuildOptions, grace time.Duration) {
+	m, indexPath, err := loadManifest(manifestPath, indexPath)
+	if err != nil {
+		log.Fatalf("silcserve: %v", err)
+	}
+	if name == "" {
+		log.Fatal("silcserve: -cluster node requires -node-name")
+	}
+	ix, err := silc.OpenShardedIndex(indexPath, opts)
+	if err != nil {
+		log.Fatalf("silcserve: open index: %v", err)
+	}
+	node, err := silc.NewClusterNode(ix, m, name)
+	if err != nil {
+		log.Fatalf("silcserve: %v", err)
+	}
+	defer node.Close()
+	spec := m.Node(name)
+	log.Printf("cluster node %s serving cells %v of %s", name, spec.Cells, indexPath)
+
+	// The node handler's own /metrics only has the silcnode_* families;
+	// mount a richer one in front that prepends the engine's silc_* ones.
+	mux := http.NewServeMux()
+	mux.Handle("/", node.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		node.WriteMetrics(w)
+	})
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveAndDrain(httpServer, grace, node.StartDrain)
+}
+
+// openRouter is the -cluster router setup: read the index metadata (no cell
+// pages), wire the RPC client over the manifest, and wait for every node's
+// /readyz so the router never serves ahead of its backends.
+func openRouter(manifestPath, indexPath string, opt silc.ClusterRouterOptions, readyWait time.Duration) (*silc.ClusterRouter, error) {
+	m, indexPath, err := loadManifest(manifestPath, indexPath)
+	if err != nil {
+		return nil, err
+	}
+	router, err := silc.OpenClusterRouter(indexPath, m, opt)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(readyWait)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err = router.Ready(ctx)
+		cancel()
+		if err == nil {
+			return router, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster not ready after %v: %w", readyWait, err)
+		}
+		log.Printf("waiting for cluster: %v", err)
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// loadManifest reads the cluster manifest and resolves the index path:
+// -index overrides the manifest's own index entry.
+func loadManifest(manifestPath, indexPath string) (*silc.ClusterManifest, string, error) {
+	if manifestPath == "" {
+		return nil, "", errors.New("-cluster requires -manifest")
+	}
+	m, err := silc.LoadClusterManifest(manifestPath)
+	if err != nil {
+		return nil, "", err
+	}
+	if indexPath == "" {
+		indexPath = m.Index
+	}
+	if indexPath == "" {
+		return nil, "", errors.New("no index: pass -index or set the manifest's \"index\"")
+	}
+	return m, indexPath, nil
 }
 
 // checkFormat enforces the -format expectation against the file's magic:
@@ -311,9 +470,11 @@ type server struct {
 	// family names are disjoint, so the concatenation is a valid text-
 	// format exposition.
 	reg       *obs.Registry
+	aux       *obs.Registry // extra /metrics families (router: silc_cluster_*)
 	inflight  *obs.Gauge
 	endpoints map[string]*endpointMetrics
 	slow      *slowLog
+	draining  atomic.Bool // set on SIGTERM: /readyz fails while queries drain
 }
 
 // endpointMetrics is one HTTP endpoint's request counter and latency
@@ -357,6 +518,13 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
 	})
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -422,6 +590,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.eng.WriteMetrics(w); err != nil {
 		return // client went away mid-scrape; nothing to salvage
+	}
+	if s.aux != nil {
+		if err := s.aux.WritePrometheus(w); err != nil {
+			return
+		}
 	}
 	s.reg.WritePrometheus(w)
 }
@@ -598,7 +771,7 @@ func toStats(st silc.QueryStats) queryStatsJSON {
 }
 
 // knnOptions assembles the query options shared by the GET and POST forms.
-func knnOptions(method silc.Method, eps, maxDist float64) []silc.Option {
+func knnOptions(method silc.Method, eps, maxDist float64, exact bool) []silc.Option {
 	opts := []silc.Option{silc.WithMethod(method)}
 	if eps > 0 {
 		opts = append(opts, silc.WithEpsilon(eps))
@@ -606,7 +779,21 @@ func knnOptions(method silc.Method, eps, maxDist float64) []silc.Option {
 	if maxDist > 0 {
 		opts = append(opts, silc.WithMaxDistance(maxDist))
 	}
+	if exact {
+		opts = append(opts, silc.WithExactDistances())
+	}
 	return opts
+}
+
+// exactParam parses the optional exact-distances toggle.
+func exactParam(raw string) (bool, error) {
+	switch raw {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	}
+	return false, badRequest("parameter exact must be 0/1/true/false")
 }
 
 func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -639,7 +826,12 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.eng.Query(r.Context(), s.objs, q, k, knnOptions(method, eps, maxDist)...)
+	exact, err := exactParam(r.URL.Query().Get("exact"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.eng.Query(r.Context(), s.objs, q, k, knnOptions(method, eps, maxDist, exact)...)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -672,6 +864,7 @@ type batchRequest struct {
 	Method  string  `json:"method"`
 	Eps     float64 `json:"eps"`
 	MaxDist float64 `json:"max_dist"`
+	Exact   bool    `json:"exact"`
 }
 
 func (s *server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
@@ -709,7 +902,7 @@ func (s *server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = silc.VertexID(v)
 	}
 	batch, err := s.eng.QueryBatch(r.Context(), s.objs, queries, req.K,
-		knnOptions(method, req.Eps, req.MaxDist)...)
+		knnOptions(method, req.Eps, req.MaxDist, req.Exact)...)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -836,7 +1029,16 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("parameter radius must be a non-negative number"))
 		return
 	}
-	res, err := s.eng.WithinDistance(r.Context(), s.objs, q, radius)
+	exact, err := exactParam(r.URL.Query().Get("exact"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var opts []silc.Option
+	if exact {
+		opts = append(opts, silc.WithExactDistances())
+	}
+	res, err := s.eng.WithinDistance(r.Context(), s.objs, q, radius, opts...)
 	if err != nil {
 		writeError(w, err)
 		return

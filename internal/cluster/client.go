@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"silc/internal/obs"
+)
+
+// ClientOptions tunes the router-side RPC client.
+type ClientOptions struct {
+	// Timeout bounds each individual attempt (default 5s). The caller's
+	// context still caps the whole call.
+	Timeout time.Duration
+	// HedgeDelay launches a second attempt on another replica when the
+	// first has not answered within the delay — the classic tail-latency
+	// hedge; the first response wins and the loser is cancelled. Zero
+	// disables hedging. Every RPC in the protocol is a read, so hedging is
+	// always safe.
+	HedgeDelay time.Duration
+	// FailCooldown is how long a replica stays deprioritized after a failed
+	// attempt (default 2s). Probing (Client.Probe) can clear it earlier.
+	FailCooldown time.Duration
+	// HTTPClient overrides the transport (tests inject httptest clients).
+	HTTPClient *http.Client
+}
+
+// Client fans per-cell RPCs out to the owning nodes with replica load
+// balancing, per-attempt timeouts, failover retries, and optional hedging.
+// It is the transport half of the router: one Client serves any number of
+// concurrent queries.
+type Client struct {
+	m      *Manifest
+	p      int
+	owners [][]int // per cell: manifest node indices serving it
+	nodes  []nodeState
+	httpc  *http.Client
+	opt    ClientOptions
+
+	reg       *obs.Registry
+	rpcs      map[string]*clientEndpointMetrics
+	retries   *obs.Counter
+	hedges    *obs.Counter
+	failures  *obs.Counter
+	cellCalls []*obs.Counter
+	cellLoad  []atomic.Int64 // per-cell RPC counts for hot-cell detection
+	rr        []atomic.Uint32
+}
+
+type clientEndpointMetrics struct {
+	calls   *obs.Counter
+	errors  *obs.Counter
+	latency *obs.Histogram
+}
+
+type nodeState struct {
+	addr string
+	name string
+	// downUntil is the unix-nano timestamp until which the replica is
+	// deprioritized after a failure; 0 = healthy.
+	downUntil atomic.Int64
+}
+
+// NewClient builds a client over the manifest for a p-partition index.
+func NewClient(m *Manifest, p int, opt ClientOptions) (*Client, error) {
+	if err := m.Validate(p); err != nil {
+		return nil, err
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 5 * time.Second
+	}
+	if opt.FailCooldown <= 0 {
+		opt.FailCooldown = 2 * time.Second
+	}
+	httpc := opt.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+	c := &Client{
+		m:      m,
+		p:      p,
+		owners: m.Owners(p),
+		nodes:  make([]nodeState, len(m.Nodes)),
+		httpc:  httpc,
+		opt:    opt,
+		reg:    obs.NewRegistry(),
+		rr:     make([]atomic.Uint32, p),
+	}
+	for i, n := range m.Nodes {
+		c.nodes[i].addr = n.Addr
+		c.nodes[i].name = n.Name
+	}
+	c.rpcs = make(map[string]*clientEndpointMetrics, 8)
+	for _, ep := range []string{
+		PathBoundary, PathIntervals, PathInterval, PathExact,
+		PathRace, PathRegion, PathPath,
+	} {
+		label := `endpoint="` + ep + `"`
+		c.rpcs[ep] = &clientEndpointMetrics{
+			calls: c.reg.Counter("silc_cluster_rpcs_total", label,
+				"Cluster RPC calls issued per endpoint."),
+			errors: c.reg.Counter("silc_cluster_rpc_errors_total", label,
+				"Failed cluster RPC attempts per endpoint (each retried attempt counts)."),
+			latency: c.reg.Histogram("silc_cluster_rpc_seconds", label,
+				"Cluster RPC call latency per endpoint, across all attempts of the call."),
+		}
+	}
+	c.retries = c.reg.Counter("silc_cluster_retries_total", "",
+		"Attempts launched because a previous replica attempt failed.")
+	c.hedges = c.reg.Counter("silc_cluster_hedges_total", "",
+		"Hedged attempts launched because a replica was slow.")
+	c.failures = c.reg.Counter("silc_cluster_call_failures_total", "",
+		"Cluster RPC calls that exhausted every replica (client-visible failures).")
+	c.cellCalls = make([]*obs.Counter, p)
+	c.cellLoad = make([]atomic.Int64, p)
+	for cell := 0; cell < p; cell++ {
+		c.cellCalls[cell] = c.reg.Counter("silc_cluster_cell_rpcs_total",
+			`cell="`+strconv.Itoa(cell)+`"`,
+			"Cluster RPC calls issued per cell — the router-side per-cell load signal behind hot-cell detection.")
+	}
+	return c, nil
+}
+
+// Registry exposes the client's silc_cluster_* metrics.
+func (c *Client) Registry() *obs.Registry { return c.reg }
+
+// NumPartitions returns the partition count the client routes for.
+func (c *Client) NumPartitions() int { return c.p }
+
+// CellLoad is one cell's cumulative RPC count.
+type CellLoad struct {
+	Cell  int
+	Calls int64
+}
+
+// HotCells returns the k most-called cells in descending call order — the
+// signal an operator (or an autoscaler) uses to add replicas for skewed
+// cells. Backed by the same per-cell counters /metrics exports.
+func (c *Client) HotCells(k int) []CellLoad {
+	loads := make([]CellLoad, c.p)
+	for i := range loads {
+		loads[i] = CellLoad{Cell: i, Calls: c.cellLoad[i].Load()}
+	}
+	sort.Slice(loads, func(a, b int) bool {
+		if loads[a].Calls != loads[b].Calls {
+			return loads[a].Calls > loads[b].Calls
+		}
+		return loads[a].Cell < loads[b].Cell
+	})
+	if k < len(loads) {
+		loads = loads[:k]
+	}
+	return loads
+}
+
+// Probe checks /readyz on every node currently marked down and re-admits
+// the ones that answer 200 — so a replica that restarted rejoins rotation
+// before its cooldown expires. Call it periodically from a background
+// goroutine; it bounds itself by ctx.
+func (c *Client) Probe(ctx context.Context) {
+	now := time.Now().UnixNano()
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if n.downUntil.Load() == 0 || n.downUntil.Load() < now {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.addr+"/readyz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			n.downUntil.Store(0)
+		}
+	}
+}
+
+// StartProbing runs Probe every interval until ctx is cancelled.
+func (c *Client) StartProbing(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.Probe(ctx)
+			}
+		}
+	}()
+}
+
+// Ready verifies every node in the manifest answers /readyz, so a router
+// can gate its own readiness on the cluster being dialable.
+func (c *Client) Ready(ctx context.Context) error {
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.addr+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			return fmt.Errorf("cluster: node %s: %w", n.name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("cluster: node %s: readyz status %d", n.name, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// Call issues one RPC for cell against its replica set: replicas are tried
+// in round-robin rotation (healthy ones first), a failed attempt
+// immediately fails over to the next replica, and a slow attempt launches a
+// hedge after HedgeDelay. The first successful response wins. Each replica
+// is attempted at most once per call; the call fails only when every
+// replica has failed (or ctx expired) — a single replica failure is
+// invisible to the query.
+func (c *Client) Call(ctx context.Context, cell int32, endpoint string, req, resp any) error {
+	em := c.rpcs[endpoint]
+	if em == nil {
+		return fmt.Errorf("cluster: unknown endpoint %s", endpoint)
+	}
+	em.calls.Inc()
+	c.cellCalls[cell].Inc()
+	c.cellLoad[cell].Add(1)
+	start := time.Now()
+	defer func() { em.latency.Observe(time.Since(start)) }()
+
+	// The request body is encoded once and replayed per attempt.
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %s request: %w", endpoint, err)
+	}
+	order := c.replicaOrder(cell)
+
+	type result struct {
+		data []byte
+		ni   int
+		err  error
+	}
+	results := make(chan result, len(order))
+	attemptCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	attempt := func(ni int) {
+		data, err := c.attempt(attemptCtx, ni, cell, endpoint, body)
+		results <- result{data: data, ni: ni, err: err}
+	}
+
+	launched := 1
+	go attempt(order[0])
+	pending := 1
+	var hedge <-chan time.Time
+	if c.opt.HedgeDelay > 0 && launched < len(order) {
+		t := time.NewTimer(c.opt.HedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var lastErr error
+	for pending > 0 {
+		select {
+		case <-ctx.Done():
+			c.failures.Inc()
+			em.errors.Inc()
+			return ctx.Err()
+		case <-hedge:
+			hedge = nil
+			if launched < len(order) {
+				c.hedges.Inc()
+				go attempt(order[launched])
+				launched++
+				pending++
+			}
+		case res := <-results:
+			pending--
+			if res.err == nil {
+				if err := json.Unmarshal(res.data, resp); err != nil {
+					res.err = fmt.Errorf("cluster: decoding %s response: %w", endpoint, err)
+				} else {
+					return nil
+				}
+			}
+			em.errors.Inc()
+			lastErr = res.err
+			c.markDown(res.ni)
+			if launched < len(order) {
+				c.retries.Inc()
+				go attempt(order[launched])
+				launched++
+				pending++
+			}
+		}
+	}
+	c.failures.Inc()
+	return fmt.Errorf("cluster: cell %d: every replica failed: %w", cell, lastErr)
+}
+
+// attempt performs one HTTP POST against one replica under the per-attempt
+// timeout.
+func (c *Client) attempt(ctx context.Context, ni int, cell int32, endpoint string, body []byte) ([]byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.opt.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost,
+		c.nodes[ni].addr+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", c.nodes[ni].name, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("node %s: reading response: %w", c.nodes[ni].name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResp
+		msg := ""
+		if json.Unmarshal(data, &er) == nil {
+			msg = ": " + er.Error
+		}
+		return nil, fmt.Errorf("node %s: %s status %d%s", c.nodes[ni].name, endpoint, resp.StatusCode, msg)
+	}
+	return data, nil
+}
+
+// replicaOrder returns cell's replicas in attempt order: round-robin
+// rotated for load balancing, with currently-down replicas moved to the
+// back (they remain last-resort candidates — a cell whose every replica is
+// cooling down still gets attempts rather than an instant failure).
+func (c *Client) replicaOrder(cell int32) []int {
+	owners := c.owners[cell]
+	start := int(c.rr[cell].Add(1)-1) % len(owners)
+	order := make([]int, 0, len(owners))
+	now := time.Now().UnixNano()
+	var down []int
+	for i := 0; i < len(owners); i++ {
+		ni := owners[(start+i)%len(owners)]
+		if du := c.nodes[ni].downUntil.Load(); du != 0 && du > now {
+			down = append(down, ni)
+			continue
+		}
+		order = append(order, ni)
+	}
+	return append(order, down...)
+}
+
+func (c *Client) markDown(ni int) {
+	c.nodes[ni].downUntil.Store(time.Now().Add(c.opt.FailCooldown).UnixNano())
+}

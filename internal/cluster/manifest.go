@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Manifest is the static cluster topology: which node serves which cells.
+// A cell listed by more than one node has replicas — the router load-
+// balances across them and fails over when one dies. The manifest is plain
+// JSON so deployments can generate it from whatever inventory they have:
+//
+//	{
+//	  "index": "net.sidx",
+//	  "nodes": [
+//	    {"name": "node-a", "addr": "http://127.0.0.1:7101", "cells": [0, 1]},
+//	    {"name": "node-b", "addr": "http://127.0.0.1:7102", "cells": [2, 3]},
+//	    {"name": "node-c", "addr": "http://127.0.0.1:7103", "cells": [0, 1, 2, 3]}
+//	  ]
+//	}
+//
+// Index names the sharded paged index file (relative paths resolve against
+// the process working directory): nodes open it for the cell images, the
+// router reads only its metadata half (network + cell labels + closure).
+type Manifest struct {
+	Index string     `json:"index"`
+	Nodes []NodeSpec `json:"nodes"`
+}
+
+// NodeSpec is one node's entry: a unique name (what -node-name selects), a
+// base URL the router dials, and the cells it owns.
+type NodeSpec struct {
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+	Cells []int  `json:"cells"`
+}
+
+// LoadManifest reads and structurally validates a manifest file. Coverage
+// against a concrete partition count is checked separately by Validate,
+// because the count comes from the index file the manifest points at.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	return ParseManifest(data)
+}
+
+// ParseManifest decodes and structurally validates manifest JSON.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	if len(m.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: manifest lists no nodes")
+	}
+	seen := make(map[string]bool, len(m.Nodes))
+	for i, n := range m.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: manifest node %d has no name", i)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("cluster: manifest names node %q twice", n.Name)
+		}
+		seen[n.Name] = true
+		if n.Addr == "" {
+			return nil, fmt.Errorf("cluster: manifest node %q has no addr", n.Name)
+		}
+		if len(n.Cells) == 0 {
+			return nil, fmt.Errorf("cluster: manifest node %q owns no cells", n.Name)
+		}
+		cells := make(map[int]bool, len(n.Cells))
+		for _, c := range n.Cells {
+			if c < 0 {
+				return nil, fmt.Errorf("cluster: manifest node %q lists negative cell %d", n.Name, c)
+			}
+			if cells[c] {
+				return nil, fmt.Errorf("cluster: manifest node %q lists cell %d twice", n.Name, c)
+			}
+			cells[c] = true
+		}
+	}
+	return &m, nil
+}
+
+// Validate checks the manifest against a concrete partition count: every
+// cell in [0, p) must have at least one owner, and no node may claim a cell
+// beyond the index's partitions.
+func (m *Manifest) Validate(p int) error {
+	covered := make([]bool, p)
+	for _, n := range m.Nodes {
+		for _, c := range n.Cells {
+			if c >= p {
+				return fmt.Errorf("cluster: node %q claims cell %d, index has %d partitions", n.Name, c, p)
+			}
+			covered[c] = true
+		}
+	}
+	for c, ok := range covered {
+		if !ok {
+			return fmt.Errorf("cluster: cell %d has no owning node in the manifest", c)
+		}
+	}
+	return nil
+}
+
+// Node returns the spec for name, nil when absent.
+func (m *Manifest) Node(name string) *NodeSpec {
+	for i := range m.Nodes {
+		if m.Nodes[i].Name == name {
+			return &m.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Owners returns, per cell in [0, p), the manifest indices of the nodes
+// serving it — each cell's replica set, in manifest order.
+func (m *Manifest) Owners(p int) [][]int {
+	owners := make([][]int, p)
+	for i, n := range m.Nodes {
+		for _, c := range n.Cells {
+			if c < p {
+				owners[c] = append(owners[c], i)
+			}
+		}
+	}
+	for _, o := range owners {
+		sort.Ints(o)
+	}
+	return owners
+}

@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"silc/internal/core"
+	"silc/internal/geom"
+	"silc/internal/graph"
+	"silc/internal/obs"
+	"silc/internal/partition"
+)
+
+// Node serves one cluster node's share of a partitioned index: the RPC
+// surface for the cells the manifest assigns it, plus health and metrics
+// endpoints. It holds a full *partition.Sharded opened from the shared
+// paged file — the demand-paged stores mean only the owned cells' pages
+// ever materialize — and rejects RPCs for cells it does not own, so a
+// routing bug surfaces as a loud 4xx instead of silently serving from an
+// unwarmed replica.
+//
+// A Node is safe for unlimited concurrent requests, like the index under
+// it. Draining flips /readyz to 503 while every RPC keeps being served;
+// load balancers (and the cluster client's health probes) stop sending new
+// work, and http.Server.Shutdown finishes what is in flight.
+type Node struct {
+	name  string
+	s     *partition.Sharded
+	owned []bool
+
+	reg      *obs.Registry
+	rpcs     map[string]*nodeEndpointMetrics
+	rejects  *obs.Counter
+	cellRPCs []*obs.Counter
+	draining atomic.Bool
+}
+
+type nodeEndpointMetrics struct {
+	calls   *obs.Counter
+	errors  *obs.Counter
+	latency *obs.Histogram
+}
+
+// NewNode builds the node named name from the manifest, serving cells out
+// of s. The manifest must cover s's partition count and list the node.
+func NewNode(name string, m *Manifest, s *partition.Sharded) (*Node, error) {
+	p := s.NumPartitions()
+	if err := m.Validate(p); err != nil {
+		return nil, err
+	}
+	spec := m.Node(name)
+	if spec == nil {
+		return nil, fmt.Errorf("cluster: manifest has no node %q", name)
+	}
+	n := &Node{
+		name:  name,
+		s:     s,
+		owned: make([]bool, p),
+		reg:   obs.NewRegistry(),
+	}
+	for _, c := range spec.Cells {
+		n.owned[c] = true
+	}
+	n.rpcs = make(map[string]*nodeEndpointMetrics, 8)
+	for _, ep := range []string{
+		PathBoundary, PathIntervals, PathInterval, PathExact,
+		PathRace, PathRegion, PathPath,
+	} {
+		label := `endpoint="` + ep + `"`
+		n.rpcs[ep] = &nodeEndpointMetrics{
+			calls: n.reg.Counter("silcnode_rpcs_total", label,
+				"RPC calls served per endpoint."),
+			errors: n.reg.Counter("silcnode_rpc_errors_total", label,
+				"RPC calls that failed per endpoint (bad request, unowned cell, or storage failure)."),
+			latency: n.reg.Histogram("silcnode_rpc_seconds", label,
+				"RPC service latency per endpoint."),
+		}
+	}
+	n.rejects = n.reg.Counter("silcnode_rejected_total", "",
+		"RPCs rejected because this node does not own the requested cell.")
+	n.cellRPCs = make([]*obs.Counter, p)
+	for _, c := range spec.Cells {
+		n.cellRPCs[c] = n.reg.Counter("silcnode_cell_rpcs_total",
+			`cell="`+strconv.Itoa(c)+`"`,
+			"RPC calls served per owned cell.")
+	}
+	n.reg.GaugeFunc("silcnode_draining", `node="`+name+`"`,
+		"1 while the node is draining (readyz failing), else 0.",
+		func() float64 {
+			if n.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	return n, nil
+}
+
+// Name returns the node's manifest name.
+func (n *Node) Name() string { return n.name }
+
+// Registry exposes the node's silcnode_* metrics for serving alongside the
+// index's own families.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// StartDrain flips /readyz to 503. RPCs keep being served; callers follow
+// with http.Server.Shutdown to finish in-flight connections.
+func (n *Node) StartDrain() { n.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// Handler returns the node's HTTP surface: the RPC endpoints plus
+// /healthz, /readyz and /metrics.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathBoundary, rpc(n, PathBoundary, n.boundary))
+	mux.HandleFunc(PathIntervals, rpc(n, PathIntervals, n.intervals))
+	mux.HandleFunc(PathInterval, rpc(n, PathInterval, n.interval))
+	mux.HandleFunc(PathExact, rpc(n, PathExact, n.exact))
+	mux.HandleFunc(PathRace, rpc(n, PathRace, n.race))
+	mux.HandleFunc(PathRegion, rpc(n, PathRegion, n.region))
+	mux.HandleFunc(PathPath, rpc(n, PathPath, n.path))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if n.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		n.reg.WritePrometheus(w)
+	})
+	return mux
+}
+
+// rpcError carries an HTTP status through a handler's error return.
+type rpcError struct {
+	status int
+	msg    string
+}
+
+func (e rpcError) Error() string { return e.msg }
+
+// rpc wraps one endpoint handler with decoding, metrics, and error
+// rendering. Handlers receive a decoded request and a query context bound
+// to the HTTP request's context — the router's deadline and disconnects
+// cancel the node-side computation within one refinement step.
+func rpc[Req any, Resp any](n *Node, ep string, h func(qc *core.QueryContext, req *Req) (Resp, error)) http.HandlerFunc {
+	em := n.rpcs[ep]
+	return func(w http.ResponseWriter, r *http.Request) {
+		em.calls.Inc()
+		start := time.Now()
+		defer func() { em.latency.Observe(time.Since(start)) }()
+		if r.Method != http.MethodPost {
+			em.errors.Inc()
+			writeRPCError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req Req
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+			em.errors.Inc()
+			writeRPCError(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+			return
+		}
+		qc := core.NewQueryContextFor(r.Context())
+		resp, err := h(qc, &req)
+		if err == nil && qc.Failed() {
+			err = qc.Err() // storage failure during the computation
+		}
+		if err != nil {
+			em.errors.Inc()
+			if re, ok := err.(rpcError); ok {
+				writeRPCError(w, re.status, re.msg)
+			} else {
+				writeRPCError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
+func writeRPCError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResp{Error: msg})
+}
+
+// checkCell validates ownership plus every local vertex id, returning the
+// cell's index. Misrouted cells get 421 (misdirected request) so the client
+// can distinguish "wrong node" from a transient failure it should retry.
+func (n *Node) checkCell(cell int32, verts ...uint32) (partition.CellIndex, error) {
+	if cell < 0 || int(cell) >= len(n.owned) {
+		return nil, rpcError{http.StatusBadRequest, fmt.Sprintf("cell %d out of range", cell)}
+	}
+	if !n.owned[cell] {
+		n.rejects.Inc()
+		return nil, rpcError{http.StatusMisdirectedRequest,
+			fmt.Sprintf("node %s does not own cell %d", n.name, cell)}
+	}
+	nv := n.s.CellVertexCount(int(cell))
+	for _, v := range verts {
+		if int(v) >= nv {
+			return nil, rpcError{http.StatusBadRequest,
+				fmt.Sprintf("vertex %d out of cell %d's %d vertices", v, cell, nv)}
+		}
+	}
+	if c := n.cellRPCs[cell]; c != nil {
+		c.Inc()
+	}
+	return n.s.CellIndexAt(int(cell)), nil
+}
+
+func (n *Node) boundary(qc *core.QueryContext, req *BoundaryReq) (BoundaryResp, error) {
+	cx, err := n.checkCell(req.Cell, req.Src)
+	if err != nil {
+		return BoundaryResp{}, err
+	}
+	bs := n.s.BoundaryLocals(int(req.Cell))
+	dists := make([]uint64, len(bs))
+	for i, b := range bs {
+		dists[i] = Bits(partition.CellExact(cx, qc, graph.VertexID(req.Src), b))
+	}
+	return BoundaryResp{Dists: dists, IO: toIOStats(qc.IO)}, nil
+}
+
+func (n *Node) intervals(qc *core.QueryContext, req *IntervalsReq) (IntervalsResp, error) {
+	cx, err := n.checkCell(req.Cell, req.V)
+	if err != nil {
+		return IntervalsResp{}, err
+	}
+	bs := n.s.BoundaryLocals(int(req.Cell))
+	los := make([]uint64, len(bs))
+	his := make([]uint64, len(bs))
+	for i, b := range bs {
+		var iv core.Interval
+		if req.ToV {
+			iv = cx.DistanceIntervalCtx(qc, b, graph.VertexID(req.V))
+		} else {
+			iv = cx.DistanceIntervalCtx(qc, graph.VertexID(req.V), b)
+		}
+		los[i], his[i] = Bits(iv.Lo), Bits(iv.Hi)
+	}
+	return IntervalsResp{Los: los, His: his, IO: toIOStats(qc.IO)}, nil
+}
+
+func (n *Node) interval(qc *core.QueryContext, req *IntervalReq) (IntervalResp, error) {
+	cx, err := n.checkCell(req.Cell, req.U, req.V)
+	if err != nil {
+		return IntervalResp{}, err
+	}
+	iv := cx.DistanceIntervalCtx(qc, graph.VertexID(req.U), graph.VertexID(req.V))
+	return IntervalResp{Lo: Bits(iv.Lo), Hi: Bits(iv.Hi), IO: toIOStats(qc.IO)}, nil
+}
+
+func (n *Node) exact(qc *core.QueryContext, req *ExactReq) (ExactResp, error) {
+	cx, err := n.checkCell(req.Cell, req.U, req.V)
+	if err != nil {
+		return ExactResp{}, err
+	}
+	d := partition.CellExact(cx, qc, graph.VertexID(req.U), graph.VertexID(req.V))
+	return ExactResp{D: Bits(d), IO: toIOStats(qc.IO)}, nil
+}
+
+func (n *Node) race(qc *core.QueryContext, req *RaceReq) (RaceResp, error) {
+	if len(req.Offs) != len(req.Us) {
+		return RaceResp{}, rpcError{http.StatusBadRequest,
+			fmt.Sprintf("%d offsets for %d candidates", len(req.Offs), len(req.Us))}
+	}
+	cx, err := n.checkCell(req.Cell, append([]uint32{req.Dst}, req.Us...)...)
+	if err != nil {
+		return RaceResp{}, err
+	}
+	offs := make([]float64, len(req.Offs))
+	us := make([]graph.VertexID, len(req.Us))
+	for i := range req.Offs {
+		offs[i] = FromBits(req.Offs[i])
+		us[i] = graph.VertexID(req.Us[i])
+	}
+	d, arg := partition.RaceCellRoutes(cx, qc, graph.VertexID(req.Dst), offs, us)
+	return RaceResp{D: Bits(d), Arg: arg, IO: toIOStats(qc.IO)}, nil
+}
+
+func (n *Node) region(qc *core.QueryContext, req *RegionReq) (RegionResp, error) {
+	cx, err := n.checkCell(req.Cell, req.Q)
+	if err != nil {
+		return RegionResp{}, err
+	}
+	rect := geom.Rect{
+		MinX: FromBits(req.MinX), MinY: FromBits(req.MinY),
+		MaxX: FromBits(req.MaxX), MaxY: FromBits(req.MaxY),
+	}
+	if math.IsNaN(rect.MinX) || math.IsNaN(rect.MinY) || math.IsNaN(rect.MaxX) || math.IsNaN(rect.MaxY) {
+		return RegionResp{}, rpcError{http.StatusBadRequest, "NaN rectangle bound"}
+	}
+	d := cx.RegionLowerBoundCtx(qc, graph.VertexID(req.Q), rect)
+	return RegionResp{D: Bits(d), IO: toIOStats(qc.IO)}, nil
+}
+
+func (n *Node) path(qc *core.QueryContext, req *PathReq) (PathResp, error) {
+	cx, err := n.checkCell(req.Cell, req.U, req.V)
+	if err != nil {
+		return PathResp{}, err
+	}
+	p := cx.PathCtx(qc, graph.VertexID(req.U), graph.VertexID(req.V))
+	verts := make([]uint32, len(p))
+	for i, v := range p {
+		verts[i] = uint32(v)
+	}
+	return PathResp{Verts: verts, IO: toIOStats(qc.IO)}, nil
+}

@@ -1,0 +1,153 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"silc/internal/cluster"
+	"silc/internal/core"
+	"silc/internal/graph"
+	"silc/internal/partition"
+)
+
+func buildNode(t *testing.T) (*partition.Sharded, *cluster.Node, *httptest.Server) {
+	t.Helper()
+	g, err := graph.GenerateRoadNetwork(graph.RoadNetworkOptions{Rows: 10, Cols: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := partition.Build(g, partition.Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &cluster.Manifest{Nodes: []cluster.NodeSpec{
+		{Name: "a", Addr: "http://placeholder", Cells: []int{0, 1}},
+		{Name: "b", Addr: "http://placeholder", Cells: []int{2, 3}},
+	}}
+	node, err := cluster.NewNode("a", m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(node.Handler())
+	t.Cleanup(srv.Close)
+	return s, node, srv
+}
+
+func post(t *testing.T, url string, req any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestNodeOwnershipAndValidation: RPCs for owned cells answer with exactly
+// the in-process arithmetic; unowned cells are 421s; bad vertex ids 400s.
+func TestNodeOwnershipAndValidation(t *testing.T) {
+	s, _, srv := buildNode(t)
+
+	// Owned cell: the boundary sweep must equal CellExact run in process.
+	bs := s.BoundaryLocals(0)
+	if len(bs) == 0 {
+		t.Fatal("cell 0 has no boundary vertices")
+	}
+	resp, data := post(t, srv.URL+cluster.PathBoundary, &cluster.BoundaryReq{Cell: 0, Src: 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("boundary status %d: %s", resp.StatusCode, data)
+	}
+	var br cluster.BoundaryResp
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Dists) != len(bs) {
+		t.Fatalf("%d boundary distances for %d rows", len(br.Dists), len(bs))
+	}
+	cx := s.CellIndexAt(0)
+	for i, b := range bs {
+		want := partition.CellExact(cx, core.NewQueryContext(), 0, b)
+		if got := cluster.FromBits(br.Dists[i]); got != want {
+			t.Fatalf("row %d: node says %v, in-process says %v", i, got, want)
+		}
+	}
+
+	// Unowned cell: 421 so the client can tell routing bugs from failures.
+	resp, _ = post(t, srv.URL+cluster.PathExact, &cluster.ExactReq{Cell: 2, U: 0, V: 1})
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("unowned cell status %d, want 421", resp.StatusCode)
+	}
+
+	// Vertex out of the cell's local range: 400.
+	nv := s.CellVertexCount(0)
+	resp, _ = post(t, srv.URL+cluster.PathExact, &cluster.ExactReq{Cell: 0, U: uint32(nv), V: 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad vertex status %d, want 400", resp.StatusCode)
+	}
+
+	// Race candidate count mismatch: 400.
+	resp, _ = post(t, srv.URL+cluster.PathRace, &cluster.RaceReq{Cell: 0, Dst: 0, Offs: []uint64{0}, Us: nil})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched race status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestNodeReadyzDraining(t *testing.T) {
+	_, node, srv := buildNode(t)
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz: %d", got)
+	}
+	node.StartDrain()
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", got)
+	}
+	// Liveness and RPCs keep working while draining.
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz during drain: %d", got)
+	}
+	resp, _ := post(t, srv.URL+cluster.PathInterval, &cluster.IntervalReq{Cell: 0, U: 0, V: 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("RPC during drain: %d", resp.StatusCode)
+	}
+}
+
+// TestNodeDeadlinePropagates: a client deadline expiring mid-RPC cancels
+// the node-side computation (the query context is bound to the HTTP
+// request's context) and surfaces as a failed attempt, not a hang.
+func TestNodeDeadlinePropagates(t *testing.T) {
+	_, _, srv := buildNode(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	body, _ := json.Marshal(&cluster.BoundaryReq{Cell: 0, Src: 0})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+cluster.PathBoundary, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("request with expired deadline succeeded")
+	}
+}

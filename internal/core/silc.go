@@ -222,6 +222,16 @@ func NewQueryContextFor(ctx context.Context) *QueryContext {
 	return qc
 }
 
+// Context returns the request context the query is bound to —
+// context.Background for an unbound (or nil) query context. Remote index
+// backends use it to scope their RPCs to the request's deadline.
+func (qc *QueryContext) Context() context.Context {
+	if qc == nil || qc.ctx == nil {
+		return context.Background()
+	}
+	return qc.ctx
+}
+
 // Err reports why the query must stop — a recorded storage failure first,
 // then the bound context's cancellation error — or nil while the query may
 // continue. It is nil-safe: a nil QueryContext never cancels.

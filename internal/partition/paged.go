@@ -49,6 +49,9 @@ type shardedLayout struct {
 // Under compression the per-cell image sizes are only known after encoding,
 // which is why planning precedes any writing.
 func (s *Sharded) planPagedLayout() (*shardedLayout, error) {
+	if s.cells == nil {
+		return nil, fmt.Errorf("partition: a remote (router-side) index holds no cell images to serialize")
+	}
 	g := s.g
 	p := s.asn.P
 	n, m := g.NumVertices(), g.NumEdges()
@@ -233,114 +236,18 @@ func padTo(cw *countingWriter, off int64) error {
 // embedded image — all cells sharing one buffer pool sized by
 // opt.CacheFraction of the whole database (opt.CachePages overrides).
 func OpenPaged(ra io.ReaderAt, size int64, opt Options) (*Sharded, error) {
-	head := make([]byte, shardedPagedSuperblockSize)
-	if _, err := ra.ReadAt(head, 0); err != nil {
-		return nil, fmt.Errorf("partition: reading superblock: %w", err)
+	h, err := readPagedMeta(ra, size)
+	if err != nil {
+		return nil, err
 	}
 	le := binary.LittleEndian
-	var comp store.Compression
-	switch string(head[0:8]) {
-	case store.ShardedMagicString:
-		comp = store.CompressionNone
-	case store.ShardedMagic2String:
-		comp = store.CompressionDelta
-	default:
-		return nil, fmt.Errorf("partition: bad magic %q", head[0:8])
-	}
-	if stored, computed := le.Uint32(head[60:64]), crc32.ChecksumIEEE(head[:60]); stored != computed {
-		return nil, fmt.Errorf("partition: superblock checksum mismatch: stored %08x computed %08x", stored, computed)
-	}
-	pageSize := int64(le.Uint32(head[8:12]))
-	p := int(le.Uint32(head[12:16]))
-	n := int(le.Uint32(head[16:20]))
-	m := int(le.Uint32(head[20:24]))
-	nb := int(le.Uint32(head[24:28]))
-	netOff := int64(le.Uint64(head[28:36]))
-	metaOff := int64(le.Uint64(head[36:44]))
-	cellTabOff := int64(le.Uint64(head[44:52]))
-	fileSize := int64(le.Uint64(head[52:60]))
-	if pageSize < 16 || pageSize > 1<<20 {
-		return nil, fmt.Errorf("partition: invalid page size %d", pageSize)
-	}
-	if n <= 0 || m < 0 {
-		return nil, fmt.Errorf("partition: invalid network dimensions n=%d m=%d", n, m)
-	}
-	if p < 1 || p > n {
-		return nil, fmt.Errorf("partition: invalid partition count %d", p)
-	}
-	if nb < 0 || nb > n {
-		return nil, fmt.Errorf("partition: invalid boundary count %d of %d vertices", nb, n)
-	}
-	if fileSize <= 0 || fileSize > size {
-		return nil, fmt.Errorf("partition: file size %d exceeds available %d bytes", fileSize, size)
-	}
+	comp := h.comp
+	p, n := h.asn.P, h.g.NumVertices()
+	cellTabOff, fileSize := h.cellTabOff, h.fileSize
+	g, asn, cl, selfContained := h.g, h.asn, h.cl, h.selfContained
 	if opt.Mapped != nil && int64(len(opt.Mapped)) < fileSize {
 		return nil, fmt.Errorf("partition: mapping of %d bytes does not cover the %d-byte file", len(opt.Mapped), fileSize)
 	}
-	if netOff != shardedPagedSuperblockSize || metaOff != netOff+store.NetworkSectionSize(n, m) {
-		return nil, fmt.Errorf("partition: inconsistent section offsets")
-	}
-	metaSize := int64(p) + int64(n)*4 + int64(nb)*int64(nb)*12 + 4
-	if cellTabOff != metaOff+metaSize || cellTabOff+int64(p)*24+4 > fileSize {
-		return nil, fmt.Errorf("partition: inconsistent section offsets")
-	}
-
-	netBuf := make([]byte, store.NetworkSectionSize(n, m))
-	if _, err := ra.ReadAt(netBuf, netOff); err != nil {
-		return nil, fmt.Errorf("partition: reading network section: %w", err)
-	}
-	g, err := store.DecodeNetworkSection(netBuf, n, m)
-	if err != nil {
-		return nil, err
-	}
-
-	meta := make([]byte, metaSize)
-	if _, err := ra.ReadAt(meta, metaOff); err != nil {
-		return nil, fmt.Errorf("partition: reading metadata: %w", err)
-	}
-	if stored, computed := le.Uint32(meta[metaSize-4:]), crc32.ChecksumIEEE(meta[:metaSize-4]); stored != computed {
-		return nil, fmt.Errorf("partition: metadata checksum mismatch: stored %08x computed %08x", stored, computed)
-	}
-	selfContained := make([]bool, p)
-	for c := 0; c < p; c++ {
-		selfContained[c] = meta[c]&1 != 0
-	}
-	mb := meta[p:]
-	cellOf := make([]int32, n)
-	for v := range cellOf {
-		c := le.Uint32(mb[v*4:])
-		if int(c) >= p {
-			return nil, fmt.Errorf("partition: vertex %d labeled with cell %d of %d", v, c, p)
-		}
-		cellOf[v] = int32(c)
-	}
-	mb = mb[n*4:]
-	cl := &Closure{D: make([]float64, nb*nb), Hop: make([]int32, nb*nb)}
-	for i := range cl.D {
-		d := math.Float64frombits(le.Uint64(mb[i*8:]))
-		if math.IsNaN(d) || d < 0 {
-			return nil, fmt.Errorf("partition: invalid closure distance %v", d)
-		}
-		cl.D[i] = d
-	}
-	mb = mb[nb*nb*8:]
-	for i := range cl.Hop {
-		h := le.Uint32(mb[i*4:])
-		if int(h) >= nb {
-			return nil, fmt.Errorf("partition: closure hop %d out of %d rows", h, nb)
-		}
-		cl.Hop[i] = int32(h)
-	}
-
-	asn, err := assignmentFromCellOf(g, cellOf, p)
-	if err != nil {
-		return nil, err
-	}
-	b, rowOf, cellStart := boundaryRows(g, asn)
-	if len(b) != nb {
-		return nil, fmt.Errorf("partition: index records %d boundary vertices, network derives %d", nb, len(b))
-	}
-	cl.B, cl.RowOf, cl.CellStart = b, rowOf, cellStart
 
 	tab := make([]byte, int64(p)*24+4)
 	if _, err := ra.ReadAt(tab, cellTabOff); err != nil {
@@ -441,3 +348,178 @@ func OpenPaged(ra io.ReaderAt, size int64, opt Options) (*Sharded, error) {
 	s.stats = s.computeStats()
 	return s, nil
 }
+
+// pagedHeader is the parsed superblock + network + meta prefix of a sharded
+// paged file — everything except the cell images themselves.
+type pagedHeader struct {
+	comp          store.Compression
+	cellTabOff    int64
+	fileSize      int64
+	g             *graph.Network
+	asn           *Assignment
+	cl            *Closure
+	selfContained []bool
+}
+
+// readPagedMeta reads and validates the metadata half of a sharded paged
+// file: superblock, embedded global network, self-contained flags, cell
+// labels, and boundary closure. It never touches the cell images, so it is
+// cheap relative to a full open and is the whole state a stateless query
+// router needs.
+func readPagedMeta(ra io.ReaderAt, size int64) (*pagedHeader, error) {
+	head := make([]byte, shardedPagedSuperblockSize)
+	if _, err := ra.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("partition: reading superblock: %w", err)
+	}
+	le := binary.LittleEndian
+	var comp store.Compression
+	switch string(head[0:8]) {
+	case store.ShardedMagicString:
+		comp = store.CompressionNone
+	case store.ShardedMagic2String:
+		comp = store.CompressionDelta
+	default:
+		return nil, fmt.Errorf("partition: bad magic %q", head[0:8])
+	}
+	if stored, computed := le.Uint32(head[60:64]), crc32.ChecksumIEEE(head[:60]); stored != computed {
+		return nil, fmt.Errorf("partition: superblock checksum mismatch: stored %08x computed %08x", stored, computed)
+	}
+	pageSize := int64(le.Uint32(head[8:12]))
+	p := int(le.Uint32(head[12:16]))
+	n := int(le.Uint32(head[16:20]))
+	m := int(le.Uint32(head[20:24]))
+	nb := int(le.Uint32(head[24:28]))
+	netOff := int64(le.Uint64(head[28:36]))
+	metaOff := int64(le.Uint64(head[36:44]))
+	cellTabOff := int64(le.Uint64(head[44:52]))
+	fileSize := int64(le.Uint64(head[52:60]))
+	if pageSize < 16 || pageSize > 1<<20 {
+		return nil, fmt.Errorf("partition: invalid page size %d", pageSize)
+	}
+	if n <= 0 || m < 0 {
+		return nil, fmt.Errorf("partition: invalid network dimensions n=%d m=%d", n, m)
+	}
+	if p < 1 || p > n {
+		return nil, fmt.Errorf("partition: invalid partition count %d", p)
+	}
+	if nb < 0 || nb > n {
+		return nil, fmt.Errorf("partition: invalid boundary count %d of %d vertices", nb, n)
+	}
+	if fileSize <= 0 || fileSize > size {
+		return nil, fmt.Errorf("partition: file size %d exceeds available %d bytes", fileSize, size)
+	}
+	if netOff != shardedPagedSuperblockSize || metaOff != netOff+store.NetworkSectionSize(n, m) {
+		return nil, fmt.Errorf("partition: inconsistent section offsets")
+	}
+	metaSize := int64(p) + int64(n)*4 + int64(nb)*int64(nb)*12 + 4
+	if cellTabOff != metaOff+metaSize || cellTabOff+int64(p)*24+4 > fileSize {
+		return nil, fmt.Errorf("partition: inconsistent section offsets")
+	}
+
+	netBuf := make([]byte, store.NetworkSectionSize(n, m))
+	if _, err := ra.ReadAt(netBuf, netOff); err != nil {
+		return nil, fmt.Errorf("partition: reading network section: %w", err)
+	}
+	g, err := store.DecodeNetworkSection(netBuf, n, m)
+	if err != nil {
+		return nil, err
+	}
+
+	meta := make([]byte, metaSize)
+	if _, err := ra.ReadAt(meta, metaOff); err != nil {
+		return nil, fmt.Errorf("partition: reading metadata: %w", err)
+	}
+	if stored, computed := le.Uint32(meta[metaSize-4:]), crc32.ChecksumIEEE(meta[:metaSize-4]); stored != computed {
+		return nil, fmt.Errorf("partition: metadata checksum mismatch: stored %08x computed %08x", stored, computed)
+	}
+	selfContained := make([]bool, p)
+	for c := 0; c < p; c++ {
+		selfContained[c] = meta[c]&1 != 0
+	}
+	mb := meta[p:]
+	cellOf := make([]int32, n)
+	for v := range cellOf {
+		c := le.Uint32(mb[v*4:])
+		if int(c) >= p {
+			return nil, fmt.Errorf("partition: vertex %d labeled with cell %d of %d", v, c, p)
+		}
+		cellOf[v] = int32(c)
+	}
+	mb = mb[n*4:]
+	cl := &Closure{D: make([]float64, nb*nb), Hop: make([]int32, nb*nb)}
+	for i := range cl.D {
+		d := math.Float64frombits(le.Uint64(mb[i*8:]))
+		if math.IsNaN(d) || d < 0 {
+			return nil, fmt.Errorf("partition: invalid closure distance %v", d)
+		}
+		cl.D[i] = d
+	}
+	mb = mb[nb*nb*8:]
+	for i := range cl.Hop {
+		h := le.Uint32(mb[i*4:])
+		if int(h) >= nb {
+			return nil, fmt.Errorf("partition: closure hop %d out of %d rows", h, nb)
+		}
+		cl.Hop[i] = int32(h)
+	}
+
+	asn, err := assignmentFromCellOf(g, cellOf, p)
+	if err != nil {
+		return nil, err
+	}
+	b, rowOf, cellStart := boundaryRows(g, asn)
+	if len(b) != nb {
+		return nil, fmt.Errorf("partition: index records %d boundary vertices, network derives %d", nb, len(b))
+	}
+	cl.B, cl.RowOf, cl.CellStart = b, rowOf, cellStart
+	return &pagedHeader{
+		comp:          comp,
+		cellTabOff:    cellTabOff,
+		fileSize:      fileSize,
+		g:             g,
+		asn:           asn,
+		cl:            cl,
+		selfContained: selfContained,
+	}, nil
+}
+
+// RouterMeta is the router-side view of a sharded paged file: the global
+// network, cell labels, boundary closure, and self-contained flags — the
+// exact routing state a stateless cluster router needs, read from the same
+// bytes the cell nodes serve, so router and nodes can never disagree about
+// the partitioning.
+type RouterMeta struct {
+	g             *graph.Network
+	asn           *Assignment
+	cl            *Closure
+	selfContained []bool
+	comp          store.Compression
+}
+
+// OpenPagedMeta reads the metadata sections of a sharded paged file without
+// opening any cell image.
+func OpenPagedMeta(ra io.ReaderAt, size int64) (*RouterMeta, error) {
+	h, err := readPagedMeta(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	return &RouterMeta{g: h.g, asn: h.asn, cl: h.cl, selfContained: h.selfContained, comp: h.comp}, nil
+}
+
+// Network returns the embedded global network.
+func (m *RouterMeta) Network() *graph.Network { return m.g }
+
+// NumPartitions returns the cell count P.
+func (m *RouterMeta) NumPartitions() int { return m.asn.P }
+
+// NumBoundary returns the total boundary-vertex (closure row) count.
+func (m *RouterMeta) NumBoundary() int { return m.cl.NB() }
+
+// CellOf returns the cell holding global vertex v.
+func (m *RouterMeta) CellOf(v graph.VertexID) int { return int(m.asn.CellOf[v]) }
+
+// CellVertexCount returns the number of vertices in cell c.
+func (m *RouterMeta) CellVertexCount(c int) int { return len(m.asn.Verts[c]) }
+
+// BoundaryRows returns the closure row range [lo, hi) of cell c.
+func (m *RouterMeta) BoundaryRows(c int) (lo, hi int32) { return m.cl.Rows(int32(c)) }

@@ -37,12 +37,13 @@ func (s *Sharded) DistanceIntervalCtx(qc *core.QueryContext, u, v graph.VertexID
 	}
 	p, q := s.asn.CellOf[u], s.asn.CellOf[v]
 	ul, vl := graph.VertexID(s.asn.LocalOf[u]), graph.VertexID(s.asn.LocalOf[v])
+	pcx, qcx := s.qcell(p), s.qcell(q)
 	if p == q && s.selfContained[p] {
-		return s.cells[p].ix.DistanceIntervalCtx(qc, ul, vl)
+		return pcx.DistanceIntervalCtx(qc, ul, vl)
 	}
 	lo, hi := math.Inf(1), math.Inf(1)
 	if p == q {
-		iv := s.cells[p].ix.DistanceIntervalCtx(qc, ul, vl)
+		iv := pcx.DistanceIntervalCtx(qc, ul, vl)
 		lo, hi = iv.Lo, iv.Hi
 	}
 	// True distance = min over boundary pairs (b1 ∈ B_p, b2 ∈ B_q) of
@@ -52,14 +53,29 @@ func (s *Sharded) DistanceIntervalCtx(qc *core.QueryContext, u, v graph.VertexID
 	plo, phi := s.cl.Rows(p)
 	qlo, qhi := s.cl.Rows(q)
 	nb := s.cl.NB()
+	// Batch-capable backends answer each boundary sweep in one call (one RPC
+	// per direction on remote cells).
 	ivV := make([]core.Interval, qhi-qlo)
-	for j := qlo; j < qhi; j++ {
-		bl := graph.VertexID(s.asn.LocalOf[s.cl.B[j]])
-		ivV[j-qlo] = s.cells[q].ix.DistanceIntervalCtx(qc, bl, vl)
+	if bi, ok := qcx.(BoundaryIntervaler); ok && len(ivV) > 0 {
+		copy(ivV, bi.BoundaryIntervals(qc, vl, true))
+	} else {
+		for j := qlo; j < qhi; j++ {
+			bl := graph.VertexID(s.asn.LocalOf[s.cl.B[j]])
+			ivV[j-qlo] = qcx.DistanceIntervalCtx(qc, bl, vl)
+		}
+	}
+	var ivUs []core.Interval
+	if bi, ok := pcx.(BoundaryIntervaler); ok {
+		ivUs = bi.BoundaryIntervals(qc, ul, false)
 	}
 	for i := plo; i < phi; i++ {
-		bl := graph.VertexID(s.asn.LocalOf[s.cl.B[i]])
-		ivU := s.cells[p].ix.DistanceIntervalCtx(qc, ul, bl)
+		var ivU core.Interval
+		if int(i-plo) < len(ivUs) {
+			ivU = ivUs[i-plo]
+		} else {
+			bl := graph.VertexID(s.asn.LocalOf[s.cl.B[i]])
+			ivU = pcx.DistanceIntervalCtx(qc, ul, bl)
+		}
 		if math.IsInf(ivU.Lo, 1) {
 			continue
 		}
@@ -92,8 +108,9 @@ func (s *Sharded) PathCtx(qc *core.QueryContext, u, v graph.VertexID) []graph.Ve
 	}
 	p, q := s.asn.CellOf[u], s.asn.CellOf[v]
 	ul, vl := graph.VertexID(s.asn.LocalOf[u]), graph.VertexID(s.asn.LocalOf[v])
+	pcx, qcx := s.qcell(p), s.qcell(q)
 	if p == q && s.selfContained[p] {
-		return s.globalPath(p, s.cells[p].ix.PathCtx(qc, ul, vl))
+		return s.globalPath(p, pcx.PathCtx(qc, ul, vl))
 	}
 	rt := s.routerFor(qc, u)
 	a, arg := rt.gateways(q)
@@ -101,58 +118,88 @@ func (s *Sharded) PathCtx(qc *core.QueryContext, u, v graph.VertexID) []graph.Ve
 
 	best := math.Inf(1)
 	direct := false
-	if p == q {
-		if d := core.ExactDistance(s.cells[p].ix, qc, ul, vl); d < best {
-			best = d
-			direct = true
-		}
-	}
-	// Race the entry gateways on their zero-refinement intervals and fully
-	// refine in ascending lower-bound order, so candidates that cannot beat
-	// the best route found so far cost one lookup instead of a complete
-	// progressive refinement.
-	type gateCand struct {
-		row int32
-		lo  float64
-	}
-	cands := make([]gateCand, 0, len(a))
-	for j, av := range a {
-		if math.IsInf(av, 1) {
-			continue
-		}
-		bl := graph.VertexID(s.asn.LocalOf[s.cl.B[qlo+int32(j)]])
-		civ := s.cells[q].ix.DistanceIntervalCtx(qc, bl, vl)
-		cands = append(cands, gateCand{row: qlo + int32(j), lo: av + civ.Lo})
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].lo < cands[j].lo })
 	bestEntry := int32(-1)
-	for _, c := range cands {
-		if c.lo >= best {
-			break // sorted: no remaining candidate can be strictly shorter
+	if rr, ok := qcx.(RouteRacer); ok {
+		// One-shot backend: the whole entry race (direct route included when
+		// p == q) collapses into one call — one RPC on a remote cell.
+		offs := make([]float64, 0, len(a)+1)
+		us := make([]graph.VertexID, 0, len(a)+1)
+		rows := make([]int32, 0, len(a)+1)
+		if p == q {
+			offs = append(offs, 0)
+			us = append(us, ul)
+			rows = append(rows, -1)
 		}
-		av := a[c.row-qlo]
-		bl := graph.VertexID(s.asn.LocalOf[s.cl.B[c.row]])
-		dq := core.ExactDistance(s.cells[q].ix, qc, bl, vl)
-		if t := av + dq; t < best {
-			best = t
-			bestEntry = c.row
-			direct = false
+		for j, av := range a {
+			if math.IsInf(av, 1) {
+				continue
+			}
+			offs = append(offs, av)
+			us = append(us, graph.VertexID(s.asn.LocalOf[s.cl.B[qlo+int32(j)]]))
+			rows = append(rows, qlo+int32(j))
+		}
+		d, win := rr.RaceRoutes(qc, vl, offs, us)
+		if win >= 0 {
+			best = d
+			if rows[win] < 0 {
+				direct = true
+			} else {
+				bestEntry = rows[win]
+			}
+		}
+	} else {
+		if p == q {
+			if d := CellExact(pcx, qc, ul, vl); d < best {
+				best = d
+				direct = true
+			}
+		}
+		// Race the entry gateways on their zero-refinement intervals and fully
+		// refine in ascending lower-bound order, so candidates that cannot beat
+		// the best route found so far cost one lookup instead of a complete
+		// progressive refinement.
+		type gateCand struct {
+			row int32
+			lo  float64
+		}
+		cands := make([]gateCand, 0, len(a))
+		for j, av := range a {
+			if math.IsInf(av, 1) {
+				continue
+			}
+			bl := graph.VertexID(s.asn.LocalOf[s.cl.B[qlo+int32(j)]])
+			civ := qcx.DistanceIntervalCtx(qc, bl, vl)
+			cands = append(cands, gateCand{row: qlo + int32(j), lo: av + civ.Lo})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].lo < cands[j].lo })
+		for _, c := range cands {
+			if c.lo >= best {
+				break // sorted: no remaining candidate can be strictly shorter
+			}
+			av := a[c.row-qlo]
+			bl := graph.VertexID(s.asn.LocalOf[s.cl.B[c.row]])
+			dq := CellExact(qcx, qc, bl, vl)
+			if t := av + dq; t < best {
+				best = t
+				bestEntry = c.row
+				direct = false
+			}
 		}
 	}
 	switch {
 	case direct:
-		return s.globalPath(p, s.cells[p].ix.PathCtx(qc, ul, vl))
+		return s.globalPath(p, pcx.PathCtx(qc, ul, vl))
 	case bestEntry < 0:
 		return nil // unreachable (prevented at build time by validation)
 	}
 	exit := arg[bestEntry-qlo] // own-cell gateway row achieving A[bestEntry]
-	path := s.globalPath(p, s.cells[p].ix.PathCtx(qc, ul, graph.VertexID(s.asn.LocalOf[s.cl.B[exit]])))
+	path := s.globalPath(p, pcx.PathCtx(qc, ul, graph.VertexID(s.asn.LocalOf[s.cl.B[exit]])))
 	if qc.Failed() {
 		return nil // storage failure recorded on qc; segments may be empty
 	}
 	path = s.closureWalk(qc, path, exit, bestEntry)
 	entryLocal := graph.VertexID(s.asn.LocalOf[s.cl.B[bestEntry]])
-	suffix := s.globalPath(q, s.cells[q].ix.PathCtx(qc, entryLocal, vl))
+	suffix := s.globalPath(q, qcx.PathCtx(qc, entryLocal, vl))
 	if qc.Failed() || len(suffix) == 0 {
 		return nil
 	}
@@ -175,7 +222,7 @@ func (s *Sharded) closureWalk(qc *core.QueryContext, path []graph.VertexID, from
 			// Consecutive boundary vertices in one cell: the segment between
 			// them stays inside that cell, and the cell's own shortest path
 			// has exactly the segment's cost.
-			seg := s.globalPath(c, s.cells[c].ix.PathCtx(qc,
+			seg := s.globalPath(c, s.qcell(c).PathCtx(qc,
 				graph.VertexID(s.asn.LocalOf[cv]), graph.VertexID(s.asn.LocalOf[nv])))
 			if len(seg) == 0 {
 				// Storage failure (recorded on qc by the cell index): the
@@ -199,7 +246,7 @@ func (s *Sharded) closureWalk(qc *core.QueryContext, path []graph.VertexID, from
 func (s *Sharded) globalPath(c int32, local []graph.VertexID) []graph.VertexID {
 	out := make([]graph.VertexID, len(local))
 	for i, lv := range local {
-		out[i] = s.cells[c].toGlobal[lv]
+		out[i] = s.asn.Verts[c][lv]
 	}
 	return out
 }

@@ -117,7 +117,9 @@ func (rt *router) newRR() *routeRefiner {
 
 // ensureDU refines the source's distance to each of its own cell's boundary
 // vertices to exact. This is the one-time per-query cost of cross-cell
-// routing: |B_p| progressive refinements on the source's cell index.
+// routing: |B_p| progressive refinements on the source's cell index — or a
+// single batch call when the cell backend offers one (a remote cell turns
+// the whole sweep into one RPC).
 func (rt *router) ensureDU() {
 	if rt.duReady {
 		return
@@ -128,11 +130,19 @@ func (rt *router) ensureDU() {
 		rt.du = make([]float64, hi-lo)
 	}
 	rt.du = rt.du[:hi-lo]
-	cx := s.cells[rt.p]
+	cx := s.qcell(rt.p)
 	srcLocal := graph.VertexID(s.asn.LocalOf[rt.src])
+	if bd, ok := cx.(BoundaryDistancer); ok {
+		for i := range rt.du {
+			rt.du[i] = math.Inf(1)
+		}
+		copy(rt.du, bd.BoundaryDistances(rt.qc, srcLocal))
+		rt.duReady = true
+		return
+	}
 	for r := lo; r < hi; r++ {
 		bLocal := graph.VertexID(s.asn.LocalOf[s.cl.B[r]])
-		rt.du[r-lo] = core.ExactDistance(cx.ix, rt.qc, srcLocal, bLocal)
+		rt.du[r-lo] = CellExact(cx, rt.qc, srcLocal, bLocal)
 	}
 	rt.duReady = true
 }
@@ -205,7 +215,7 @@ func (rt *router) minInto(c int32) float64 {
 func (s *Sharded) Refine(qc *core.QueryContext, src, dst graph.VertexID) core.DistanceRefiner {
 	p, q := s.asn.CellOf[src], s.asn.CellOf[dst]
 	if p == q && s.selfContained[p] {
-		return s.cells[p].ix.Refine(qc,
+		return s.qcell(p).Refine(qc,
 			graph.VertexID(s.asn.LocalOf[src]), graph.VertexID(s.asn.LocalOf[dst]))
 	}
 	return s.newRouteRefiner(qc, src, dst)
@@ -234,6 +244,7 @@ type routeRefiner struct {
 	qc       *core.QueryContext
 	q        int32 // destination cell
 	dstLocal graph.VertexID
+	srcLocal graph.VertexID // valid only when direct != nil (same-cell pair)
 
 	direct      core.DistanceRefiner // same-cell route; nil cross-cell
 	directIv    core.Interval
@@ -256,20 +267,32 @@ func (s *Sharded) newRouteRefiner(qc *core.QueryContext, src, dst graph.VertexID
 	r.dstLocal = graph.VertexID(s.asn.LocalOf[dst])
 	p := s.asn.CellOf[src]
 	if p == r.q {
-		r.direct = s.cells[p].ix.Refine(qc, graph.VertexID(s.asn.LocalOf[src]), r.dstLocal)
+		r.srcLocal = graph.VertexID(s.asn.LocalOf[src])
+		r.direct = s.qcell(p).Refine(qc, r.srcLocal, r.dstLocal)
 		r.directIv = r.direct.Interval()
 		r.directExact = r.direct.Done() || r.direct.OutOfRange()
 	}
 	a, _ := rt.gateways(r.q)
 	lo, _ := s.cl.Rows(r.q)
-	cx := s.cells[r.q]
+	cx := s.qcell(r.q)
+	// One batch call fetches every gate's boundary→dst interval when the
+	// cell backend offers it (one RPC on a remote cell).
+	var civs []core.Interval
+	if bi, ok := cx.(BoundaryIntervaler); ok {
+		civs = bi.BoundaryIntervals(qc, r.dstLocal, true)
+	}
 	r.gates = r.gates[:0]
 	for j, av := range a {
 		if math.IsInf(av, 1) {
 			continue
 		}
 		bLocal := graph.VertexID(s.asn.LocalOf[s.cl.B[lo+int32(j)]])
-		civ := cx.ix.DistanceIntervalCtx(qc, bLocal, r.dstLocal)
+		var civ core.Interval
+		if j < len(civs) {
+			civ = civs[j]
+		} else {
+			civ = cx.DistanceIntervalCtx(qc, bLocal, r.dstLocal)
+		}
 		g := gate{a: av, bLocal: bLocal, civ: civ}
 		g.exact = civ.Lo >= civ.Hi || math.IsInf(civ.Lo, 1)
 		r.gates = append(r.gates, g)
@@ -331,6 +354,11 @@ func (r *routeRefiner) Step() bool {
 	if r.done {
 		return false
 	}
+	// A backend that races routes in one shot (a remote cell: one RPC instead
+	// of a Step round-trip per refinement) collapses the whole race now.
+	if rr, ok := r.s.qcell(r.q).(RouteRacer); ok {
+		return r.stepRace(rr)
+	}
 	// Pick the non-exact route with the smallest lower bound — the route
 	// holding the aggregate open.
 	bestLo := math.Inf(1)
@@ -355,7 +383,7 @@ func (r *routeRefiner) Step() bool {
 	case bestGate >= 0:
 		g := &r.gates[bestGate]
 		if g.r == nil {
-			g.r = r.s.cells[r.q].ix.Refine(r.qc, g.bLocal, r.dstLocal)
+			g.r = r.s.qcell(r.q).Refine(r.qc, g.bLocal, r.dstLocal)
 		}
 		g.r.Step()
 		g.civ = g.r.Interval()
@@ -376,6 +404,49 @@ func (r *routeRefiner) Step() bool {
 	return !r.done
 }
 
+// stepRace resolves the remaining race in one shot on a RouteRacer backend:
+// already-exact routes fold their values into the running minimum locally,
+// and the non-exact ones become (offset, vertex) candidates for one
+// RaceRoutes call. The result equals what progressive stepping converges to
+// — RaceRoutes refines candidates in lower-bound order with the same cutoff
+// — so exactness is preserved.
+func (r *routeRefiner) stepRace(rr RouteRacer) bool {
+	best := math.Inf(1)
+	var offs []float64
+	var us []graph.VertexID
+	if r.direct != nil {
+		if r.directExact {
+			if !r.direct.OutOfRange() {
+				best = r.directIv.Lo
+			}
+		} else {
+			offs = append(offs, 0)
+			us = append(us, r.srcLocal)
+		}
+	}
+	for i := range r.gates {
+		g := &r.gates[i]
+		if g.exact {
+			if v := g.lo(); v < best {
+				best = v
+			}
+			continue
+		}
+		offs = append(offs, g.a)
+		us = append(us, g.bLocal)
+	}
+	if len(offs) > 0 {
+		if d, _ := rr.RaceRoutes(r.qc, r.dstLocal, offs, us); d < best {
+			best = d
+		}
+	}
+	r.iv = core.Interval{Lo: best, Hi: best}
+	r.done = true
+	r.oor = math.IsInf(best, 1)
+	r.gates = r.gates[:0]
+	return false
+}
+
 // RegionLowerBoundCtx implements core.QueryIndex: a lower bound on the
 // global distance from q to any vertex inside rect. The source's own cell
 // contributes its quadtree's region bound; any other cell intersecting the
@@ -390,7 +461,7 @@ func (s *Sharded) RegionLowerBoundCtx(qc *core.QueryContext, q graph.VertexID, r
 		}
 		var m float64
 		if c == p {
-			m = s.cells[p].ix.RegionLowerBoundCtx(qc, graph.VertexID(s.asn.LocalOf[q]), rect)
+			m = s.qcell(p).RegionLowerBoundCtx(qc, graph.VertexID(s.asn.LocalOf[q]), rect)
 			if !s.selfContained[p] {
 				if rt == nil {
 					rt = s.routerFor(qc, q)

@@ -40,6 +40,9 @@ var shardedMagic = [8]byte{'S', 'I', 'L', 'C', 'S', 'H', 'D', '1'}
 
 // WriteTo serializes the sharded index.
 func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
+	if s.cells == nil {
+		return 0, fmt.Errorf("partition: a remote (router-side) index holds no cell images to serialize")
+	}
 	cw := &countingWriter{w: &crcWriter{w: w}}
 	bw := bufio.NewWriter(cw)
 

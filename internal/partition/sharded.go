@@ -84,9 +84,13 @@ type cell struct {
 // lives in core.QueryContext — so any number of goroutines may query one
 // shared Sharded concurrently.
 type Sharded struct {
-	g             *graph.Network
-	asn           *Assignment
-	cells         []*cell
+	g     *graph.Network
+	asn   *Assignment
+	cells []*cell
+	// remote, when non-nil, replaces the in-process cells with one CellIndex
+	// backend per cell (NewRemote): the router-side half of a cluster
+	// deployment. All per-cell work goes through qcell, which prefers it.
+	remote        []CellIndex
 	cl            *Closure
 	selfContained []bool
 	tracker       *diskio.Tracker

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Multi-process cluster smoke test: build one sharded paged index, serve it
+# as a real 2-node + router cluster (three silcserve processes), and check
+# that the router's kNN/range answers are identical to a standalone server
+# over the same file — stats stripped, distances compared verbatim, so any
+# routing or transport bug that changes a single bit fails the diff. Also
+# scrapes /metrics on all three processes and asserts the cluster metric
+# families are being exported.
+#
+# Usage: scripts/cluster_smoke.sh [workdir]
+set -euo pipefail
+
+DIR=${1:-$(mktemp -d /tmp/silc-cluster-smoke.XXXXXX)}
+mkdir -p "$DIR"
+ROUTER=18090
+NODE_A=18091
+NODE_B=18092
+MONO=18093
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_ready() { # url
+  for _ in $(seq 1 100); do
+    curl -sf "$1" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "timed out waiting for $1" >&2
+  return 1
+}
+
+echo "== build (workdir $DIR)"
+go build -o "$DIR/netgen" ./cmd/netgen
+go build -o "$DIR/silcbuild" ./cmd/silcbuild
+go build -o "$DIR/silcserve" ./cmd/silcserve
+
+"$DIR/netgen" -kind road -rows 40 -cols 40 -seed 11 -o "$DIR/net.txt"
+"$DIR/silcbuild" -net "$DIR/net.txt" -partitions 4 -format=paged -o "$DIR/cluster.silcspg"
+
+cat > "$DIR/manifest.json" <<EOF
+{
+  "index": "$DIR/cluster.silcspg",
+  "nodes": [
+    {"name": "node-a", "addr": "http://localhost:$NODE_A", "cells": [0, 1]},
+    {"name": "node-b", "addr": "http://localhost:$NODE_B", "cells": [2, 3]}
+  ]
+}
+EOF
+
+echo "== launch: 2 cell nodes, 1 router, 1 standalone reference"
+"$DIR/silcserve" -cluster node -manifest "$DIR/manifest.json" -node-name node-a \
+  -addr "localhost:$NODE_A" &
+PIDS+=($!)
+"$DIR/silcserve" -cluster node -manifest "$DIR/manifest.json" -node-name node-b \
+  -addr "localhost:$NODE_B" &
+PIDS+=($!)
+wait_ready "localhost:$NODE_A/readyz"
+wait_ready "localhost:$NODE_B/readyz"
+
+# The router and the reference share -objects defaults (same network, same
+# object seed), so their object sets are identical by construction.
+"$DIR/silcserve" -cluster router -manifest "$DIR/manifest.json" \
+  -addr "localhost:$ROUTER" &
+PIDS+=($!)
+"$DIR/silcserve" -index "$DIR/cluster.silcspg" -addr "localhost:$MONO" &
+PIDS+=($!)
+wait_ready "localhost:$ROUTER/readyz"
+wait_ready "localhost:$MONO/readyz"
+
+echo "== diff router vs standalone (kNN + range sample)"
+# del(.stats, ..): per-query stats legitimately differ (RPC-side page
+# traffic lands on the nodes); everything else — ids, vertices, every
+# distance digit — must match exactly.
+norm='del(.stats) | (.neighbors[]? | .dist) |= tostring | del(.neighbors[]?.stats)'
+# The 40x40 road network prunes to ~1477 vertices; stay inside it.
+for q in 0 97 555 1203 1476; do
+  for url in "knn?q=$q&k=5&exact=1" "range?q=$q&radius=0.25&exact=1"; do
+    curl -sf "localhost:$ROUTER/$url" | jq -S "$norm" > "$DIR/router.json"
+    curl -sf "localhost:$MONO/$url"   | jq -S "$norm" > "$DIR/mono.json"
+    if ! diff -u "$DIR/mono.json" "$DIR/router.json"; then
+      echo "DIVERGED on /$url" >&2
+      exit 1
+    fi
+  done
+done
+echo "   answers identical"
+
+echo "== scrape /metrics on all three processes"
+curl -sf "localhost:$NODE_A/metrics" > "$DIR/node-a.metrics"
+curl -sf "localhost:$NODE_B/metrics" > "$DIR/node-b.metrics"
+curl -sf "localhost:$ROUTER/metrics" > "$DIR/router.metrics"
+for f in node-a node-b; do
+  for fam in silcnode_rpcs_total silcnode_cell_rpcs_total silc_store_page_reads_total; do
+    grep -q "^$fam" "$DIR/$f.metrics" || { echo "missing $fam on $f" >&2; exit 1; }
+  done
+done
+for fam in silc_cluster_rpcs_total silc_cluster_cell_rpcs_total silcserve_requests_total; do
+  grep -q "^$fam" "$DIR/router.metrics" || { echo "missing $fam on router" >&2; exit 1; }
+done
+echo "   metric families present"
+
+echo "cluster smoke OK"
