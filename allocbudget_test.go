@@ -37,6 +37,12 @@ const (
 	// (not per-element) costs, so the stream fits the same budget as a
 	// one-shot query.
 	budgetNeighborsAllocs = 8
+	// budgetLiveKNNAllocs bounds Engine.Query over a pinned live-world
+	// snapshot (LiveObjects.View + KNN k=10, store version unchanged):
+	// pinning is one atomic load of a cached wrapper, so the live path gets
+	// NO extra allowance over the static-set budget — and per the
+	// never-increase rule this constant may only ever go down.
+	budgetLiveKNNAllocs = budgetKNNAllocs
 )
 
 // allocEngine is one backend variant under the allocation budget.
@@ -430,5 +436,41 @@ func TestAllocBudgetScrapeDuringQueries(t *testing.T) {
 	t.Logf("KNN under concurrent scrape: %.1f allocs/op (budget %d)", got, budgetKNNAllocs)
 	if got > budgetKNNAllocs {
 		t.Fatalf("KNN under concurrent scrapes allocates %.1f/op, budget %d", got, budgetKNNAllocs)
+	}
+}
+
+// TestAllocBudgetLiveKNN enforces the live-world extension of the tentpole
+// property: a warm kNN over a pinned snapshot of a mutable object store
+// costs no more allocations than one over a static set — View() is a cached
+// atomic load while the version is unchanged, not a per-query rebuild.
+func TestAllocBudgetLiveKNN(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	net, _, vertices, queries := allocFixture(t)
+	live, err := NewLiveObjects(net, LiveObjectsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	for _, v := range vertices {
+		if _, _, err := live.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	q := queries[0]
+	for _, ae := range allocEngines(t, net) {
+		t.Run(ae.name, func(t *testing.T) {
+			got := measureAllocs(func() {
+				if _, err := ae.eng.Query(ctx, live.View(), q, 10); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("%s: %.1f allocs/op (budget %d)", ae.name, got, budgetLiveKNNAllocs)
+			if got > budgetLiveKNNAllocs {
+				t.Fatalf("steady-state live-snapshot KNN allocates %.1f/op, budget %d", got, budgetLiveKNNAllocs)
+			}
+		})
 	}
 }

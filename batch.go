@@ -13,13 +13,21 @@ import (
 
 // BatchStats aggregates one QueryBatch execution.
 type BatchStats struct {
-	// Queries is the number of queries answered.
+	// Queries is the number of queries actually ANSWERED — slots holding a
+	// real Result. It excludes failed and skipped slots, so throughput
+	// derived from it is honest even for partial batches.
 	Queries int
+	// Failed counts queries abandoned by a per-query fault (a storage
+	// error, say); their slots hold zero Results.
+	Failed int
+	// Skipped counts queries abandoned unanswered by cancellation — never
+	// started, or cancelled mid-flight; their slots hold zero Results.
+	Skipped int
 	// Workers is the worker-pool size the batch ran with.
 	Workers int
 	// Wall is the end-to-end elapsed time of the batch.
 	Wall time.Duration
-	// QPS is Queries divided by Wall.
+	// QPS is Queries (answered only) divided by Wall.
 	QPS float64
 	// TotalCPU sums the per-query computation times across workers; on a
 	// multi-core machine it exceeds Wall when the pool actually runs in
@@ -87,6 +95,7 @@ func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []Vert
 	start := time.Now()
 	results := make([]Result, len(queries))
 	var next atomic.Int64
+	var answered, failed atomic.Int64
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -118,6 +127,7 @@ func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []Vert
 					// rest of the batch (and with it, silently drop queries
 					// no other worker will ever claim): record the first
 					// one, leave this slot zero, and keep pulling work.
+					failed.Add(1)
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("queries[%d]=%d: %w", i, queries[i], err)
@@ -126,14 +136,25 @@ func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []Vert
 					continue
 				}
 				e.foldIO(qc, &res.Stats)
+				res.Stats.SnapshotVersion = objs.version
 				e.obs.fold(qc)
 				results[i] = res
+				answered.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 
-	agg := BatchStats{Queries: len(queries), Workers: workers, Wall: time.Since(start)}
+	// Answered/failed/skipped must add up to the request: QPS derived from
+	// the answered count stays honest when cancellation abandoned slots or
+	// per-query faults zeroed them.
+	agg := BatchStats{
+		Queries: int(answered.Load()),
+		Failed:  int(failed.Load()),
+		Workers: workers,
+		Wall:    time.Since(start),
+	}
+	agg.Skipped = len(queries) - agg.Queries - agg.Failed
 	for i := range results {
 		s := &results[i].Stats
 		agg.TotalCPU += s.CPUTime
@@ -153,13 +174,17 @@ func (e *Engine) QueryBatch(ctx context.Context, objs *ObjectSet, queries []Vert
 
 // legacyBatch adapts the pre-Engine batch convention (k ≤ 0 or an empty
 // query list yields an empty batch; invalid vertices panic at this edge).
+// Only the documented validation edge panics: a runtime per-query failure —
+// a storage fault on a DiskResident index, say — degrades to the partial
+// batch Engine.QueryBatch assembled (failed slots zero), exactly like the
+// pre-Engine behavior these shims preserve.
 func legacyBatch(e *Engine, objs *ObjectSet, queries []VertexID, k int, method Method, workers int) BatchResult {
 	if k <= 0 || len(queries) == 0 {
 		return BatchResult{Results: make([]Result, len(queries))}
 	}
 	br, err := e.QueryBatch(context.Background(), objs, queries, k,
 		WithMethod(method), WithWorkers(workers))
-	if err != nil {
+	if err != nil && isValidationError(err) {
 		panic(err)
 	}
 	return br

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -142,4 +143,130 @@ func TestQueryBatchSurvivesQueryFailure(t *testing.T) {
 			t.Fatalf("query %d has no result on a healthy index", i)
 		}
 	}
+}
+
+// pagedFlakyIndex opens a paged monolithic index through a fault-injecting
+// ReaderAt, with an object set and query list over its network.
+func pagedFlakyIndex(t *testing.T) (*Index, *flakyReaderAt, *ObjectSet, []VertexID) {
+	t.Helper()
+	net, err := GenerateRoadNetwork(RoadNetworkOptions{Rows: 12, Cols: 12, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(net, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WritePaged(&buf); err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyReaderAt{ra: bytes.NewReader(buf.Bytes())}
+	paged, err := OpenIndexAt(flaky, int64(buf.Len()), BuildOptions{CacheFraction: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objVerts []VertexID
+	for v := 0; v < net.NumVertices(); v += 3 {
+		objVerts = append(objVerts, VertexID(v))
+	}
+	objs, err := NewObjectSet(net, objVerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []VertexID
+	for v := 0; v < net.NumVertices(); v += 17 {
+		queries = append(queries, VertexID(v))
+	}
+	return paged, flaky, objs, queries
+}
+
+// TestBatchStatsAccounting is the regression test for the stats-overcount
+// bug: BatchStats.Queries used to report len(queries) — and derive QPS from
+// it — even when slots failed or were never run. It must count only ANSWERED
+// queries, with Failed/Skipped carrying the remainder, so the three always
+// add up to the request.
+func TestBatchStatsAccounting(t *testing.T) {
+	paged, flaky, objs, queries := pagedFlakyIndex(t)
+	eng := paged.Engine()
+
+	// One worker, one injected storage fault: the first query fails, the
+	// rest must be answered and counted as such.
+	flaky.failures.Store(1)
+	br, err := eng.QueryBatch(context.Background(), objs, queries, 3, WithWorkers(1))
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("batch error %v does not wrap the injected fault", err)
+	}
+	st := br.Stats
+	if st.Queries != len(queries)-1 || st.Failed != 1 || st.Skipped != 0 {
+		t.Fatalf("answered/failed/skipped = %d/%d/%d, want %d/1/0",
+			st.Queries, st.Failed, st.Skipped, len(queries)-1)
+	}
+	if st.Wall > 0 {
+		want := float64(st.Queries) / st.Wall.Seconds()
+		if math.Abs(st.QPS-want) > want*1e-6 {
+			t.Fatalf("QPS %v not derived from the %d answered queries (want %v)", st.QPS, st.Queries, want)
+		}
+	}
+
+	// A context cancelled before the batch starts: nothing answered, nothing
+	// failed, everything skipped — and a zero QPS, not a fabricated one.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	br, err = eng.QueryBatch(ctx, objs, queries, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: got %v", err)
+	}
+	st = br.Stats
+	if st.Queries != 0 || st.Failed != 0 || st.Skipped != len(queries) {
+		t.Fatalf("cancelled answered/failed/skipped = %d/%d/%d, want 0/0/%d",
+			st.Queries, st.Failed, st.Skipped, len(queries))
+	}
+	if st.QPS != 0 {
+		t.Fatalf("cancelled batch reports QPS %v, want 0", st.QPS)
+	}
+}
+
+// TestDeprecatedBatchPartialOnStorageFault is the regression test for the
+// deprecated shims' panic bug: Index.QueryBatch/QueryBatchWorkers used to
+// panic on ANY error from Engine.QueryBatch — including a transient storage
+// fault, taking down servers still on the legacy surface. A runtime fault
+// must instead degrade to the partial batch (failed slots zero); only the
+// documented validation edge (an invalid query vertex) still panics.
+func TestDeprecatedBatchPartialOnStorageFault(t *testing.T) {
+	paged, flaky, objs, queries := pagedFlakyIndex(t)
+
+	flaky.failures.Store(1)
+	br := paged.QueryBatchWorkers(objs, queries, 3, MethodKNN, 1) // must not panic
+	if br.Stats.Queries != len(queries)-1 || br.Stats.Failed != 1 {
+		t.Fatalf("partial batch answered/failed = %d/%d, want %d/1",
+			br.Stats.Queries, br.Stats.Failed, len(queries)-1)
+	}
+	zero := 0
+	for i := range br.Results {
+		if len(br.Results[i].Neighbors) == 0 {
+			zero++
+		}
+	}
+	if zero != 1 {
+		t.Fatalf("%d zero slots in the partial batch, want exactly 1", zero)
+	}
+
+	// Healthy rerun through the other shim: every slot answered.
+	br = paged.QueryBatch(objs, queries, 3, MethodKNN)
+	for i := range br.Results {
+		if len(br.Results[i].Neighbors) == 0 {
+			t.Fatalf("query %d unanswered on a healthy index", i)
+		}
+	}
+
+	// The documented validation edge still panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range query vertex did not panic on the deprecated surface")
+			}
+		}()
+		paged.QueryBatch(objs, []VertexID{-7}, 3, MethodKNN)
+	}()
 }

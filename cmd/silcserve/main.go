@@ -17,6 +17,21 @@
 //	GET  /path?src=U&dst=V           exact shortest path
 //	GET  /range?q=V&radius=R[&exact=1]
 //	                                 objects within network distance R
+//
+// With -live the server additionally owns a mutable object world (seeded
+// from the startup object set) whose mutations never touch the index:
+//
+//	GET    /objects                  list live objects + store version
+//	POST   /objects {"vertex":V}     insert an object (or {"x":X,"y":Y},
+//	                                 snapped to the nearest vertex)
+//	POST   /objects {"id":I,"vertex":V}  move object I
+//	DELETE /objects?id=I             remove object I
+//	GET  /knn?q=V&k=K&live=1         query the live world — the answer is
+//	                                 exact for the snapshot version stamped
+//	                                 into its stats (range and batch kNN
+//	                                 accept live=1 / "live":true too)
+//	GET  /watch?q=V&k=K              continuous kNN: NDJSON delta stream,
+//	                                 one line per top-k change
 //	GET  /stats                      build, buffer-pool, and server counters
 //	                                 plus per-endpoint latency quantiles
 //	GET  /metrics                    Prometheus text exposition: the
@@ -103,6 +118,8 @@ func main() {
 		objectsPath = flag.String("objects", "", "object vertices file, one id per line; empty = random sample")
 		objectFrac  = flag.Float64("object-fraction", 0.05, "fraction of vertices carrying an object (when no -objects)")
 		objectSeed  = flag.Int64("object-seed", 2008, "object sample seed")
+		liveOn      = flag.Bool("live", false, "serve a mutable live object world (/objects, /watch, live=1 queries), seeded from the startup objects")
+		liveTTL     = flag.Duration("live-ttl", 0, "expire live objects not inserted/moved within this duration (0 = never)")
 		partitions  = flag.Int("partitions", 1, "spatial partitions (>1 builds/serves the sharded index)")
 		maxK        = flag.Int("max-k", 1000, "largest k a request may ask for")
 		maxBatch    = flag.Int("max-batch", 10000, "largest batch request size")
@@ -167,10 +184,11 @@ func main() {
 			log.Fatalf("silcserve: %v", err)
 		}
 	}
-	objs, nObjs, err := loadObjects(net, *objectsPath, *objectFrac, *objectSeed)
+	objs, objVertices, err := loadObjects(net, *objectsPath, *objectFrac, *objectSeed)
 	if err != nil {
 		log.Fatalf("silcserve: %v", err)
 	}
+	nObjs := len(objVertices)
 	if sx, ok := eng.Sharded(); ok {
 		st := sx.Stats()
 		log.Printf("serving %d vertices, %d edges, %d objects (%d partitions, %d boundary vertices)",
@@ -189,6 +207,18 @@ func main() {
 	s := newServer(eng, objs, *maxK, *maxBatch)
 	s.timeout = *reqTimeout
 	s.pprof = *pprofOn
+	if *liveOn {
+		live, err := silc.NewLiveObjects(net, silc.LiveObjectsOptions{TTL: *liveTTL})
+		if err != nil {
+			log.Fatalf("silcserve: %v", err)
+		}
+		defer live.Close()
+		for _, v := range objVertices {
+			live.Insert(v)
+		}
+		s.live = live
+		log.Printf("live object world: %d objects seeded (ttl %v)", live.Len(), *liveTTL)
+	}
 	if router != nil {
 		s.aux = router.Registry() // adds the silc_cluster_* families to /metrics
 		probeCtx, stopProbing := context.WithCancel(context.Background())
@@ -418,17 +448,17 @@ func loadOrBuild(networkPath, indexPath, format string, rows, cols int, seed int
 	return net, ix.Engine(), nil
 }
 
-func loadObjects(net *silc.Network, path string, fraction float64, seed int64) (*silc.ObjectSet, int, error) {
+func loadObjects(net *silc.Network, path string, fraction float64, seed int64) (*silc.ObjectSet, []silc.VertexID, error) {
 	var vs []silc.VertexID
 	if path != "" {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
 		for _, line := range strings.Fields(string(data)) {
 			id, err := strconv.Atoi(line)
 			if err != nil || id < 0 || id >= net.NumVertices() {
-				return nil, 0, fmt.Errorf("bad object vertex %q", line)
+				return nil, nil, fmt.Errorf("bad object vertex %q", line)
 			}
 			vs = append(vs, silc.VertexID(id))
 		}
@@ -448,15 +478,16 @@ func loadObjects(net *silc.Network, path string, fraction float64, seed int64) (
 	}
 	objs, err := silc.NewObjectSet(net, vs)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
-	return objs, len(vs), nil
+	return objs, vs, nil
 }
 
 // server holds the shared read-only state plus request counters.
 type server struct {
 	eng      *silc.Engine
 	objs     *silc.ObjectSet
+	live     *silc.LiveObjects // mutable live world (-live; nil otherwise)
 	maxK     int
 	maxBatch int
 	timeout  time.Duration // per-request deadline (0 = none)
@@ -487,7 +518,7 @@ type endpointMetrics struct {
 // endpointNames lists the instrumented query endpoints; /metrics and
 // /healthz are deliberately excluded so scrapes and probes don't pollute
 // the latency distributions.
-var endpointNames = []string{"/knn", "/browse", "/distance", "/path", "/range", "/stats"}
+var endpointNames = []string{"/knn", "/browse", "/distance", "/path", "/range", "/stats", "/objects", "/watch"}
 
 func newServer(eng *silc.Engine, objs *silc.ObjectSet, maxK, maxBatch int) *server {
 	s := &server{eng: eng, objs: objs, maxK: maxK, maxBatch: maxBatch, started: time.Now()}
@@ -515,6 +546,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/path", s.observe("/path", s.handlePath))
 	mux.HandleFunc("/range", s.observe("/range", s.handleRange))
 	mux.HandleFunc("/stats", s.observe("/stats", s.handleStats))
+	mux.HandleFunc("/objects", s.observe("/objects", s.handleObjects))
+	mux.HandleFunc("/watch", s.observe("/watch", s.handleWatch))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -596,6 +629,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if s.live != nil {
+		if err := s.live.Registry().WritePrometheus(w); err != nil {
+			return
+		}
+	}
 	s.reg.WritePrometheus(w)
 }
 
@@ -668,10 +706,13 @@ func writeError(w http.ResponseWriter, err error) {
 		status = he.status
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, silc.ErrUnknownObject):
+		status = http.StatusNotFound
 	case errors.Is(err, silc.ErrVertexRange),
 		errors.Is(err, silc.ErrBadK),
 		errors.Is(err, silc.ErrBadRadius),
 		errors.Is(err, silc.ErrBadEpsilon),
+		errors.Is(err, silc.ErrBadMethod),
 		errors.Is(err, silc.ErrNilObjects),
 		errors.Is(err, silc.ErrEmptyObjects):
 		status = http.StatusBadRequest
@@ -740,6 +781,7 @@ type queryStatsJSON struct {
 	CPUTimeUS     int64  `json:"cpu_time_us"`
 	FilterTimeUS  int64  `json:"filter_time_us,omitempty"`
 	RefineTimeUS  int64  `json:"refine_time_us,omitempty"`
+	SnapshotVer   uint64 `json:"snapshot_version,omitempty"`
 }
 
 func toNeighbors(ns []silc.Neighbor) []neighborJSON {
@@ -767,6 +809,7 @@ func toStats(st silc.QueryStats) queryStatsJSON {
 		CPUTimeUS:     st.CPUTime.Microseconds(),
 		FilterTimeUS:  st.FilterTime.Microseconds(),
 		RefineTimeUS:  st.RefineTime.Microseconds(),
+		SnapshotVer:   st.SnapshotVersion,
 	}
 }
 
@@ -831,7 +874,12 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.eng.Query(r.Context(), s.objs, q, k, knnOptions(method, eps, maxDist, exact)...)
+	objs, err := s.querySet(r.URL.Query().Get("live"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.eng.Query(r.Context(), objs, q, k, knnOptions(method, eps, maxDist, exact)...)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -865,6 +913,7 @@ type batchRequest struct {
 	Eps     float64 `json:"eps"`
 	MaxDist float64 `json:"max_dist"`
 	Exact   bool    `json:"exact"`
+	Live    bool    `json:"live"`
 }
 
 func (s *server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
@@ -897,11 +946,19 @@ func (s *server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("max_dist must be a non-negative number"))
 		return
 	}
+	objs := s.objs
+	if req.Live {
+		var err error
+		if objs, err = s.liveView(); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
 	queries := make([]silc.VertexID, len(req.Queries))
 	for i, v := range req.Queries {
 		queries[i] = silc.VertexID(v)
 	}
-	batch, err := s.eng.QueryBatch(r.Context(), s.objs, queries, req.K,
+	batch, err := s.eng.QueryBatch(r.Context(), objs, queries, req.K,
 		knnOptions(method, req.Eps, req.MaxDist, req.Exact)...)
 	if err != nil {
 		writeError(w, err)
@@ -922,6 +979,8 @@ func (s *server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 		"results": results,
 		"batch": map[string]any{
 			"queries":      batch.Stats.Queries,
+			"failed":       batch.Stats.Failed,
+			"skipped":      batch.Stats.Skipped,
 			"workers":      batch.Stats.Workers,
 			"wall_us":      batch.Stats.Wall.Microseconds(),
 			"qps":          batch.Stats.QPS,
@@ -1034,11 +1093,16 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	objs, err := s.querySet(r.URL.Query().Get("live"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	var opts []silc.Option
 	if exact {
 		opts = append(opts, silc.WithExactDistances())
 	}
-	res, err := s.eng.WithinDistance(r.Context(), s.objs, q, radius, opts...)
+	res, err := s.eng.WithinDistance(r.Context(), objs, q, radius, opts...)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -1097,9 +1161,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"p99_us":   em.latency.Quantile(0.99).Microseconds(),
 		}
 	}
+	var live map[string]any
+	if s.live != nil {
+		live = map[string]any{
+			"objects": s.live.Len(),
+			"version": s.live.Version(),
+		}
+	}
 	writeJSON(w, map[string]any{
 		"index":   index,
 		"objects": s.objs.Len(),
+		"live":    live,
 		"pool": map[string]any{
 			"page_hits":          io.PageHits,
 			"page_misses":        io.PageMisses,

@@ -309,6 +309,7 @@ func (e *Engine) Query(ctx context.Context, objs *ObjectSet, q VertexID, k int, 
 	qc := e.acquireQC(ctx, opKNN)
 	defer e.releaseQC(qc)
 	res, err := e.runSpec(qc, objs, q, k, o)
+	res.Stats.SnapshotVersion = objs.version
 	if err != nil {
 		return res, err
 	}
@@ -439,6 +440,7 @@ func (e *Engine) WithinDistance(ctx context.Context, objs *ObjectSet, q VertexID
 	defer e.releaseQC(qc)
 	raw := knn.RangeSearchCtx(e.qx, qc, objs.objs, q, radius)
 	res := convertResult(raw)
+	res.Stats.SnapshotVersion = objs.version
 	if raw.Err != nil {
 		return res, raw.Err
 	}
@@ -484,6 +486,7 @@ func (e *Engine) Neighbors(ctx context.Context, objs *ObjectSet, q VertexID, opt
 		flushStats := func() {
 			if o.statsInto != nil {
 				*o.statsInto = convertBrowserStats(br.Stats())
+				o.statsInto.SnapshotVersion = objs.version
 				e.foldIO(qc, o.statsInto)
 			}
 		}
@@ -539,5 +542,5 @@ func (e *Engine) Browse(ctx context.Context, objs *ObjectSet, q VertexID, opts .
 	// lifetime and the engine never learns when the caller is done with it.
 	qc := core.NewQueryContextFor(ctx)
 	b := knn.NewBrowserSpec(e.qx, qc, objs.objs, q, knn.Spec{Epsilon: o.epsilon, MaxDist: o.maxDist})
-	return &Browser{qx: e.qx, b: b, eps: o.epsilon}, nil
+	return &Browser{qx: e.qx, b: b, eps: o.epsilon, ver: objs.version}, nil
 }

@@ -26,7 +26,28 @@ var (
 	ErrBadEpsilon = errors.New("silc: epsilon must be finite and non-negative")
 	// ErrNilNetwork reports a nil network handle.
 	ErrNilNetwork = errors.New("silc: nil network")
+	// ErrBadMethod reports an unknown kNN method selector.
+	ErrBadMethod = errors.New("silc: unknown method")
+	// ErrUnknownObject reports a live-store object id that does not exist
+	// (never inserted, removed, or expired).
+	ErrUnknownObject = errors.New("silc: unknown object id")
 )
+
+// isValidationError reports whether err is one of the argument-validation
+// errors above — the class the deprecated panicking shims still panic on,
+// as their pre-Engine contract documented. Runtime failures (storage
+// faults, cancellation) are NOT validation errors.
+func isValidationError(err error) bool {
+	for _, v := range []error{
+		ErrVertexRange, ErrBadK, ErrNilObjects, ErrEmptyObjects,
+		ErrBadRadius, ErrBadEpsilon, ErrNilNetwork, ErrBadMethod,
+	} {
+		if errors.Is(err, v) {
+			return true
+		}
+	}
+	return false
+}
 
 // checkVertex validates one caller-supplied vertex id against the network.
 func checkVertex(net *Network, name string, v VertexID) error {

@@ -108,7 +108,7 @@ func INESpec(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.V
 		stats.Settled++
 		for _, id := range objs.AtVertex(v) {
 			nb := Neighbor{
-				Object:   objs.ByID(id),
+				Object:   objs.resultAt(id),
 				Interval: core.Interval{Lo: d, Hi: d},
 				Dist:     d,
 				Exact:    true,
@@ -204,7 +204,7 @@ func ier(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q graph.Verte
 				continue
 			}
 			nb := Neighbor{
-				Object:   o,
+				Object:   objs.resultAt(o.ID), // tree objects carry dense slots
 				Interval: core.Interval{Lo: d, Hi: d},
 				Dist:     d,
 				Exact:    true,

@@ -499,7 +499,7 @@ func (e *engine) report(st *objState) {
 	st.reported = true
 	exact := st.refiner.Done() || st.iv.Exact()
 	e.results = append(e.results, Neighbor{
-		Object:   e.objs.ByID(st.id),
+		Object:   e.objs.resultAt(st.id),
 		Interval: st.iv,
 		Dist:     st.iv.Lo,
 		Exact:    exact,

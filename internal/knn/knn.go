@@ -23,10 +23,21 @@ import (
 
 // Objects is the query set S: a PMR quadtree plus the vertex->objects map
 // the network-expansion baseline needs.
+// Internally every structure — the quadtree, the vertex map, the search
+// engines' state arrays — works in DENSE slot indices 0..Len-1, so the
+// algorithms can index arrays by object id regardless of how the set was
+// built. Sets built by NewObjectsWithIDs additionally carry caller-assigned
+// stable ids, applied to an object only at the reporting boundary
+// (resultAt/Label), so Neighbor.Object.ID is always the caller's id.
 type Objects struct {
 	tree *pmr.Tree
 	objs []pmr.Object
 	at   map[graph.VertexID][]int32
+	// labels maps a dense slot to its public id; nil means identity (the
+	// NewObjects fast path stays a bare slice load everywhere).
+	labels []int32
+	// byID is the reverse map, public id -> dense slot; nil for dense sets.
+	byID map[int32]int32
 }
 
 // NewObjects builds an object set from network vertices. Object IDs are
@@ -44,16 +55,74 @@ func NewObjects(g *graph.Network, vertices []graph.VertexID) *Objects {
 	return s
 }
 
+// NewObjectsWithIDs builds an object set whose objects carry caller-assigned
+// stable ids (not necessarily dense): the live object store's snapshots keep
+// their ids across versions so Remove(id)/Move(id) stay meaningful against
+// query results. ids and vertices are parallel; ids must be distinct.
+// Multiple objects may share a vertex. An empty set is valid (queries over
+// it are rejected at the engine's API edge, not here).
+func NewObjectsWithIDs(g *graph.Network, ids []int32, vertices []graph.VertexID) *Objects {
+	s := &Objects{
+		tree:   pmr.New(0),
+		at:     make(map[graph.VertexID][]int32, len(vertices)),
+		labels: make([]int32, len(ids)),
+		byID:   make(map[int32]int32, len(ids)),
+	}
+	copy(s.labels, ids)
+	s.objs = make([]pmr.Object, len(vertices))
+	for i, v := range vertices {
+		// Dense slot ids inside every search structure; the stable public id
+		// is applied only at the reporting boundary.
+		o := pmr.Object{ID: int32(i), Vertex: v, Pos: g.Point(v)}
+		s.objs[i] = o
+		s.tree.Insert(o)
+		s.at[v] = append(s.at[v], int32(i))
+		s.byID[ids[i]] = int32(i)
+	}
+	return s
+}
+
 // Len returns |S|.
 func (s *Objects) Len() int { return len(s.objs) }
 
 // Tree returns the PMR quadtree over S.
 func (s *Objects) Tree() *pmr.Tree { return s.tree }
 
-// ByID returns the object with the given dense id.
-func (s *Objects) ByID(id int32) pmr.Object { return s.objs[id] }
+// ByID returns the object with the given PUBLIC id, carrying that id. For
+// NewObjects sets public ids are the dense slots; NewObjectsWithIDs sets go
+// through the stable-id map.
+func (s *Objects) ByID(id int32) pmr.Object {
+	if s.byID == nil {
+		return s.objs[id]
+	}
+	o := s.objs[s.byID[id]]
+	o.ID = id
+	return o
+}
 
-// AtVertex returns the ids of objects located at v.
+// Label maps a dense slot index to its public id (identity for NewObjects
+// sets).
+func (s *Objects) Label(i int32) int32 {
+	if s.labels != nil {
+		return s.labels[i]
+	}
+	return i
+}
+
+// resultAt returns the object at dense slot i carrying its public id — the
+// only form a reported Neighbor may expose.
+func (s *Objects) resultAt(i int32) pmr.Object {
+	o := s.objs[i]
+	o.ID = s.Label(i)
+	return o
+}
+
+// All returns the objects in storage order (ascending public id for
+// NewObjectsWithIDs sets). ID fields are dense slots — use Label for public
+// ids. The slice aliases internal storage; do not modify.
+func (s *Objects) All() []pmr.Object { return s.objs }
+
+// AtVertex returns the dense slot ids of objects located at v.
 func (s *Objects) AtVertex(v graph.VertexID) []int32 { return s.at[v] }
 
 // Neighbor is one reported nearest neighbor.

@@ -76,7 +76,7 @@ func RangeSearchCtx(ix core.QueryIndex, qc *core.QueryContext, objs *Objects, q 
 			}
 			if st.iv.Hi <= radius || (st.refiner.Done() && st.iv.Lo <= radius) {
 				e.results = append(e.results, Neighbor{
-					Object:   objs.ByID(st.id),
+					Object:   objs.resultAt(st.id),
 					Interval: st.iv,
 					Dist:     st.iv.Lo,
 					Exact:    st.refiner.Done() || st.iv.Exact(),
@@ -118,7 +118,7 @@ func ObjectsInRange(ix core.QueryIndex, objs *Objects, q graph.VertexID, radius 
 			stats.Settled++
 			for _, id := range objs.AtVertex(v) {
 				res = append(res, Neighbor{
-					Object:   objs.ByID(id),
+					Object:   objs.resultAt(id),
 					Interval: core.Interval{Lo: d, Hi: d},
 					Dist:     d,
 					Exact:    true,

@@ -1,0 +1,232 @@
+package objstore
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"silc/internal/graph"
+)
+
+func testGraph(t testing.TB) *graph.Network {
+	t.Helper()
+	g, err := graph.GenerateGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCRUDAndVersions(t *testing.T) {
+	g := testGraph(t)
+	s := New(g, Options{})
+	defer s.Close()
+
+	if s.Version() != 0 || s.Len() != 0 {
+		t.Fatalf("fresh store: version %d len %d, want 0/0", s.Version(), s.Len())
+	}
+	empty := s.Snapshot()
+	if empty.Objects.Len() != 0 {
+		t.Fatal("version-0 snapshot is not empty")
+	}
+
+	a, v1 := s.Insert(3)
+	b, v2 := s.Insert(9)
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("insert versions %d,%d, want 1,2", v1, v2)
+	}
+	if a == b {
+		t.Fatal("ids not distinct")
+	}
+	snap := s.Snapshot()
+	if snap.Version != 2 || len(snap.IDs) != 2 {
+		t.Fatalf("snapshot version %d with %d members, want 2/2", snap.Version, len(snap.IDs))
+	}
+	if snap.Objects.ByID(a).Vertex != 3 || snap.Objects.ByID(b).Vertex != 9 {
+		t.Fatal("snapshot objects on wrong vertices")
+	}
+
+	v3, ok := s.Move(a, 17)
+	if !ok || v3 != 3 {
+		t.Fatalf("move: ok=%v version=%d", ok, v3)
+	}
+	// The pinned snapshot must not see the move (immutability).
+	if snap.Objects.ByID(a).Vertex != 3 {
+		t.Fatal("pinned snapshot mutated by Move")
+	}
+	if got := s.Snapshot().Objects.ByID(a).Vertex; got != 17 {
+		t.Fatalf("current snapshot has object a at %d, want 17", got)
+	}
+
+	v4, ok := s.Remove(b)
+	if !ok || v4 != 4 {
+		t.Fatalf("remove: ok=%v version=%d", ok, v4)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d after remove, want 1", s.Len())
+	}
+	if _, ok := s.Remove(b); ok {
+		t.Fatal("removing a removed id reported ok")
+	}
+	if _, ok := s.Move(b, 1); ok {
+		t.Fatal("moving a removed id reported ok")
+	}
+	// Unknown-id mutations must not bump the version.
+	if s.Version() != 4 {
+		t.Fatalf("version %d after no-op mutations, want 4", s.Version())
+	}
+}
+
+func TestExpireOlderThan(t *testing.T) {
+	g := testGraph(t)
+	clock := time.Unix(1000, 0)
+	s := New(g, Options{Now: func() time.Time { return clock }})
+	defer s.Close()
+
+	old, _ := s.Insert(1)
+	clock = clock.Add(time.Minute)
+	fresh, _ := s.Insert(2)
+	ver := s.Version()
+
+	n, v := s.ExpireOlderThan(clock.Add(-30 * time.Second))
+	if n != 1 || v != ver+1 {
+		t.Fatalf("expire removed %d at version %d, want 1 at %d", n, v, ver+1)
+	}
+	snap := s.Snapshot()
+	if len(snap.IDs) != 1 || snap.IDs[0] != fresh {
+		t.Fatalf("surviving ids %v, want [%d]", snap.IDs, fresh)
+	}
+	if _, ok := s.Move(old, 3); ok {
+		t.Fatal("expired object still movable")
+	}
+	// Nothing left to expire: no version bump.
+	if n, v := s.ExpireOlderThan(clock.Add(-30 * time.Second)); n != 0 || v != snap.Version {
+		t.Fatalf("idle expire removed %d, version %d", n, v)
+	}
+	// A Move refreshes the TTL clock.
+	clock = clock.Add(time.Hour)
+	s.Move(fresh, 5)
+	if n, _ := s.ExpireOlderThan(clock.Add(-time.Minute)); n != 0 {
+		t.Fatal("moved object expired despite fresh touch")
+	}
+}
+
+func TestSweeperExpires(t *testing.T) {
+	g := testGraph(t)
+	s := New(g, Options{TTL: 30 * time.Millisecond, SweepInterval: 10 * time.Millisecond})
+	defer s.Close()
+
+	s.Insert(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never expired the object")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Close stops the sweeper and is idempotent.
+	s.Close()
+	s.Close()
+}
+
+func TestChangedWakesOnPublish(t *testing.T) {
+	g := testGraph(t)
+	s := New(g, Options{})
+	defer s.Close()
+
+	ch := s.Changed()
+	select {
+	case <-ch:
+		t.Fatal("change channel closed before any mutation")
+	default:
+	}
+	s.Insert(0)
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish did not close the change channel")
+	}
+}
+
+// TestConcurrentChurn hammers the store from many writers while readers pin
+// snapshots; run under -race in CI. Every pinned snapshot must be
+// self-consistent: ascending distinct ids, parallel tables, monotone
+// versions per reader.
+func TestConcurrentChurn(t *testing.T) {
+	g := testGraph(t)
+	s := New(g, Options{})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []int32
+			for i := 0; i < 300; i++ {
+				switch i % 3 {
+				case 0:
+					id, _ := s.Insert(graph.VertexID((w*7 + i) % g.NumVertices()))
+					mine = append(mine, id)
+				case 1:
+					if len(mine) > 0 {
+						s.Move(mine[i%len(mine)], graph.VertexID(i%g.NumVertices()))
+					}
+				case 2:
+					if len(mine) > 2 {
+						s.Remove(mine[0])
+						mine = mine[1:]
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Snapshot()
+				if snap.Version < last {
+					t.Errorf("version went backwards: %d after %d", snap.Version, last)
+					return
+				}
+				last = snap.Version
+				if len(snap.IDs) != len(snap.Vertices) || snap.Objects.Len() != len(snap.IDs) {
+					t.Errorf("snapshot tables out of sync: %d ids, %d vertices, %d objects",
+						len(snap.IDs), len(snap.Vertices), snap.Objects.Len())
+					return
+				}
+				for i := 1; i < len(snap.IDs); i++ {
+					if snap.IDs[i] <= snap.IDs[i-1] {
+						t.Errorf("ids not ascending: %v", snap.IDs)
+						return
+					}
+				}
+				for i, id := range snap.IDs {
+					if snap.Objects.ByID(id).Vertex != snap.Vertices[i] {
+						t.Errorf("object %d vertex mismatch", id)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Writers finish first; then release the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("churn goroutines did not finish")
+	}
+}

@@ -37,7 +37,7 @@ func resolveOptions(opts []Option) (queryOptions, error) {
 		o = applyOptions(opts)
 	}
 	if o.method < MethodKNN || o.method > MethodIER {
-		return o, fmt.Errorf("silc: unknown method %d", o.method)
+		return o, fmt.Errorf("%w %d", ErrBadMethod, o.method)
 	}
 	if math.IsNaN(o.epsilon) || math.IsInf(o.epsilon, 0) || o.epsilon < 0 {
 		return o, fmt.Errorf("%w: got %v", ErrBadEpsilon, o.epsilon)

@@ -17,6 +17,9 @@ import (
 type ObjectSet struct {
 	net  *Network
 	objs *knn.Objects
+	// version is the live-store snapshot version this set pins, zero for
+	// static sets. Queries stamp it into Result.Stats.SnapshotVersion.
+	version uint64
 }
 
 // NewObjectSet places one object on each listed vertex (duplicates
@@ -42,9 +45,13 @@ func NewObjectSet(net *Network, vertices []VertexID) (*ObjectSet, error) {
 }
 
 // NewObjectSetFromPoints snaps each point to its nearest network vertex and
-// places an object there. (The paper supports objects on edges and faces as
-// well; this library implements the vertex-resident case its evaluation
-// exercises.)
+// places an object there. Distinct points snapping to the same vertex
+// collapse into ONE object — object ids are dense over the distinct snapped
+// vertices in first-appearance order, not over the input points — so an id
+// keeps identifying one network location (Remove/Move on a live store, and
+// kNN results, never see phantom duplicates of one vertex). (The paper
+// supports objects on edges and faces as well; this library implements the
+// vertex-resident case its evaluation exercises.)
 func NewObjectSetFromPoints(net *Network, pts []Point) (*ObjectSet, error) {
 	if net == nil {
 		return nil, ErrNilNetwork
@@ -52,15 +59,25 @@ func NewObjectSetFromPoints(net *Network, pts []Point) (*ObjectSet, error) {
 	if len(pts) == 0 {
 		return nil, ErrEmptyObjects
 	}
-	vs := make([]VertexID, len(pts))
-	for i, p := range pts {
-		vs[i] = net.g.NearestVertex(p)
+	seen := make(map[VertexID]struct{}, len(pts))
+	vs := make([]VertexID, 0, len(pts))
+	for _, p := range pts {
+		v := net.g.NearestVertex(p)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		vs = append(vs, v)
 	}
 	return NewObjectSet(net, vs)
 }
 
 // Len returns |S|.
 func (s *ObjectSet) Len() int { return s.objs.Len() }
+
+// Version returns the live-store snapshot version this set pins, zero for
+// static sets built by the NewObjectSet constructors.
+func (s *ObjectSet) Version() uint64 { return s.version }
 
 // Vertex returns the vertex hosting object id.
 func (s *ObjectSet) Vertex(id int32) VertexID { return s.objs.ByID(id).Vertex }
@@ -72,7 +89,7 @@ func (s *ObjectSet) NearestEuclidean(p Point, k int) []int32 {
 	objs := s.objs.Tree().NearestEuclidean(p, k)
 	out := make([]int32, len(objs))
 	for i, o := range objs {
-		out[i] = o.ID
+		out[i] = s.objs.Label(o.ID) // tree objects carry dense slots
 	}
 	return out
 }
@@ -139,7 +156,7 @@ func ParseMethod(name string) (Method, error) {
 	case "IER":
 		return MethodIER, nil
 	default:
-		return 0, fmt.Errorf("silc: unknown method %q", name)
+		return 0, fmt.Errorf("%w %q", ErrBadMethod, name)
 	}
 }
 
@@ -184,6 +201,10 @@ type QueryStats struct {
 	GatewayRoutes int64
 	IOTime        time.Duration // modeled I/O time
 	CPUTime       time.Duration // measured computation time
+	// SnapshotVersion is the live object-store version the query's pinned
+	// snapshot reflects — the result is exact against exactly that version.
+	// Zero for static object sets.
+	SnapshotVersion uint64
 	// FilterTime is the object-hierarchy filter phase's wall clock and
 	// RefineTime the remainder (CPUTime − FilterTime); both are zero
 	// unless the engine's tracing is enabled (Engine.SetTracing).
@@ -296,7 +317,8 @@ type Browser struct {
 	qx  core.QueryIndex
 	b   *knn.Browser
 	eps float64
-	err error // cancellation observed during post-report exactification
+	ver uint64 // pinned snapshot version (zero for static sets)
+	err error  // cancellation observed during post-report exactification
 }
 
 // Browse positions a cursor at query vertex q over objs.
@@ -358,7 +380,11 @@ func (b *Browser) Err() error {
 
 // Stats returns the cursor's accumulated statistics (queue sizes,
 // refinements, and the buffer-pool traffic charged to this cursor).
-func (b *Browser) Stats() QueryStats { return convertBrowserStats(b.b.Stats()) }
+func (b *Browser) Stats() QueryStats {
+	s := convertBrowserStats(b.b.Stats())
+	s.SnapshotVersion = b.ver
+	return s
+}
 
 func convertBrowserStats(s knn.Stats) QueryStats {
 	return QueryStats{
